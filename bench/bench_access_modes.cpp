@@ -1,0 +1,94 @@
+// Ablation A4 (paper §VIII-A): GA/ARMCI access-mode hints. By default
+// every ARMCI-MPI operation takes an exclusive epoch, serializing all
+// origins targeting one process; declaring an allocation accumulate_only
+// (or read_only) lets concurrent operations use shared epochs. Measured as
+// total virtual time for N ranks each issuing accumulates (or gets) to one
+// hot target.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "src/mpisim/comm.hpp"
+
+namespace {
+
+double hot_target_seconds(armci::AccessMode mode, bench::Xfer op, int nranks,
+                          std::size_t bytes, int iters) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = armci::Backend::mpi;
+    armci::init(o);
+    std::vector<void*> bases = armci::malloc_world(bytes);
+    armci::set_access_mode(mode,
+                           bases[static_cast<std::size_t>(mpisim::rank())]);
+    auto* local = static_cast<double*>(armci::malloc_local(bytes));
+    for (std::size_t i = 0; i < bytes / 8; ++i) local[i] = 1.0;
+    armci::barrier();
+    const double one = 1.0;
+    const double t0 = mpisim::clock().now_ns();
+    for (int i = 0; i < iters; ++i) {
+      if (op == bench::Xfer::acc)
+        armci::acc(armci::AccType::float64, &one, local, bases[0], bytes, 0);
+      else
+        armci::get(bases[0], local, bytes, 0);
+    }
+    armci::barrier();
+    const double mine = (mpisim::clock().now_ns() - t0) * 1e-9;
+    double max_s = 0.0;
+    mpisim::world().allreduce(&mine, &max_s, 1, mpisim::BasicType::float64,
+                              mpisim::Op::max);
+    if (mpisim::rank() == 0) result = max_s;
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+void register_all() {
+  struct Case {
+    const char* name;
+    armci::AccessMode mode;
+    bench::Xfer op;
+  };
+  const Case cases[] = {
+      {"acc/exclusive", armci::AccessMode::exclusive, bench::Xfer::acc},
+      {"acc/accumulate_only", armci::AccessMode::accumulate_only,
+       bench::Xfer::acc},
+      {"get/exclusive", armci::AccessMode::exclusive, bench::Xfer::get},
+      {"get/read_only", armci::AccessMode::read_only, bench::Xfer::get},
+  };
+  for (const Case& c : cases) {
+    for (int nranks : {2, 4, 8, 16}) {
+      std::string name = std::string("AccessModes/") + c.name +
+                         "/ranks:" + std::to_string(nranks);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [c, nranks](benchmark::State& st) {
+            double secs = 0.0;
+            for (auto _ : st) {
+              secs = hot_target_seconds(c.mode, c.op, nranks, 64 << 10, 8);
+              st.SetIterationTime(secs);
+            }
+            st.counters["seconds"] = secs;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

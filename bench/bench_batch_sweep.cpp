@@ -1,0 +1,49 @@
+// Ablation A2 (paper §VI-A): the batched IOV method's B parameter -- how
+// many operations are issued per lock epoch. B = 0 (unlimited, the paper's
+// default) amortizes the epoch overhead best, but platforms whose per-epoch
+// op queues degrade superlinearly (MVAPICH2) favor intermediate B.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+void register_all() {
+  for (mpisim::Platform plat :
+       {mpisim::Platform::infiniband, mpisim::Platform::cray_xt5}) {
+    for (std::size_t limit : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                              std::size_t{64}, std::size_t{256},
+                              std::size_t{0}}) {
+      std::string name = std::string("BatchSweep/") +
+                         mpisim::platform_id(plat) + "/B:" +
+                         (limit == 0 ? "unlimited" : std::to_string(limit));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [plat, limit](benchmark::State& st) {
+            const std::size_t seg = 1024, nseg = 512;
+            double gibps = 0.0;
+            for (auto _ : st) {
+              gibps = bench::strided_bw(plat, bench::StridedImpl::iov_batched,
+                                        bench::Xfer::put, seg, nseg, limit);
+              st.SetIterationTime(static_cast<double>(seg * nseg) /
+                                  (gibps * bench::kGiB));
+            }
+            st.counters["GiB/s"] = gibps;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

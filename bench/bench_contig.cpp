@@ -1,0 +1,61 @@
+// Figure 3 reproduction: bandwidth of contiguous ARMCI get/put/accumulate
+// for ARMCI-MPI vs ARMCI-Native, on all four platform profiles, over
+// transfer sizes 2^0 .. 2^25 bytes.
+//
+// Each benchmark row is one point of one curve of Fig. 3; the GiB/s counter
+// is the figure's y value (virtual-time bandwidth from the platform model).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using bench::Xfer;
+
+void run_point(benchmark::State& state, mpisim::Platform plat,
+               armci::Backend backend, Xfer op, std::size_t bytes) {
+  double gibps = 0.0;
+  for (auto _ : state) {
+    gibps = bench::contig_bw(plat, backend, op, bytes);
+    state.SetIterationTime(static_cast<double>(bytes) / (gibps * bench::kGiB));
+  }
+  state.counters["GiB/s"] = gibps;
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+void register_all() {
+  for (mpisim::Platform plat : mpisim::kPaperPlatforms) {
+    for (Xfer op : {Xfer::get, Xfer::put, Xfer::acc}) {
+      for (auto backend : {armci::Backend::native, armci::Backend::mpi}) {
+        for (int logb = 0; logb <= 25; logb += 1) {
+          const std::size_t bytes = std::size_t{1} << logb;
+          if (op == Xfer::acc && bytes < sizeof(double)) continue;
+          std::string name = std::string("Fig3/") +
+                             mpisim::platform_id(plat) + "/" +
+                             bench::xfer_name(op) + "/" +
+                             (backend == armci::Backend::mpi ? "MPI" : "Nat") +
+                             "/" + std::to_string(bytes);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [plat, backend, op, bytes](benchmark::State& st) {
+                run_point(st, plat, backend, op, bytes);
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMicrosecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

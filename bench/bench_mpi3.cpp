@@ -1,0 +1,227 @@
+// Ablation A5 (paper §VIII-B, implemented): ARMCI over MPI-3 RMA versus
+// the paper's MPI-2 implementation and the native baseline.
+//
+// Quantifies each §VIII-B item:
+//  - small-operation latency: MPI-3 drops the per-op lock/unlock epoch;
+//  - pipelined puts: operations between flushes pay wire latency once;
+//  - read-modify-write: MPI_Fetch_and_op vs mutex + two exclusive epochs;
+//  - hot-target throughput: shared lock_all epochs remove the target-side
+//    exclusive-epoch serialization;
+//  - the CCSD proxy end-to-end on all three backends.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "src/mpisim/comm.hpp"
+#include "src/nwproxy/ccsd.hpp"
+
+namespace {
+
+const char* backend_name(armci::Backend b) {
+  switch (b) {
+    case armci::Backend::mpi: return "MPI-2";
+    case armci::Backend::mpi3: return "MPI-3";
+    case armci::Backend::native: return "Native";
+  }
+  return "?";
+}
+
+constexpr armci::Backend kAll[] = {armci::Backend::mpi, armci::Backend::mpi3,
+                                   armci::Backend::native};
+
+/// Virtual microseconds per 8-byte put (small-op latency).
+double small_put_us(armci::Backend b) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = b;
+    armci::init(o);
+    std::vector<void*> bases = armci::malloc_world(64);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      const int reps = 64;
+      double v = 1.0;
+      armci::put(&v, bases[1], sizeof v, 1);
+      const double t0 = mpisim::clock().now_ns();
+      for (int i = 0; i < reps; ++i) armci::put(&v, bases[1], sizeof v, 1);
+      armci::fence(1);
+      result = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+    }
+    armci::barrier();
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+/// Virtual microseconds per fetch-and-add under contention.
+double rmw_us(armci::Backend b, int nranks) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = b;
+    armci::init(o);
+    std::vector<void*> bases =
+        armci::malloc_world(mpisim::rank() == 0 ? 8 : 0);
+    armci::barrier();
+    const int reps = 16;
+    const double t0 = mpisim::clock().now_ns();
+    for (int i = 0; i < reps; ++i) {
+      std::int64_t old = 0;
+      armci::rmw(armci::RmwOp::fetch_and_add_long, &old, bases[0], 1, 0);
+    }
+    armci::barrier();
+    const double mine = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+    double max_us = 0.0;
+    mpisim::world().allreduce(&mine, &max_us, 1, mpisim::BasicType::float64,
+                              mpisim::Op::max);
+    if (mpisim::rank() == 0) result = max_us;
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+/// Total virtual ms for N ranks accumulating 64 KiB to one hot target.
+double hot_acc_ms(armci::Backend b, int nranks) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = b;
+    armci::init(o);
+    const std::size_t bytes = 64 << 10;
+    std::vector<void*> bases = armci::malloc_world(bytes);
+    auto* local = static_cast<double*>(armci::malloc_local(bytes));
+    for (std::size_t i = 0; i < bytes / 8; ++i) local[i] = 1.0;
+    armci::barrier();
+    const double one = 1.0;
+    const double t0 = mpisim::clock().now_ns();
+    for (int i = 0; i < 8; ++i)
+      armci::acc(armci::AccType::float64, &one, local, bases[0], bytes, 0);
+    armci::barrier();
+    const double mine = (mpisim::clock().now_ns() - t0) * 1e-6;
+    double max_ms = 0.0;
+    mpisim::world().allreduce(&mine, &max_ms, 1, mpisim::BasicType::float64,
+                              mpisim::Op::max);
+    if (mpisim::rank() == 0) result = max_ms;
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+/// CCSD proxy time (virtual seconds).
+double ccsd_s(armci::Backend b, int nranks) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = b;
+    armci::init(o);
+    nwproxy::CcsdParams p;
+    p.no = 6;
+    p.nv = 48;
+    p.tile = 12;
+    p.iterations = 1;
+    nwproxy::Amplitudes t2;
+    nwproxy::PhaseResult r = nwproxy::run_ccsd(p, t2);
+    if (mpisim::rank() == 0) result = r.virtual_seconds;
+    t2.destroy();
+    armci::finalize();
+  });
+  return result;
+}
+
+void register_all() {
+  for (armci::Backend b : kAll) {
+    benchmark::RegisterBenchmark(
+        (std::string("Mpi3/small_put_us/") + backend_name(b)).c_str(),
+        [b](benchmark::State& st) {
+          double us = 0.0;
+          for (auto _ : st) {
+            us = small_put_us(b);
+            st.SetIterationTime(us * 1e-6);
+          }
+          st.counters["usec"] = us;
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+
+    for (int nranks : {2, 8}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Mpi3/rmw_us/") + backend_name(b) +
+           "/ranks:" + std::to_string(nranks))
+              .c_str(),
+          [b, nranks](benchmark::State& st) {
+            double us = 0.0;
+            for (auto _ : st) {
+              us = rmw_us(b, nranks);
+              st.SetIterationTime(us * 1e-6);
+            }
+            st.counters["usec"] = us;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+
+    for (int nranks : {2, 16}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Mpi3/hot_acc_ms/") + backend_name(b) +
+           "/ranks:" + std::to_string(nranks))
+              .c_str(),
+          [b, nranks](benchmark::State& st) {
+            double ms = 0.0;
+            for (auto _ : st) {
+              ms = hot_acc_ms(b, nranks);
+              st.SetIterationTime(ms * 1e-3);
+            }
+            st.counters["ms"] = ms;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+
+    for (int nranks : {8, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Mpi3/ccsd_s/") + backend_name(b) +
+           "/ranks:" + std::to_string(nranks))
+              .c_str(),
+          [b, nranks](benchmark::State& st) {
+            double s = 0.0;
+            for (auto _ : st) {
+              s = ccsd_s(b, nranks);
+              st.SetIterationTime(s);
+            }
+            st.counters["seconds"] = s;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

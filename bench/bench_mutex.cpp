@@ -1,0 +1,78 @@
+// Ablation A3 (paper §V-D): mutex scalability under contention -- the
+// Latham et al. MPI-RMA queueing mutex (blocked waiters sleep on a message;
+// the unlock forwards the lock fairly) versus the native CHT-serviced
+// mutex, measured as virtual time per lock/unlock pair while all ranks
+// hammer one mutex.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "src/mpisim/comm.hpp"
+
+namespace {
+
+double mutex_us_per_pair(mpisim::Platform plat, armci::Backend backend,
+                         int nranks, int iters) {
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = plat;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    armci::init(o);
+    armci::create_mutexes(1);
+    armci::barrier();
+    const double t0 = mpisim::clock().now_ns();
+    for (int i = 0; i < iters; ++i) {
+      armci::lock(0, 0);
+      armci::unlock(0, 0);
+    }
+    armci::barrier();
+    const double mine = (mpisim::clock().now_ns() - t0) * 1e-3 /
+                        (iters * nranks);
+    double max_us = 0.0;
+    mpisim::world().allreduce(&mine, &max_us, 1, mpisim::BasicType::float64,
+                              mpisim::Op::max);
+    if (mpisim::rank() == 0) result = max_us;
+    armci::barrier();
+    armci::destroy_mutexes();
+    armci::finalize();
+  });
+  return result;
+}
+
+void register_all() {
+  for (auto backend : {armci::Backend::mpi, armci::Backend::native}) {
+    for (int nranks : {2, 4, 8, 16}) {
+      std::string name =
+          std::string("MutexContention/") +
+          (backend == armci::Backend::mpi ? "Queueing-MPI" : "Native-CHT") +
+          "/ranks:" + std::to_string(nranks);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [backend, nranks](benchmark::State& st) {
+            double us = 0.0;
+            for (auto _ : st) {
+              us = mutex_us_per_pair(mpisim::Platform::infiniband, backend,
+                                     nranks, 16);
+              st.SetIterationTime(us * 1e-6);
+            }
+            st.counters["us_per_lock"] = us;
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 6 reproduction: NWChem CCSD and (T) execution time for
+// ARMCI-Native vs ARMCI-MPI, scaling over process counts, on all four
+// platform profiles.
+//
+// The workload is the CCSD(T) proxy on a scaled-down water-pentamer
+// problem (DESIGN.md §2): tile get -> contract (modeled DGEMM time) ->
+// tile accumulate, dynamically load-balanced through a shared counter,
+// followed by the get-heavy perturbative-triples phase. Reported times are
+// virtual minutes; the figure's content is the Native-vs-MPI comparison
+// and the scaling trend, not absolute minutes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "src/nwproxy/ccsd.hpp"
+
+namespace {
+
+/// Scaled w5 problem (paper: no=20, nv=435): small enough to simulate,
+/// large enough that tasks outnumber the biggest process count.
+nwproxy::CcsdParams bench_params() {
+  nwproxy::CcsdParams p;
+  p.no = 8;    // 120 (T) triples
+  p.nv = 80;   // 6400 amplitude columns -> 25 tiles -> 325 CCSD tasks
+  p.tile = 16;
+  p.iterations = 1;
+  return p;
+}
+
+struct NwTimes {
+  double ccsd_min = 0.0;
+  double t_min = 0.0;
+};
+
+NwTimes run_proxy(mpisim::Platform plat, armci::Backend backend, int nranks) {
+  NwTimes out;
+  mpisim::Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = plat;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    armci::init(o);
+    nwproxy::Amplitudes t2;
+    nwproxy::PhaseResult ccsd = nwproxy::run_ccsd(bench_params(), t2);
+    nwproxy::PhaseResult tr = nwproxy::run_triples(bench_params(), t2);
+    if (mpisim::rank() == 0) {
+      out.ccsd_min = ccsd.virtual_seconds / 60.0;
+      out.t_min = tr.virtual_seconds / 60.0;
+    }
+    t2.destroy();
+    armci::finalize();
+  });
+  return out;
+}
+
+void register_all() {
+  for (mpisim::Platform plat : mpisim::kPaperPlatforms) {
+    for (auto backend : {armci::Backend::native, armci::Backend::mpi}) {
+      for (int nranks : {4, 8, 16, 32, 64}) {
+        std::string name =
+            std::string("Fig6/") + mpisim::platform_id(plat) + "/" +
+            (backend == armci::Backend::mpi ? "ARMCI-MPI" : "ARMCI-Native") +
+            "/ranks:" + std::to_string(nranks);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [plat, backend, nranks](benchmark::State& st) {
+              NwTimes t{};
+              for (auto _ : st) {
+                t = run_proxy(plat, backend, nranks);
+                st.SetIterationTime(t.ccsd_min * 60.0 + t.t_min * 60.0);
+              }
+              st.counters["CCSD_min"] = t.ccsd_min;
+              st.counters["T_min"] = t.t_min;
+              st.counters["ranks"] = nranks;
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

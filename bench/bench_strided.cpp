@@ -1,0 +1,67 @@
+// Figure 4 reproduction: bandwidth of strided ARMCI operations for the
+// ARMCI-MPI transfer methods (Direct, IOV-Direct, IOV-Batched, IOV-Consrv)
+// vs ARMCI-Native, on all four platforms, for contiguous segment sizes of
+// 16 B and 1024 B and segment counts 2^0 .. 2^10.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using bench::StridedImpl;
+using bench::Xfer;
+
+constexpr StridedImpl kImpls[] = {
+    StridedImpl::native, StridedImpl::direct, StridedImpl::iov_direct,
+    StridedImpl::iov_batched, StridedImpl::iov_consrv};
+
+void run_point(benchmark::State& state, mpisim::Platform plat,
+               StridedImpl impl, Xfer op, std::size_t seg, std::size_t nseg) {
+  double gibps = 0.0;
+  for (auto _ : state) {
+    gibps = bench::strided_bw(plat, impl, op, seg, nseg);
+    state.SetIterationTime(static_cast<double>(seg * nseg) /
+                           (gibps * bench::kGiB));
+  }
+  state.counters["GiB/s"] = gibps;
+  state.counters["segments"] = static_cast<double>(nseg);
+}
+
+void register_all() {
+  for (mpisim::Platform plat : mpisim::kPaperPlatforms) {
+    for (std::size_t seg : {std::size_t{16}, std::size_t{1024}}) {
+      for (Xfer op : {Xfer::get, Xfer::acc, Xfer::put}) {
+        for (StridedImpl impl : kImpls) {
+          for (int logn = 0; logn <= 10; ++logn) {
+            const std::size_t nseg = std::size_t{1} << logn;
+            std::string name = std::string("Fig4/") +
+                               mpisim::platform_id(plat) + "/seg" +
+                               std::to_string(seg) + "B/" +
+                               bench::xfer_name(op) + "/" +
+                               bench::strided_impl_name(impl) + "/" +
+                               std::to_string(nseg);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [plat, impl, op, seg, nseg](benchmark::State& st) {
+                  run_point(st, plat, impl, op, seg, nseg);
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

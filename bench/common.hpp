@@ -1,0 +1,177 @@
+#ifndef BENCH_COMMON_HPP
+#define BENCH_COMMON_HPP
+
+/// \file common.hpp
+/// Shared measurement harnesses for the paper-reproduction benchmarks.
+///
+/// All communication performance is *virtual time* from the simulator's
+/// platform cost model (deterministic, independent of host load); the
+/// harnesses run a small simulation, time an operation loop on rank 0's
+/// virtual clock, and return the achieved bandwidth or elapsed time.
+/// Benchmarks feed these into google-benchmark via manual timing.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace bench {
+
+inline constexpr double kGiB = 1073741824.0;
+
+/// Operation selector shared by the bandwidth benchmarks.
+enum class Xfer { get, put, acc };
+
+inline const char* xfer_name(Xfer x) {
+  switch (x) {
+    case Xfer::get: return "get";
+    case Xfer::put: return "put";
+    case Xfer::acc: return "acc";
+  }
+  return "?";
+}
+
+/// Contiguous bandwidth (paper Fig. 3): rank 0 moves `bytes` to/from rank 1
+/// `reps` times; returns GiB/s of virtual bandwidth.
+inline double contig_bw(mpisim::Platform plat, armci::Backend backend,
+                        Xfer op, std::size_t bytes, int reps = 0) {
+  // Virtual time is deterministic, so few repetitions suffice; large
+  // transfers use fewer to bound the harness's real memcpy work.
+  if (reps == 0) reps = bytes >= (std::size_t{1} << 20) ? 3 : 16;
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = plat;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    armci::init(o);
+    std::vector<void*> bases = armci::malloc_world(bytes);
+    auto* local = static_cast<double*>(armci::malloc_local(bytes));
+    std::memset(local, 1, bytes);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      const double one = 1.0;
+      auto issue = [&] {
+        switch (op) {
+          case Xfer::get: armci::get(bases[1], local, bytes, 1); break;
+          case Xfer::put: armci::put(local, bases[1], bytes, 1); break;
+          case Xfer::acc:
+            armci::acc(armci::AccType::float64, &one, local, bases[1], bytes,
+                       1);
+            break;
+        }
+      };
+      issue();  // warm-up (registration, allocation effects)
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) issue();
+      const double secs = (mpisim::clock().now_ns() - t0) * 1e-9;
+      result = static_cast<double>(bytes) * reps / secs / kGiB;
+    }
+    armci::barrier();
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+/// Strided method selector for Fig. 4 (Native is the native backend; the
+/// rest are ARMCI-MPI methods).
+enum class StridedImpl { native, direct, iov_direct, iov_batched, iov_consrv };
+
+inline const char* strided_impl_name(StridedImpl m) {
+  switch (m) {
+    case StridedImpl::native: return "Native";
+    case StridedImpl::direct: return "Direct";
+    case StridedImpl::iov_direct: return "IOV-Direct";
+    case StridedImpl::iov_batched: return "IOV-Batched";
+    case StridedImpl::iov_consrv: return "IOV-Consrv";
+  }
+  return "?";
+}
+
+/// Strided bandwidth (paper Fig. 4): `nseg` segments of `seg_bytes`, remote
+/// side strided with a 2x pitch, local side packed. Returns GiB/s.
+inline double strided_bw(mpisim::Platform plat, StridedImpl impl, Xfer op,
+                         std::size_t seg_bytes, std::size_t nseg,
+                         std::size_t batch_limit = 0, int reps = 0) {
+  if (reps == 0) reps = seg_bytes * nseg >= (std::size_t{1} << 19) ? 3 : 8;
+  double result = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = plat;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = impl == StridedImpl::native ? armci::Backend::native
+                                            : armci::Backend::mpi;
+    switch (impl) {
+      case StridedImpl::native:
+      case StridedImpl::direct:
+        o.strided_method = armci::StridedMethod::direct;
+        break;
+      case StridedImpl::iov_direct:
+        o.strided_method = armci::StridedMethod::iov_direct;
+        break;
+      case StridedImpl::iov_batched:
+        o.strided_method = armci::StridedMethod::iov_batched;
+        break;
+      case StridedImpl::iov_consrv:
+        o.strided_method = armci::StridedMethod::iov_conservative;
+        break;
+    }
+    o.iov_batched_limit = batch_limit;
+    armci::init(o);
+
+    const std::size_t pitch = seg_bytes * 2;
+    std::vector<void*> bases = armci::malloc_world(nseg * pitch);
+    auto* local = static_cast<std::uint8_t*>(
+        armci::malloc_local(nseg * seg_bytes));
+    std::memset(local, 3, nseg * seg_bytes);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      armci::StridedSpec spec;
+      spec.stride_levels = 1;
+      spec.count = {seg_bytes, nseg};
+      const double one = 1.0;
+      auto issue = [&] {
+        switch (op) {
+          case Xfer::get:
+            spec.src_strides = {pitch};
+            spec.dst_strides = {seg_bytes};
+            armci::get_strided(bases[1], local, spec, 1);
+            break;
+          case Xfer::put:
+            spec.src_strides = {seg_bytes};
+            spec.dst_strides = {pitch};
+            armci::put_strided(local, bases[1], spec, 1);
+            break;
+          case Xfer::acc:
+            spec.src_strides = {seg_bytes};
+            spec.dst_strides = {pitch};
+            armci::acc_strided(armci::AccType::float64, &one, local, bases[1],
+                               spec, 1);
+            break;
+        }
+      };
+      issue();
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) issue();
+      const double secs = (mpisim::clock().now_ns() - t0) * 1e-9;
+      result =
+          static_cast<double>(seg_bytes * nseg) * reps / secs / kGiB;
+    }
+    armci::barrier();
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return result;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_COMMON_HPP

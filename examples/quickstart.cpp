@@ -1,0 +1,75 @@
+// Quickstart: the GA/ARMCI-MPI stack in one page.
+//
+// Starts a 4-process simulation on the InfiniBand-cluster profile, brings
+// up ARMCI over MPI RMA (the paper's contribution), allocates a global
+// array, and exercises the three one-sided primitives -- put, get,
+// accumulate -- plus a collective dot product. Run:
+//
+//     ./build/examples/quickstart
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/ga/ga.hpp"
+#include "src/mpisim/runtime.hpp"
+
+int main() {
+  mpisim::run(4, mpisim::Platform::infiniband, [] {
+    // 1. Initialize ARMCI on the MPI backend (ARMCI-MPI).
+    armci::Options opts;
+    opts.backend = armci::Backend::mpi;
+    armci::init(opts);
+
+    // 2. Create a 64x64 distributed array of doubles; each process owns a
+    //    block (here a 2x2 process grid of 32x32 blocks).
+    const std::int64_t dims[] = {64, 64};
+    ga::GlobalArray a = ga::GlobalArray::create("A", dims, ga::ElemType::dbl);
+    a.zero();
+
+    // 3. One process writes a patch that spans all four owners (paper
+    //    Fig. 2: one GA_Put -> several noncontiguous ARMCI operations).
+    if (mpisim::rank() == 0) {
+      ga::Patch patch;
+      patch.lo = {16, 16};
+      patch.hi = {47, 47};
+      std::vector<double> buf(32 * 32);
+      std::iota(buf.begin(), buf.end(), 1.0);
+      a.put(patch, buf.data());
+      std::printf("[rank 0] put a 32x32 patch spanning %zu owners\n",
+                  a.locate_region(patch).size());
+    }
+    a.sync();
+
+    // 4. Everyone accumulates into the same patch (atomic element-wise).
+    {
+      ga::Patch patch;
+      patch.lo = {16, 16};
+      patch.hi = {47, 47};
+      std::vector<double> ones(32 * 32, 1.0);
+      const double alpha = 0.25;
+      a.acc(patch, ones.data(), &alpha);
+    }
+    a.sync();
+
+    // 5. Read back one element and compute a global reduction.
+    if (mpisim::rank() == 2) {
+      ga::Patch one;
+      one.lo = {16, 16};
+      one.hi = {16, 16};
+      double v = 0.0;
+      a.get(one, &v);
+      std::printf("[rank 2] a(16,16) = %.2f (1 + 4 ranks * 0.25)\n", v);
+    }
+    const double norm2 = a.ddot(a);
+    if (mpisim::rank() == 0)
+      std::printf("[rank 0] ||A||^2 = %.2f, virtual time so far: %.1f us\n",
+                  norm2, mpisim::clock().now_ns() * 1e-3);
+
+    a.destroy();
+    armci::finalize();
+  });
+  std::puts("quickstart: OK");
+  return 0;
+}

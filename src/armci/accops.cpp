@@ -1,0 +1,87 @@
+#include "src/armci/accops.hpp"
+
+#include <cstdint>
+
+#include "src/mpisim/error.hpp"
+
+namespace armci {
+
+std::size_t acc_type_size(AccType t) noexcept {
+  switch (t) {
+    case AccType::int32: return 4;
+    case AccType::int64: return 8;
+    case AccType::float32: return 4;
+    case AccType::float64: return 8;
+  }
+  return 0;
+}
+
+mpisim::BasicType basic_type_of_acc(AccType t) noexcept {
+  switch (t) {
+    case AccType::int32: return mpisim::BasicType::int32;
+    case AccType::int64: return mpisim::BasicType::int64;
+    case AccType::float32: return mpisim::BasicType::float32;
+    case AccType::float64: return mpisim::BasicType::float64;
+  }
+  return mpisim::BasicType::byte_;
+}
+
+namespace {
+
+template <typename T, typename F>
+void for_each_elem(const void* scale, void* dst, const void* src,
+                   std::size_t bytes, F f) {
+  const T s = *static_cast<const T*>(scale);
+  auto* d = static_cast<T*>(dst);
+  const auto* x = static_cast<const T*>(src);
+  const std::size_t n = bytes / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) f(d[i], s, x[i]);
+}
+
+template <typename F>
+void dispatch(AccType t, const void* scale, void* dst, const void* src,
+              std::size_t bytes, F f) {
+  if (bytes % acc_type_size(t) != 0)
+    mpisim::raise(mpisim::Errc::invalid_argument,
+                  "accumulate length not a multiple of the element size");
+  switch (t) {
+    case AccType::int32:
+      for_each_elem<std::int32_t>(scale, dst, src, bytes, f);
+      return;
+    case AccType::int64:
+      for_each_elem<std::int64_t>(scale, dst, src, bytes, f);
+      return;
+    case AccType::float32:
+      for_each_elem<float>(scale, dst, src, bytes, f);
+      return;
+    case AccType::float64:
+      for_each_elem<double>(scale, dst, src, bytes, f);
+      return;
+  }
+}
+
+}  // namespace
+
+bool scale_is_identity(AccType t, const void* scale) noexcept {
+  switch (t) {
+    case AccType::int32: return *static_cast<const std::int32_t*>(scale) == 1;
+    case AccType::int64: return *static_cast<const std::int64_t*>(scale) == 1;
+    case AccType::float32: return *static_cast<const float*>(scale) == 1.0f;
+    case AccType::float64: return *static_cast<const double*>(scale) == 1.0;
+  }
+  return false;
+}
+
+void scale_buffer(AccType t, const void* scale, void* dst, const void* src,
+                  std::size_t bytes) {
+  dispatch(t, scale, dst, src, bytes,
+           [](auto& d, auto s, auto x) { d = s * x; });
+}
+
+void scaled_accumulate(AccType t, const void* scale, void* dst,
+                       const void* src, std::size_t bytes) {
+  dispatch(t, scale, dst, src, bytes,
+           [](auto& d, auto s, auto x) { d += s * x; });
+}
+
+}  // namespace armci

@@ -1,0 +1,37 @@
+#ifndef ARMCI_ACCOPS_HPP
+#define ARMCI_ACCOPS_HPP
+
+/// \file accops.hpp
+/// Scaled-accumulate element arithmetic.
+///
+/// ARMCI's accumulate is dst += scale * src with a typed scale factor;
+/// MPI's accumulate has no scale, so the MPI backend scales the source into
+/// a temporary buffer and issues MPI_Accumulate(MPI_SUM) (paper §IV-A: the
+/// CHT provides double-precision accumulate natively; here MPI provides the
+/// sum and we provide the scaling).
+
+#include <cstddef>
+
+#include "src/armci/types.hpp"
+#include "src/mpisim/op.hpp"
+
+namespace armci {
+
+/// mpisim element type corresponding to an AccType.
+mpisim::BasicType basic_type_of_acc(AccType t) noexcept;
+
+/// True if \p scale (one element of type \p t) equals 1.
+bool scale_is_identity(AccType t, const void* scale) noexcept;
+
+/// dst[i] = scale * src[i] over bytes/sizeof(element) elements.
+void scale_buffer(AccType t, const void* scale, void* dst, const void* src,
+                  std::size_t bytes);
+
+/// dst[i] += scale * src[i] over bytes/sizeof(element) elements (the native
+/// backend's CHT-style fused accumulate).
+void scaled_accumulate(AccType t, const void* scale, void* dst,
+                       const void* src, std::size_t bytes);
+
+}  // namespace armci
+
+#endif  // ARMCI_ACCOPS_HPP

@@ -1,0 +1,514 @@
+#include "src/armci/armci.hpp"
+
+#include <cstring>
+#include <thread>
+
+#include "src/armci/accops.hpp"
+#include "src/armci/backend_mpi.hpp"
+#include "src/armci/backend_mpi3.hpp"
+#include "src/armci/backend_native.hpp"
+#include "src/armci/state.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+using mpisim::Errc;
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void init(const Options& opts) {
+  mpisim::RankContext& me = mpisim::ctx();
+  if (me.user_state != nullptr)
+    mpisim::raise(Errc::invalid_argument, "ARMCI already initialized");
+
+  auto st = std::make_unique<ProcState>(mpisim::nranks());
+  st->opts = opts;
+  st->world = PGroup::world();
+  switch (opts.backend) {
+    case Backend::mpi:
+      st->backend = std::make_unique<MpiBackend>(st.get());
+      break;
+    case Backend::native:
+      st->backend = std::make_unique<NativeBackend>(st.get());
+      break;
+    case Backend::mpi3:
+      st->backend = std::make_unique<Mpi3Backend>(st.get());
+      break;
+  }
+  me.user_state = st.release();
+  me.user_state_cleanup = [&me] {
+    delete static_cast<ProcState*>(me.user_state);
+    me.user_state = nullptr;
+  };
+  mpisim::world().barrier();
+}
+
+void finalize() {
+  ProcState& st = state();
+  // Free any remaining allocations (collective, in consistent order since
+  // the tables are replicated).
+  for (const auto& gmr : st.table.all()) {
+    st.backend->gmr_freeing(*gmr);
+    st.table.remove(*gmr);
+  }
+  if (st.mutexes_exist) {
+    st.backend->mutexes_destroy();
+    st.mutexes_exist = false;
+  }
+  mpisim::world().barrier();
+  mpisim::RankContext& me = mpisim::ctx();
+  delete static_cast<ProcState*>(me.user_state);
+  me.user_state = nullptr;
+  me.user_state_cleanup = nullptr;
+}
+
+bool initialized() noexcept { return state_if_initialized() != nullptr; }
+
+const Options& options() { return state().opts; }
+
+const Stats& stats() { return state().stats; }
+
+void reset_stats() { state().stats = Stats{}; }
+
+// ---------------------------------------------------------------------------
+// Global memory
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<void*> malloc_impl(std::size_t bytes, const PGroup& group) {
+  ProcState& st = state();
+  const int n = group.size();
+
+  auto gmr = std::make_shared<Gmr>();
+  gmr->group = group;
+  gmr->bases.resize(static_cast<std::size_t>(n));
+  gmr->sizes.resize(static_cast<std::size_t>(n));
+
+  // Allocate the local slice; its lifetime is owned by the GMR record on
+  // the owning process (freed collectively via armci::free).
+  void* base = nullptr;
+  if (bytes > 0) base = ::operator new(bytes);
+
+  // §V-B: all participants exchange their base addresses to build the base
+  // address vector returned to the user; zero-size slices contribute NULL.
+  struct Info {
+    std::uintptr_t base;
+    std::size_t size;
+  };
+  Info mine{reinterpret_cast<std::uintptr_t>(base), bytes};
+  std::vector<Info> all(static_cast<std::size_t>(n));
+  group.comm().allgather(&mine, all.data(), sizeof(Info));
+  for (int r = 0; r < n; ++r) {
+    gmr->bases[static_cast<std::size_t>(r)] =
+        reinterpret_cast<void*>(all[static_cast<std::size_t>(r)].base);
+    gmr->sizes[static_cast<std::size_t>(r)] =
+        all[static_cast<std::size_t>(r)].size;
+  }
+
+  // Agree on an id (leader's counter, unique via leader world rank).
+  static thread_local std::uint64_t counter = 0;
+  std::uint64_t id =
+      (static_cast<std::uint64_t>(group.absolute_id(0)) << 32) | counter;
+  group.comm().bcast(&id, sizeof id, 0);
+  if (group.rank() == 0) ++counter;
+  gmr->id = id;
+
+  st.backend->gmr_created(*gmr);
+  st.table.insert(gmr);
+  ++st.stats.allocations;
+  return gmr->bases;
+}
+
+}  // namespace
+
+std::vector<void*> malloc_world(std::size_t bytes) {
+  return malloc_impl(bytes, state().world);
+}
+
+std::vector<void*> malloc_group(std::size_t bytes, const PGroup& group) {
+  return malloc_impl(bytes, group);
+}
+
+void free(void* ptr) { free_group(ptr, state().world); }
+
+void free_group(void* ptr, const PGroup& group) {
+  ProcState& st = state();
+
+  // §V-B: a zero-size participant passes NULL and cannot identify the GMR
+  // itself (its table may hold several NULL-base entries). Locate it via
+  // leader election: processes holding a non-NULL address put forward
+  // their group rank; the maximum wins and broadcasts its address, and
+  // everyone looks the handle up by <leader, address> in the replicated
+  // table.
+  GmrLoc loc;
+  if (ptr != nullptr) loc = st.table.find(mpisim::rank(), ptr, 0);
+
+  if (ptr != nullptr && !loc.gmr)
+    mpisim::raise(Errc::invalid_argument,
+                  "armci::free of a non-global pointer");
+
+  const std::int64_t my_vote = loc.gmr ? group.rank() : -1;
+  std::int64_t leader = -1;
+  group.comm().allreduce(&my_vote, &leader, 1, mpisim::BasicType::int64,
+                         mpisim::Op::max);
+  if (leader < 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "armci::free: no process supplied a valid pointer");
+  std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(ptr);
+  group.comm().bcast(&addr, sizeof addr, static_cast<int>(leader));
+  const int leader_proc = group.absolute_id(static_cast<int>(leader));
+  GmrLoc found =
+      st.table.require(leader_proc, reinterpret_cast<void*>(addr), 0);
+  std::shared_ptr<Gmr> gmr = found.gmr;
+
+  st.backend->gmr_freeing(*gmr);
+  st.table.remove(*gmr);
+  ++st.stats.frees;
+  const int me = gmr->group.rank();
+  void* mine = gmr->bases[static_cast<std::size_t>(me)];
+  if (mine != nullptr) ::operator delete(mine);
+}
+
+void* malloc_local(std::size_t bytes) {
+  ProcState& st = state();
+  auto buf = std::make_unique<std::uint8_t[]>(bytes);
+  void* p = buf.get();
+  // Local buffers from ARMCI's allocator come from the pre-pinned pool
+  // (paper Fig. 5: "ARMCI Alloc" local buffers take the fast path).
+  mpisim::ctx().native_reg().register_prepinned(p, bytes);
+  st.local_allocs.emplace(p, std::move(buf));
+  return p;
+}
+
+void free_local(void* ptr) {
+  ProcState& st = state();
+  if (st.local_allocs.erase(ptr) == 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "free_local of an unknown pointer");
+}
+
+// ---------------------------------------------------------------------------
+// Contiguous operations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const double kUnitScaleD = 1.0;
+
+void contig_op(OneSided kind, const void* remote, void* local,
+               std::size_t bytes, int proc, AccType at, const void* scale) {
+  if (bytes == 0) return;
+  ProcState& st = state();
+  GmrLoc loc = st.table.require(proc, remote, bytes);
+  st.backend->contig(kind, loc, local, bytes, at, scale);
+}
+
+}  // namespace
+
+void put(const void* src, void* dst, std::size_t bytes, int proc) {
+  Stats& st = state().stats;
+  ++st.puts;
+  st.put_bytes += bytes;
+  contig_op(OneSided::put, dst, const_cast<void*>(src), bytes, proc,
+            AccType::float64, &kUnitScaleD);
+}
+
+void get(const void* src, void* dst, std::size_t bytes, int proc) {
+  Stats& st = state().stats;
+  ++st.gets;
+  st.get_bytes += bytes;
+  contig_op(OneSided::get, src, dst, bytes, proc, AccType::float64,
+            &kUnitScaleD);
+}
+
+void acc(AccType type, const void* scale, const void* src, void* dst,
+         std::size_t bytes, int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  if (bytes % acc_type_size(type) != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "accumulate length not a multiple of the element size");
+  Stats& st = state().stats;
+  ++st.accs;
+  st.acc_bytes += bytes;
+  contig_op(OneSided::acc, dst, const_cast<void*>(src), bytes, proc, type,
+            scale);
+}
+
+// ---------------------------------------------------------------------------
+// Noncontiguous operations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void count_iov(std::span<const Giov> iov) {
+  Stats& st = state().stats;
+  ++st.iov_ops;
+  for (const Giov& g : iov) {
+    st.iov_segments += g.src.size();
+    st.iov_bytes += g.bytes * g.src.size();
+  }
+}
+
+}  // namespace
+
+void put_iov(std::span<const Giov> iov, int proc) {
+  count_iov(iov);
+  state().backend->iov(OneSided::put, iov, proc, AccType::float64,
+                       &kUnitScaleD);
+}
+
+void get_iov(std::span<const Giov> iov, int proc) {
+  count_iov(iov);
+  state().backend->iov(OneSided::get, iov, proc, AccType::float64,
+                       &kUnitScaleD);
+}
+
+void acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
+             int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  count_iov(iov);
+  state().backend->iov(OneSided::acc, iov, proc, type, scale);
+}
+
+namespace {
+
+void count_strided(const StridedSpec& spec) {
+  Stats& st = state().stats;
+  ++st.strided_ops;
+  std::uint64_t bytes = 1;
+  for (std::size_t c : spec.count) bytes *= c;
+  st.strided_bytes += bytes;
+}
+
+}  // namespace
+
+void put_strided(const void* src, void* dst, const StridedSpec& spec,
+                 int proc) {
+  count_strided(spec);
+  state().backend->strided(OneSided::put, src, dst, spec, proc,
+                           AccType::float64, &kUnitScaleD);
+}
+
+void get_strided(const void* src, void* dst, const StridedSpec& spec,
+                 int proc) {
+  count_strided(spec);
+  state().backend->strided(OneSided::get, src, dst, spec, proc,
+                           AccType::float64, &kUnitScaleD);
+}
+
+void acc_strided(AccType type, const void* scale, const void* src, void* dst,
+                 const StridedSpec& spec, int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  count_strided(spec);
+  state().backend->strided(OneSided::acc, src, dst, spec, proc, type, scale);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking variants
+// ---------------------------------------------------------------------------
+
+Request nb_put(const void* src, void* dst, std::size_t bytes, int proc) {
+  put(src, dst, bytes, proc);
+  return Request();  // complete: per-op epochs finish before returning
+}
+
+Request nb_get(const void* src, void* dst, std::size_t bytes, int proc) {
+  get(src, dst, bytes, proc);
+  return Request();
+}
+
+Request nb_acc(AccType type, const void* scale, const void* src, void* dst,
+               std::size_t bytes, int proc) {
+  acc(type, scale, src, dst, bytes, proc);
+  return Request();
+}
+
+Request nb_put_strided(const void* src, void* dst, const StridedSpec& spec,
+                       int proc) {
+  put_strided(src, dst, spec, proc);
+  return Request();
+}
+
+Request nb_get_strided(const void* src, void* dst, const StridedSpec& spec,
+                       int proc) {
+  get_strided(src, dst, spec, proc);
+  return Request();
+}
+
+Request nb_acc_strided(AccType type, const void* scale, const void* src,
+                       void* dst, const StridedSpec& spec, int proc) {
+  acc_strided(type, scale, src, dst, spec, proc);
+  return Request();
+}
+
+Request nb_put_iov(std::span<const Giov> iov, int proc) {
+  put_iov(iov, proc);
+  return Request();
+}
+
+Request nb_get_iov(std::span<const Giov> iov, int proc) {
+  get_iov(iov, proc);
+  return Request();
+}
+
+Request nb_acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
+                   int proc) {
+  acc_iov(type, scale, iov, proc);
+  return Request();
+}
+
+void wait(Request& req) { (void)req; }
+
+void wait_proc(int proc) { (void)state(); (void)proc; }
+
+void wait_all() { (void)state(); }
+
+// ---------------------------------------------------------------------------
+// Completion and synchronization
+// ---------------------------------------------------------------------------
+
+void fence(int proc) {
+  ProcState& st = state();
+  ++st.stats.fences;
+  st.backend->fence(proc);
+}
+
+void fence_all() {
+  ProcState& st = state();
+  ++st.stats.fences;
+  st.backend->fence_all();
+}
+
+void barrier() {
+  ProcState& st = state();
+  ++st.stats.barriers;
+  st.backend->fence_all();
+  st.world.barrier();
+}
+
+void msg_send(const void* buf, std::size_t bytes, int proc, int tag) {
+  state().world.comm().send(buf, bytes, proc, tag);
+}
+
+void msg_recv(void* buf, std::size_t bytes, int proc, int tag) {
+  state().world.comm().recv(buf, bytes, proc, tag);
+}
+
+void put_notify(const void* src, void* dst, std::size_t bytes, int* flag,
+                int value, int proc) {
+  // Location consistency: the target observes this origin's operations in
+  // issue order, so data-then-flag is safe. On the MPI backend each op
+  // completes remotely inside its own epoch before the next is issued
+  // (§V-F); the native backend needs an explicit fence between the two.
+  put(src, dst, bytes, proc);
+  fence(proc);
+  put(&value, flag, sizeof value, proc);
+  fence(proc);
+}
+
+void wait_notify(const int* flag, int value) {
+  ProcState& st = state();
+  // The flag must be globally accessible local memory; poll it under
+  // direct local access so the poll does not race the remote flag write.
+  GmrLoc loc = st.table.require(mpisim::rank(), flag, sizeof(int));
+  for (;;) {
+    st.backend->access_begin(loc);
+    const int v = *flag;
+    st.backend->access_end(loc);
+    if (v == value) return;
+    // Yield the host thread so the producer can make progress, and charge
+    // a poll interval to the virtual clock.
+    mpisim::clock().advance(100.0);
+    std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutexes and RMW
+// ---------------------------------------------------------------------------
+
+void create_mutexes(int count) {
+  ProcState& st = state();
+  if (st.mutexes_exist)
+    mpisim::raise(Errc::invalid_argument,
+                  "a mutex set already exists (ARMCI allows one)");
+  if (count < 0) mpisim::raise(Errc::invalid_argument, "negative mutex count");
+  st.backend->mutexes_create(count);
+  st.mutexes_exist = true;
+  st.mutex_count = count;
+}
+
+void destroy_mutexes() {
+  ProcState& st = state();
+  if (!st.mutexes_exist)
+    mpisim::raise(Errc::invalid_argument, "no mutex set exists");
+  st.backend->mutexes_destroy();
+  st.mutexes_exist = false;
+  st.mutex_count = 0;
+}
+
+void lock(int mutex, int proc) {
+  ProcState& st = state();
+  if (!st.mutexes_exist || mutex < 0 || mutex >= st.mutex_count)
+    mpisim::raise(Errc::invalid_argument, "invalid mutex");
+  ++st.stats.mutex_locks;
+  st.backend->mutex_lock(mutex, proc);
+}
+
+void unlock(int mutex, int proc) {
+  ProcState& st = state();
+  if (!st.mutexes_exist || mutex < 0 || mutex >= st.mutex_count)
+    mpisim::raise(Errc::invalid_argument, "invalid mutex");
+  st.backend->mutex_unlock(mutex, proc);
+}
+
+void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc) {
+  if (ploc == nullptr || prem == nullptr)
+    mpisim::raise(Errc::invalid_argument, "rmw with null pointer");
+  ProcState& st = state();
+  ++st.stats.rmws;
+  st.backend->rmw(op, ploc, prem, extra, proc);
+}
+
+// ---------------------------------------------------------------------------
+// Direct local access and access modes
+// ---------------------------------------------------------------------------
+
+void access_begin(void* ptr) {
+  ProcState& st = state();
+  GmrLoc loc = st.table.require(mpisim::rank(), ptr, 0);
+  if (st.open_accesses.contains(ptr))
+    mpisim::raise(Errc::invalid_argument,
+                  "access_begin: region already open");
+  st.backend->access_begin(loc);
+  st.open_accesses.emplace(ptr, loc);
+}
+
+void access_end(void* ptr) {
+  ProcState& st = state();
+  auto it = st.open_accesses.find(ptr);
+  if (it == st.open_accesses.end())
+    mpisim::raise(Errc::invalid_argument,
+                  "access_end without matching access_begin");
+  st.backend->access_end(it->second);
+  st.open_accesses.erase(it);
+}
+
+void set_access_mode(AccessMode mode, void* ptr) {
+  ProcState& st = state();
+  GmrLoc loc = st.table.require(mpisim::rank(), ptr, 0);
+  // Collective over the allocation group: all members must agree on the
+  // mode before any further operation targets the GMR.
+  loc.gmr->group.barrier();
+  loc.gmr->mode = mode;
+  loc.gmr->group.barrier();
+}
+
+}  // namespace armci

@@ -1,0 +1,238 @@
+#ifndef ARMCI_ARMCI_HPP
+#define ARMCI_ARMCI_HPP
+
+/// \file armci.hpp
+/// Public API of the ARMCI runtime (paper §IV-§VI).
+///
+/// ARMCI is the low-level PGAS communication substrate beneath Global
+/// Arrays: collective allocation of globally accessible memory, one-sided
+/// contiguous / strided / I/O-vector put, get, and accumulate on absolute
+/// process ids, mutexes and read-modify-write atomics, and process groups.
+/// Two backends implement this interface (selected in Options::backend):
+///
+///  - Backend::mpi -- the paper's contribution: every operation is mapped
+///    onto MPI-2 passive-target RMA through the GMR translation layer, with
+///    each op in its own exclusive-lock epoch (so ARMCI's location
+///    consistency holds and Fence is a no-op), noncontiguous transfers via
+///    the conservative/batched/direct/auto IOV methods and direct subarray
+///    datatypes, mutexes via the Latham et al. queueing algorithm, and RMW
+///    via a per-GMR mutex.
+///
+///  - Backend::native -- the baseline: the aggressively tuned vendor ARMCI,
+///    modeled as direct remote-memory access with pre-pinned buffers and a
+///    communication-helper-thread cost profile. Put/accumulate complete
+///    locally on return; remote completion requires fence().
+///
+/// All functions must be called from inside mpisim::run() after init().
+/// Process ids are *absolute* (world) ranks, as in real ARMCI; group-rank
+/// translation goes through PGroup::absolute_id (ARMCI_Absolute_id).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/armci/groups.hpp"
+#include "src/armci/stats.hpp"
+#include "src/armci/types.hpp"
+
+namespace armci {
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+/// Collectively initialize ARMCI on the world. Must precede all other calls.
+void init(const Options& opts = {});
+
+/// Collectively shut down: frees remaining allocations and mutexes.
+void finalize();
+
+/// True between init() and finalize() on this process.
+bool initialized() noexcept;
+
+/// The active configuration.
+const Options& options();
+
+/// Operation counters of the calling process (see stats.hpp).
+const Stats& stats();
+
+/// Zero the calling process's operation counters.
+void reset_stats();
+
+// ---------------------------------------------------------------------------
+// Global memory (paper §V-B)
+// ---------------------------------------------------------------------------
+
+/// Collective over the world: allocate \p bytes of globally accessible
+/// memory on every process and return the base-address vector, indexed by
+/// world rank (ARMCI_Malloc). A process may pass bytes == 0; its entry is
+/// null.
+std::vector<void*> malloc_world(std::size_t bytes);
+
+/// Collective over \p group (ARMCI_Malloc_group). The returned vector is
+/// indexed by *group* rank; entries for zero-size allocations are null.
+std::vector<void*> malloc_group(std::size_t bytes, const PGroup& group);
+
+/// Collective over the world: free a world allocation (ARMCI_Free).
+/// Processes whose slice was empty pass nullptr; the GMR is located via
+/// leader election + lookup (paper §V-B).
+void free(void* ptr);
+
+/// Collective over \p group: free a group allocation (ARMCI_Free_group).
+void free_group(void* ptr, const PGroup& group);
+
+/// Plain local (non-global) memory helpers (ARMCI_Malloc_local). On the
+/// native backend this memory comes from the pre-pinned pool; buffers from
+/// ordinary new/malloc take the slower nonpinned path (paper Fig. 5).
+void* malloc_local(std::size_t bytes);
+void free_local(void* ptr);
+
+// ---------------------------------------------------------------------------
+// Contiguous one-sided operations (paper §IV-A)
+// ---------------------------------------------------------------------------
+
+/// Put \p bytes from local \p src to \p dst on process \p proc. Locally
+/// complete on return.
+void put(const void* src, void* dst, std::size_t bytes, int proc);
+
+/// Get \p bytes from \p src on process \p proc into local \p dst. Both
+/// locally and remotely complete on return.
+void get(const void* src, void* dst, std::size_t bytes, int proc);
+
+/// Accumulate: dst[i] += scale * src[i] on process \p proc, element type
+/// \p type. \p scale points to one element of that type.
+void acc(AccType type, const void* scale, const void* src, void* dst,
+         std::size_t bytes, int proc);
+
+// ---------------------------------------------------------------------------
+// Noncontiguous operations (paper §VI)
+// ---------------------------------------------------------------------------
+
+/// Generalized I/O vector put/get/acc (ARMCI_PutV/GetV/AccV). All
+/// descriptors' dst (put/acc) or src (get) addresses must be global; the
+/// transfer method is Options::iov_method.
+void put_iov(std::span<const Giov> iov, int proc);
+void get_iov(std::span<const Giov> iov, int proc);
+void acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
+             int proc);
+
+/// Strided put/get/acc in GA/ARMCI notation (ARMCI_PutS/GetS/AccS; paper
+/// Table I). \p src / \p dst are the first-element addresses; the transfer
+/// method is Options::strided_method.
+void put_strided(const void* src, void* dst, const StridedSpec& spec,
+                 int proc);
+void get_strided(const void* src, void* dst, const StridedSpec& spec,
+                 int proc);
+void acc_strided(AccType type, const void* scale, const void* src, void* dst,
+                 const StridedSpec& spec, int proc);
+
+// ---------------------------------------------------------------------------
+// Nonblocking variants (ARMCI_NbPut/NbGet/NbAcc + Wait)
+// ---------------------------------------------------------------------------
+
+Request nb_put(const void* src, void* dst, std::size_t bytes, int proc);
+Request nb_get(const void* src, void* dst, std::size_t bytes, int proc);
+Request nb_acc(AccType type, const void* scale, const void* src, void* dst,
+               std::size_t bytes, int proc);
+
+/// Nonblocking strided variants (ARMCI_NbPutS/NbGetS/NbAccS).
+Request nb_put_strided(const void* src, void* dst, const StridedSpec& spec,
+                       int proc);
+Request nb_get_strided(const void* src, void* dst, const StridedSpec& spec,
+                       int proc);
+Request nb_acc_strided(AccType type, const void* scale, const void* src,
+                       void* dst, const StridedSpec& spec, int proc);
+
+/// Nonblocking I/O-vector variants (ARMCI_NbPutV/NbGetV/NbAccV).
+Request nb_put_iov(std::span<const Giov> iov, int proc);
+Request nb_get_iov(std::span<const Giov> iov, int proc);
+Request nb_acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
+                   int proc);
+
+/// Block until \p req is locally complete.
+void wait(Request& req);
+
+/// Block until all outstanding nonblocking ops to \p proc are complete.
+void wait_proc(int proc);
+
+/// Block until all outstanding nonblocking ops are complete.
+void wait_all();
+
+// ---------------------------------------------------------------------------
+// Completion and synchronization (paper §IV-A, §V-F)
+// ---------------------------------------------------------------------------
+
+/// Ensure remote completion of all put/acc issued to \p proc. A no-op on
+/// Backend::mpi (per-op epochs already completed remotely).
+void fence(int proc);
+
+/// fence() to every process.
+void fence_all();
+
+/// World barrier including fence_all() (ARMCI_Barrier).
+void barrier();
+
+/// Two-sided helpers used by GA for bootstrap (ARMCI_Send/ARMCI_Recv).
+void msg_send(const void* buf, std::size_t bytes, int proc, int tag);
+void msg_recv(void* buf, std::size_t bytes, int proc, int tag);
+
+/// Put-with-notify (ARMCI_Put_flag): transfer \p bytes to \p dst on
+/// \p proc, then set the int at \p flag (also on \p proc) to \p value.
+/// ARMCI guarantees the flag write is ordered after the data write, so a
+/// consumer spinning on the flag (wait_notify) observes complete data --
+/// the producer/consumer idiom location consistency enables (paper §IV-A).
+void put_notify(const void* src, void* dst, std::size_t bytes, int* flag,
+                int value, int proc);
+
+/// Consumer side of put_notify: wait until the local flag (which must lie
+/// in global space on the calling process) becomes \p value.
+void wait_notify(const int* flag, int value);
+
+// ---------------------------------------------------------------------------
+// Mutexes and read-modify-write (paper §V-D)
+// ---------------------------------------------------------------------------
+
+/// Collective over the world: every process creates \p count mutexes that
+/// it will host (ARMCI_Create_mutexes). Only one mutex set may exist.
+void create_mutexes(int count);
+
+/// Collective destroy of the mutex set (ARMCI_Destroy_mutexes).
+void destroy_mutexes();
+
+/// Acquire mutex \p mutex hosted on \p proc (blocking, fair, remote-light:
+/// a blocked process waits on a message rather than polling the network).
+void lock(int mutex, int proc);
+
+/// Release mutex \p mutex hosted on \p proc, forwarding it to the next
+/// enqueued requester if any.
+void unlock(int mutex, int proc);
+
+/// Atomic read-modify-write on a global int32/int64 location \p prem on
+/// process \p proc (ARMCI_Rmw). For fetch_and_add*, \p extra is the
+/// increment and the previous value is stored to \p ploc. For swap*, the
+/// value at \p ploc is exchanged with the remote location. Atomic only with
+/// respect to other rmw() calls, as in ARMCI.
+void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc);
+
+// ---------------------------------------------------------------------------
+// Direct local access (paper §V-E, §VIII-A extension)
+// ---------------------------------------------------------------------------
+
+/// Begin direct load/store access to \p ptr, which must lie in a global
+/// allocation on the calling process (ARMCI_Access_begin). On Backend::mpi
+/// this takes an exclusive self-epoch so local access cannot conflict with
+/// remote access; remote ops targeting the region block until access_end().
+void access_begin(void* ptr);
+
+/// End direct local access started by access_begin().
+void access_end(void* ptr);
+
+/// Collective over the allocation's group: declare the access pattern of
+/// the allocation containing \p ptr (paper §VIII-A). read_only and
+/// accumulate_only let the MPI backend use shared-lock epochs, removing
+/// target-side serialization.
+void set_access_mode(AccessMode mode, void* ptr);
+
+}  // namespace armci
+
+#endif  // ARMCI_ARMCI_HPP

@@ -1,0 +1,76 @@
+#ifndef ARMCI_BACKEND_HPP
+#define ARMCI_BACKEND_HPP
+
+/// \file backend.hpp
+/// The backend interface both ARMCI implementations satisfy.
+///
+/// The public ARMCI API (armci.hpp) validates arguments, resolves global
+/// addresses through the GMR table, and dispatches here. MpiBackend
+/// (backend_mpi.*) is the paper's contribution; NativeBackend
+/// (backend_native.*) is the tuned-vendor-ARMCI baseline the paper
+/// compares against.
+
+#include <cstdint>
+#include <span>
+
+#include "src/armci/gmr.hpp"
+#include "src/armci/types.hpp"
+
+namespace armci {
+
+struct ProcState;
+
+/// Kind of one-sided data transfer.
+enum class OneSided { put, get, acc };
+
+/// Per-process backend instance. All methods are called on the owning
+/// process's thread; collective methods are documented as such.
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  /// Backend-specific GMR setup (window/mutex creation). Collective over
+  /// gmr.group; called by malloc after the base-address exchange.
+  virtual void gmr_created(Gmr& gmr) = 0;
+
+  /// Backend-specific GMR teardown. Collective over gmr.group.
+  virtual void gmr_freeing(Gmr& gmr) = 0;
+
+  /// Contiguous transfer between the local buffer \p local and the global
+  /// location \p loc. For acc, \p scale points to one AccType element
+  /// (never null here; identity is still applied via MPI_SUM).
+  virtual void contig(OneSided kind, const GmrLoc& loc, void* local,
+                      std::size_t bytes, AccType at, const void* scale) = 0;
+
+  /// Generalized I/O vector transfer to/from \p proc (absolute id).
+  virtual void iov(OneSided kind, std::span<const Giov> vec, int proc,
+                   AccType at, const void* scale) = 0;
+
+  /// Strided transfer in GA/ARMCI notation to/from \p proc.
+  virtual void strided(OneSided kind, const void* src, void* dst,
+                       const StridedSpec& spec, int proc, AccType at,
+                       const void* scale) = 0;
+
+  /// Remote completion of prior put/acc to \p proc.
+  virtual void fence(int proc) = 0;
+  virtual void fence_all() = 0;
+
+  /// Atomic read-modify-write on a global location (paper §V-D).
+  virtual void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
+                   int proc) = 0;
+
+  /// World mutexes (ARMCI_Create_mutexes family). create/destroy are
+  /// collective over the world.
+  virtual void mutexes_create(int count) = 0;
+  virtual void mutexes_destroy() = 0;
+  virtual void mutex_lock(int m, int proc) = 0;
+  virtual void mutex_unlock(int m, int proc) = 0;
+
+  /// Direct local access (paper §V-E): \p loc is on the calling process.
+  virtual void access_begin(const GmrLoc& loc) = 0;
+  virtual void access_end(const GmrLoc& loc) = 0;
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_BACKEND_HPP

@@ -1,0 +1,229 @@
+#include "src/armci/backend_mpi3.hpp"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/armci/accops.hpp"
+#include "src/armci/state.hpp"
+#include "src/armci/strided.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+using mpisim::Datatype;
+using mpisim::Errc;
+
+void Mpi3Backend::gmr_created(Gmr& gmr) {
+  const int me = gmr.group.rank();
+  gmr.win = mpisim::Win::create(gmr.bases[static_cast<std::size_t>(me)],
+                                gmr.sizes[static_cast<std::size_t>(me)],
+                                gmr.group.comm());
+  // Epochless mode: one shared lock_all epoch for the window's lifetime.
+  gmr.win.lock_all();
+  gmr.group.barrier();
+  // No per-GMR RMW mutex: MPI-3 provides atomic fetch_and_op directly.
+}
+
+void Mpi3Backend::gmr_freeing(Gmr& gmr) {
+  gmr.win.flush_all();
+  gmr.group.barrier();
+  gmr.win.unlock_all();
+  gmr.win.free();
+}
+
+void Mpi3Backend::issue(OneSided kind, const Gmr& gmr, int grank,
+                        std::size_t disp, void* local, std::size_t count,
+                        const Datatype& ltype, const Datatype& rtype,
+                        AccType at, const void* scale) const {
+  switch (kind) {
+    case OneSided::put:
+      // Put as accumulate(REPLACE): element-atomic, so concurrent updates
+      // under the shared lock_all epoch are defined (§VIII-B item 1).
+      gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
+                         mpisim::Op::replace);
+      return;
+    case OneSided::get:
+      gmr.win.get(local, count, ltype, grank, disp, count, rtype);
+      gmr.win.flush(grank);  // blocking-get semantics
+      return;
+    case OneSided::acc: {
+      if (!scale_is_identity(at, scale)) {
+        const std::size_t bytes = count * ltype.size();
+        std::vector<std::uint8_t> temp(bytes);
+        ltype.pack(local, count, temp.data());
+        scale_buffer(at, scale, temp.data(), temp.data(), bytes);
+        mpisim::clock().advance(2.0 * mpisim::model().pack_ns(bytes));
+        const std::size_t esz = acc_type_size(at);
+        const Datatype ct = Datatype::contiguous(
+            bytes / esz, Datatype::basic(basic_type_of_acc(at)));
+        gmr.win.accumulate(temp.data(), 1, ct, grank, disp, count, rtype,
+                           mpisim::Op::sum);
+        return;
+      }
+      gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
+                         mpisim::Op::sum);
+      return;
+    }
+  }
+}
+
+void Mpi3Backend::contig(OneSided kind, const GmrLoc& loc, void* local,
+                         std::size_t bytes, AccType at, const void* scale) {
+  const Gmr& gmr = *loc.gmr;
+  if (kind == OneSided::acc) {
+    const std::size_t esz = acc_type_size(at);
+    const Datatype d = Datatype::basic(basic_type_of_acc(at));
+    const Datatype ct = Datatype::contiguous(bytes / esz, d);
+    issue(kind, gmr, loc.target_rank, loc.offset, local, 1, ct, ct, at,
+          scale);
+  } else {
+    const Datatype bt = Datatype::contiguous(bytes, mpisim::byte_type());
+    issue(kind, gmr, loc.target_rank, loc.offset, local, 1, bt, bt, at,
+          scale);
+  }
+}
+
+void Mpi3Backend::iov(OneSided kind, std::span<const Giov> vec, int proc,
+                      AccType at, const void* scale) {
+  // Direct datatype method per GMR group, under the standing epoch. No
+  // overlap scan is needed: conflicting accumulate-class operations are
+  // defined (same-op) or merely undefined (MPI-3), never fatal.
+  const bool is_get = kind == OneSided::get;
+  for (const Giov& g : vec) {
+    if (g.src.size() != g.dst.size())
+      mpisim::raise(Errc::invalid_argument, "IOV src/dst length mismatch");
+    if (g.src.empty() || g.bytes == 0) continue;
+
+    const mpisim::BasicType elem = kind == OneSided::acc
+                                       ? basic_type_of_acc(at)
+                                       : mpisim::BasicType::byte_;
+    const std::size_t esz = mpisim::basic_type_size(elem);
+    if (g.bytes % esz != 0)
+      mpisim::raise(Errc::invalid_argument,
+                    "IOV segment length not a multiple of the element size");
+
+    // Group segments by owning GMR.
+    std::vector<GmrLoc> locs(g.src.size());
+    std::map<const Gmr*, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < g.src.size(); ++i) {
+      const void* remote = is_get ? g.src[i] : g.dst[i];
+      locs[i] = st_->table.require(proc, remote, g.bytes);
+      groups[locs[i].gmr.get()].push_back(i);
+    }
+
+    for (const auto& [gmr_ptr, idxs] : groups) {
+      const Gmr& gmr = *locs[idxs.front()].gmr;
+      const int grank = locs[idxs.front()].target_rank;
+      const std::vector<std::size_t> blocklens(idxs.size(), g.bytes / esz);
+      std::vector<std::ptrdiff_t> rdispls(idxs.size());
+      const std::uint8_t* lbase = nullptr;
+      for (std::size_t k = 0; k < idxs.size(); ++k) {
+        rdispls[k] = static_cast<std::ptrdiff_t>(locs[idxs[k]].offset);
+        const void* local = is_get ? g.dst[idxs[k]] : g.src[idxs[k]];
+        const auto* p = static_cast<const std::uint8_t*>(local);
+        if (lbase == nullptr || p < lbase) lbase = p;
+      }
+      std::vector<std::ptrdiff_t> ldispls(idxs.size());
+      for (std::size_t k = 0; k < idxs.size(); ++k) {
+        const void* local = is_get ? g.dst[idxs[k]] : g.src[idxs[k]];
+        ldispls[k] = static_cast<const std::uint8_t*>(local) - lbase;
+      }
+      const Datatype rtype =
+          Datatype::hindexed(blocklens, rdispls, Datatype::basic(elem));
+      const Datatype ltype =
+          Datatype::hindexed(blocklens, ldispls, Datatype::basic(elem));
+      issue(kind, gmr, grank, 0, const_cast<std::uint8_t*>(lbase), 1, ltype,
+            rtype, at, scale);
+    }
+  }
+}
+
+void Mpi3Backend::strided(OneSided kind, const void* src, void* dst,
+                          const StridedSpec& spec, int proc, AccType at,
+                          const void* scale) {
+  validate_spec(spec);
+  const bool is_get = kind == OneSided::get;
+  const mpisim::BasicType elem = kind == OneSided::acc
+                                     ? basic_type_of_acc(at)
+                                     : mpisim::BasicType::byte_;
+  const void* remote = is_get ? src : dst;
+  void* local = is_get ? dst : const_cast<void*>(src);
+  const auto& rstrides = is_get ? spec.src_strides : spec.dst_strides;
+  const auto& lstrides = is_get ? spec.dst_strides : spec.src_strides;
+
+  const Datatype rtype = make_strided_type(rstrides, spec, elem);
+  const Datatype ltype = make_strided_type(lstrides, spec, elem);
+  GmrLoc loc = st_->table.require(proc, remote,
+                                  static_cast<std::size_t>(rtype.extent()));
+  issue(kind, *loc.gmr, loc.target_rank, loc.offset, local, 1, ltype, rtype,
+        at, scale);
+}
+
+void Mpi3Backend::fence(int proc) {
+  // Remote completion = MPI_Win_flush on every GMR the target belongs to.
+  for (const auto& gmr : st_->table.all()) {
+    const int grank = gmr->group.rank_of(proc);
+    if (grank >= 0) gmr->win.flush(grank);
+  }
+}
+
+void Mpi3Backend::fence_all() {
+  for (const auto& gmr : st_->table.all()) gmr->win.flush_all();
+}
+
+void Mpi3Backend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
+                      int proc) {
+  const bool is_long =
+      op == RmwOp::fetch_and_add_long || op == RmwOp::swap_long;
+  const std::size_t width = is_long ? 8 : 4;
+  GmrLoc loc = st_->table.require(proc, prem, width);
+  const mpisim::BasicType t =
+      is_long ? mpisim::BasicType::int64 : mpisim::BasicType::int32;
+
+  // §VIII-B item 4: one atomic MPI_Fetch_and_op replaces the MPI-2
+  // backend's mutex + two exclusive epochs.
+  std::int64_t operand64 = extra;
+  std::int32_t operand32 = static_cast<std::int32_t>(extra);
+  if (op == RmwOp::swap) operand32 = *static_cast<std::int32_t*>(ploc);
+  if (op == RmwOp::swap_long) operand64 = *static_cast<std::int64_t*>(ploc);
+  const void* operand = is_long ? static_cast<const void*>(&operand64)
+                                : static_cast<const void*>(&operand32);
+  const mpisim::Op mop =
+      (op == RmwOp::swap || op == RmwOp::swap_long) ? mpisim::Op::replace
+                                                    : mpisim::Op::sum;
+  std::int64_t old64 = 0;
+  std::int32_t old32 = 0;
+  void* result = is_long ? static_cast<void*>(&old64)
+                         : static_cast<void*>(&old32);
+  loc.gmr->win.fetch_and_op(operand, result, t, loc.target_rank, loc.offset,
+                            mop);
+  if (is_long)
+    *static_cast<std::int64_t*>(ploc) = old64;
+  else
+    *static_cast<std::int32_t*>(ploc) = old32;
+}
+
+void Mpi3Backend::mutexes_create(int count) {
+  user_mutexes_ = QueueingMutexSet::create(st_->world.comm(), count, 0);
+}
+
+void Mpi3Backend::mutexes_destroy() { user_mutexes_.destroy(); }
+
+void Mpi3Backend::mutex_lock(int m, int proc) { user_mutexes_.lock(m, proc); }
+
+void Mpi3Backend::mutex_unlock(int m, int proc) {
+  user_mutexes_.unlock(m, proc);
+}
+
+void Mpi3Backend::access_begin(const GmrLoc& loc) {
+  // Unified memory model: complete outstanding operations, then direct
+  // load/store is permitted; no exclusive epoch is needed (or possible,
+  // since the lifetime lock_all epoch is in force).
+  loc.gmr->win.flush_all();
+}
+
+void Mpi3Backend::access_end(const GmrLoc& loc) { loc.gmr->win.flush_all(); }
+
+}  // namespace armci

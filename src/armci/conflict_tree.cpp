@@ -1,0 +1,161 @@
+#include "src/armci/conflict_tree.hpp"
+
+#include <algorithm>
+
+namespace armci {
+
+namespace detail {
+struct CtNode {
+  std::uintptr_t lo;
+  std::uintptr_t hi;
+  CtNode* left = nullptr;
+  CtNode* right = nullptr;
+  int height = 1;
+};
+}  // namespace detail
+
+namespace {
+
+using Node = detail::CtNode;
+
+int height_of(const Node* n) noexcept { return n ? n->height : 0; }
+
+void update_height(Node* n) noexcept {
+  n->height = 1 + std::max(height_of(n->left), height_of(n->right));
+}
+
+int balance_of(const Node* n) noexcept {
+  return height_of(n->left) - height_of(n->right);
+}
+
+Node* rotate_right(Node* y) noexcept {
+  Node* x = y->left;
+  y->left = x->right;
+  x->right = y;
+  update_height(y);
+  update_height(x);
+  return x;
+}
+
+Node* rotate_left(Node* x) noexcept {
+  Node* y = x->right;
+  x->right = y->left;
+  y->left = x;
+  update_height(x);
+  update_height(y);
+  return y;
+}
+
+Node* rebalance(Node* n) noexcept {
+  update_height(n);
+  const int b = balance_of(n);
+  if (b > 1) {
+    if (balance_of(n->left) < 0) n->left = rotate_left(n->left);
+    return rotate_right(n);
+  }
+  if (b < -1) {
+    if (balance_of(n->right) > 0) n->right = rotate_right(n->right);
+    return rotate_left(n);
+  }
+  return n;
+}
+
+/// Merged check-and-insert (paper §VI-B): descend comparing against each
+/// node; a new range that neither lies wholly below nor wholly above the
+/// node's range overlaps it, and the insertion fails.
+Node* insert_node(Node* n, std::uintptr_t lo, std::uintptr_t hi, bool& ok) {
+  if (n == nullptr) {
+    ok = true;
+    return new Node{lo, hi};
+  }
+  if (hi < n->lo) {
+    n->left = insert_node(n->left, lo, hi, ok);
+  } else if (lo > n->hi) {
+    n->right = insert_node(n->right, lo, hi, ok);
+  } else {
+    // lo or hi falls inside [n->lo, n->hi], or the new range encloses it.
+    ok = false;
+    return n;
+  }
+  return ok ? rebalance(n) : n;
+}
+
+bool conflicts_node(const Node* n, std::uintptr_t lo, std::uintptr_t hi) {
+  while (n != nullptr) {
+    if (hi < n->lo)
+      n = n->left;
+    else if (lo > n->hi)
+      n = n->right;
+    else
+      return true;
+  }
+  return false;
+}
+
+void destroy(Node* n) noexcept {
+  if (n == nullptr) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+bool check_node(const Node* n, std::uintptr_t lo_bound, std::uintptr_t hi_bound,
+                bool has_lo, bool has_hi) {
+  if (n == nullptr) return true;
+  if (n->lo > n->hi) return false;
+  if (has_lo && n->lo <= lo_bound) return false;
+  if (has_hi && n->hi >= hi_bound) return false;
+  if (std::abs(balance_of(n)) > 1) return false;
+  if (n->height != 1 + std::max(height_of(n->left), height_of(n->right)))
+    return false;
+  return check_node(n->left, lo_bound, n->lo, has_lo, true) &&
+         check_node(n->right, n->hi, hi_bound, true, has_hi);
+}
+
+}  // namespace
+
+ConflictTree::~ConflictTree() { destroy(root_); }
+
+ConflictTree::ConflictTree(ConflictTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+ConflictTree& ConflictTree::operator=(ConflictTree&& other) noexcept {
+  if (this != &other) {
+    destroy(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+bool ConflictTree::insert(std::uintptr_t lo, std::uintptr_t hi) {
+  if (lo > hi) return false;
+  bool ok = false;
+  root_ = insert_node(root_, lo, hi, ok);
+  if (ok) ++size_;
+  return ok;
+}
+
+bool ConflictTree::conflicts(std::uintptr_t lo, std::uintptr_t hi) const {
+  if (lo > hi) return false;
+  return conflicts_node(root_, lo, hi);
+}
+
+void ConflictTree::clear() noexcept {
+  destroy(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+int ConflictTree::height() const noexcept { return height_of(root_); }
+
+bool ConflictTree::check_invariants() const {
+  return check_node(root_, 0, 0, false, false);
+}
+
+}  // namespace armci

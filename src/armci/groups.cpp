@@ -1,0 +1,82 @@
+#include "src/armci/groups.hpp"
+
+#include <algorithm>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+using mpisim::Errc;
+
+PGroup::PGroup(mpisim::Comm comm, mpisim::Group group)
+    : comm_(std::move(comm)), group_(std::move(group)) {}
+
+PGroup PGroup::world() {
+  mpisim::Comm w = mpisim::world();
+  mpisim::Group g = w.group();
+  return PGroup(std::move(w), std::move(g));
+}
+
+int PGroup::rank() const {
+  const int r = group_.rank_of_world(mpisim::rank());
+  if (r < 0)
+    mpisim::raise(Errc::rank_out_of_range, "caller not in ARMCI group");
+  return r;
+}
+
+int PGroup::absolute_id(int group_rank) const {
+  return group_.world_rank(group_rank);
+}
+
+int PGroup::rank_of(int proc) const noexcept {
+  return group_.rank_of_world(proc);
+}
+
+PGroup PGroup::create_collective(std::span<const int> members,
+                                 const PGroup& parent) {
+  std::vector<int> m(members.begin(), members.end());
+  mpisim::Group g(m);
+  mpisim::Comm c = parent.comm().create(g);
+  if (!c.valid()) return PGroup();
+  return PGroup(std::move(c), std::move(g));
+}
+
+PGroup PGroup::create_noncollective(std::span<const int> members, int tag) {
+  // Recursive intercommunicator creation and merging (paper §V-A; Dinan et
+  // al., EuroMPI'11): the sorted member list is split in halves; each half
+  // builds its communicator recursively (leaf = MPI_COMM_SELF), then the
+  // halves are joined with intercomm_create + merge. O(log n) rounds, and
+  // only the members participate.
+  std::vector<int> m(members.begin(), members.end());
+  std::sort(m.begin(), m.end());
+  const int me = mpisim::rank();
+  const auto it = std::find(m.begin(), m.end(), me);
+  if (it == m.end())
+    mpisim::raise(Errc::invalid_argument,
+                  "caller is not in the noncollective group member list");
+
+  mpisim::Comm comm = mpisim::Comm::self();
+  // At depth d the member list is tiled into blocks of 2^(d+1) indices;
+  // the caller's communicator spans its block's half, and the two halves
+  // join via intercomm_create + merge. Blocks are aligned to the index
+  // grid, so every member independently computes identical boundaries.
+  const std::size_t idx = static_cast<std::size_t>(it - m.begin());
+  const std::size_t n = m.size();
+  for (int depth = 0; (std::size_t{1} << depth) < n; ++depth) {
+    const std::size_t half = std::size_t{1} << depth;
+    const std::size_t block = half * 2;
+    const std::size_t blo = (idx / block) * block;
+    const std::size_t bmid = blo + half;
+    if (bmid >= n) continue;  // no right half at this level
+    const bool am_low = idx < bmid;
+    const int remote_leader =
+        am_low ? m[bmid] : m[blo];
+    mpisim::Comm inter =
+        comm.intercomm_create(0, remote_leader, tag * 4096 + depth);
+    comm = inter.merge(/*high=*/!am_low);
+  }
+  return PGroup(std::move(comm), mpisim::Group(std::move(m)));
+}
+
+}  // namespace armci

@@ -1,0 +1,78 @@
+#ifndef ARMCI_GROUPS_HPP
+#define ARMCI_GROUPS_HPP
+
+/// \file groups.hpp
+/// ARMCI process groups (paper §IV, §V-A).
+///
+/// ARMCI supports collective and noncollective group creation; both must be
+/// backed by an MPI communicator so allocations can create windows on them.
+/// Collective creation maps directly to communicator creation over the
+/// parent. Noncollective creation -- where only the members participate --
+/// cannot be expressed with MPI-2's collective communicator constructors;
+/// following the paper (and Dinan et al., EuroMPI'11), it is implemented by
+/// recursive intercommunicator creation and merging over O(log n) steps.
+///
+/// ARMCI communication operates on *absolute* process ids; PGroup provides
+/// the translation both ways (ARMCI_Absolute_id).
+
+#include <span>
+#include <vector>
+
+#include "src/mpisim/comm.hpp"
+#include "src/mpisim/group.hpp"
+
+namespace armci {
+
+/// An ARMCI process group: a member list plus its backing communicator.
+class PGroup {
+ public:
+  PGroup() = default;
+
+  /// Group of all processes (backed by the world communicator).
+  static PGroup world();
+
+  /// Collective over the *parent* group (all parent members must call):
+  /// create a subgroup of the given members (absolute ids, parent-subset).
+  /// Nonmembers receive an invalid PGroup.
+  static PGroup create_collective(std::span<const int> members,
+                                  const PGroup& parent);
+
+  /// Noncollective creation: only the listed members call, and only they
+  /// participate. Backed by recursive intercommunicator merging. \p tag
+  /// disambiguates concurrent constructions.
+  static PGroup create_noncollective(std::span<const int> members, int tag);
+
+  bool valid() const noexcept { return comm_.valid(); }
+
+  /// Number of members.
+  int size() const noexcept { return group_.size(); }
+
+  /// Calling process's rank within the group.
+  int rank() const;
+
+  /// Absolute (world) process id of group rank \p group_rank
+  /// (ARMCI_Absolute_id).
+  int absolute_id(int group_rank) const;
+
+  /// Group rank of absolute id \p proc, or -1 if not a member.
+  int rank_of(int proc) const noexcept;
+
+  /// The member list (absolute ids, group order).
+  const mpisim::Group& group() const noexcept { return group_; }
+
+  /// The backing communicator.
+  const mpisim::Comm& comm() const noexcept { return comm_; }
+
+  /// Barrier over the group's members.
+  void barrier() const { comm_.barrier(); }
+
+ private:
+  PGroup(mpisim::Comm comm, mpisim::Group group);
+
+  mpisim::Comm comm_;
+  mpisim::Group group_;
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_GROUPS_HPP

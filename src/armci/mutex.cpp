@@ -1,0 +1,93 @@
+#include "src/armci/mutex.hpp"
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+using mpisim::Errc;
+using mpisim::LockType;
+
+QueueingMutexSet QueueingMutexSet::create(const mpisim::Comm& comm, int count,
+                                          int tag_base) {
+  if (count < 0) mpisim::raise(Errc::invalid_argument, "negative mutex count");
+  QueueingMutexSet set;
+  set.comm_ = comm.dup();  // private tag space for notification messages
+  set.count_ = count;
+  set.tag_base_ = tag_base;
+  const std::size_t n = static_cast<std::size_t>(comm.size());
+  set.bytes_ = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(count) * n, 0);
+  set.win_ = mpisim::Win::create(
+      set.bytes_->empty() ? nullptr : set.bytes_->data(), set.bytes_->size(),
+      comm);
+  return set;
+}
+
+void QueueingMutexSet::destroy() {
+  win_.free();
+  win_ = mpisim::Win();
+  bytes_.reset();
+  count_ = 0;
+}
+
+void QueueingMutexSet::lock(int m, int host) {
+  if (m < 0 || m >= count_)
+    mpisim::raise(Errc::invalid_argument, "mutex index out of range");
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+
+  // One exclusive epoch: set B[me] = 1 and fetch every other entry. The
+  // put and the two gets touch disjoint bytes, so this is a legal epoch.
+  std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
+  const std::uint8_t one = 1;
+  win_.lock(LockType::exclusive, host);
+  win_.put(&one, 1, host, row + static_cast<std::size_t>(me));
+  if (me > 0) win_.get(others.data(), static_cast<std::size_t>(me), host, row);
+  if (me < n - 1)
+    win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
+             host, row + static_cast<std::size_t>(me) + 1);
+  win_.unlock(host);
+
+  for (int i = 0; i < n; ++i) {
+    if (i != me && others[static_cast<std::size_t>(i)] != 0) {
+      // Enqueued: wait locally for the current holder to forward the lock.
+      std::uint8_t token = 0;
+      comm_.recv(&token, 1, mpisim::kAnySource, tag_base_ + m);
+      return;
+    }
+  }
+  // No other requester: the lock is ours.
+}
+
+void QueueingMutexSet::unlock(int m, int host) {
+  if (m < 0 || m >= count_)
+    mpisim::raise(Errc::invalid_argument, "mutex index out of range");
+  const int n = comm_.size();
+  const int me = comm_.rank();
+  const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+
+  std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
+  const std::uint8_t zero = 0;
+  win_.lock(LockType::exclusive, host);
+  win_.put(&zero, 1, host, row + static_cast<std::size_t>(me));
+  if (me > 0) win_.get(others.data(), static_cast<std::size_t>(me), host, row);
+  if (me < n - 1)
+    win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
+             host, row + static_cast<std::size_t>(me) + 1);
+  win_.unlock(host);
+
+  // Fair handoff: scan circularly starting at me+1 and forward the lock to
+  // the first enqueued requester, if any.
+  for (int k = 1; k < n; ++k) {
+    const int i = (me + k) % n;
+    if (others[static_cast<std::size_t>(i)] != 0) {
+      const std::uint8_t token = 1;
+      comm_.send(&token, 1, i, tag_base_ + m);
+      return;
+    }
+  }
+}
+
+}  // namespace armci

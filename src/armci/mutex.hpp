@@ -1,0 +1,69 @@
+#ifndef ARMCI_MUTEX_HPP
+#define ARMCI_MUTEX_HPP
+
+/// \file mutex.hpp
+/// MPI-RMA queueing mutexes (paper §V-D; algorithm of Latham, Ross & Thakur).
+///
+/// Each mutex hosted on process h is a byte vector B of length nproc in an
+/// RMA window on h; B[i] == 1 means process i has requested the lock.
+///
+/// lock:   one exclusive epoch sets B[me] = 1 and fetches all other entries
+///         (nonoverlapping, so legal within one epoch). If any other entry
+///         is set, the caller is enqueued and blocks in a wildcard-source
+///         receive -- waiting locally, generating no network traffic.
+/// unlock: one exclusive epoch clears B[me] and fetches the others; the
+///         vector is scanned circularly from me+1 (fairness) and, if a
+///         waiter is found, a zero-byte message forwards the lock.
+///
+/// This is the most scalable one-sided mutual exclusion algorithm known for
+/// MPI-2 RMA, and it also backs the per-GMR RMW mutex.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mpisim/comm.hpp"
+#include "src/mpisim/win.hpp"
+
+namespace armci {
+
+/// A set of queueing mutexes: every member of the communicator hosts
+/// \p count mutexes (matching ARMCI_Create_mutexes, where each process
+/// contributes `count` and lock(m, p) names mutex m hosted on p).
+class QueueingMutexSet {
+ public:
+  QueueingMutexSet() = default;
+
+  /// Collective over \p comm: allocate the byte-vector windows. \p tag_base
+  /// reserves a tag range (one tag per hosted mutex) for the notification
+  /// messages; callers must keep it disjoint from application tags.
+  static QueueingMutexSet create(const mpisim::Comm& comm, int count,
+                                 int tag_base);
+
+  /// Collective destroy. No mutex may be held.
+  void destroy();
+
+  bool valid() const noexcept { return win_.valid(); }
+
+  /// Number of mutexes hosted per member.
+  int count() const noexcept { return count_; }
+
+  /// Acquire mutex \p m hosted on group rank \p host (blocking, fair).
+  void lock(int m, int host);
+
+  /// Release mutex \p m hosted on group rank \p host.
+  void unlock(int m, int host);
+
+ private:
+  mpisim::Comm comm_;
+  mpisim::Win win_;
+  int count_ = 0;
+  int tag_base_ = 0;
+  /// Backing storage for this member's hosted byte vectors
+  /// (count * nproc bytes), shared so copies of the handle stay valid.
+  std::shared_ptr<std::vector<std::uint8_t>> bytes_;
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_MUTEX_HPP

@@ -1,0 +1,21 @@
+#include "src/armci/state.hpp"
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+ProcState& state() {
+  auto* st = state_if_initialized();
+  if (st == nullptr)
+    mpisim::raise(mpisim::Errc::invalid_argument,
+                  "ARMCI is not initialized on this process");
+  return *st;
+}
+
+ProcState* state_if_initialized() noexcept {
+  if (!mpisim::in_simulation()) return nullptr;
+  return static_cast<ProcState*>(mpisim::ctx().user_state);
+}
+
+}  // namespace armci

@@ -1,0 +1,66 @@
+#ifndef ARMCI_STATE_HPP
+#define ARMCI_STATE_HPP
+
+/// \file state.hpp
+/// Per-process ARMCI runtime state, anchored in the simulated process's
+/// RankContext (so independent ranks have independent ARMCI instances even
+/// though they share an OS address space).
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/armci/backend.hpp"
+#include "src/armci/gmr.hpp"
+#include "src/armci/groups.hpp"
+#include "src/armci/stats.hpp"
+#include "src/armci/types.hpp"
+
+namespace armci {
+
+/// Everything one simulated process knows about its ARMCI runtime.
+struct ProcState {
+  Options opts;
+  PGroup world;
+  GmrTable table;
+  std::unique_ptr<CommBackend> backend;
+
+  /// Open direct-local-access epochs: region base -> its GMR (paper §V-E).
+  std::map<void*, GmrLoc> open_accesses;
+
+  /// ARMCI_Malloc_local allocations (pre-pinned pool on the native path).
+  std::map<void*, std::unique_ptr<std::uint8_t[]>> local_allocs;
+
+  /// World mutex set status (ARMCI allows at most one at a time).
+  bool mutexes_exist = false;
+  int mutex_count = 0;
+
+  /// Native-backend mutex state hosted by *this* process; peers reach it
+  /// through the host's RankContext under the simulator's global lock
+  /// (modeling the communication helper thread that services requests).
+  struct NativeMutex {
+    int holder = -1;
+    std::deque<int> queue;
+  };
+  std::vector<NativeMutex> native_mutexes;
+
+  /// Virtual time until which this process's NIC is busy serving native
+  /// one-sided transfers (wire occupancy shared by all initiators).
+  double nat_nic_busy_ns = 0.0;
+
+  /// Operation counters (see stats.hpp).
+  Stats stats;
+
+  explicit ProcState(int world_size) : table(world_size) {}
+};
+
+/// State of the calling process; throws unless init() has been called.
+ProcState& state();
+
+/// Null if ARMCI is not initialized on this process.
+ProcState* state_if_initialized() noexcept;
+
+}  // namespace armci
+
+#endif  // ARMCI_STATE_HPP

@@ -1,0 +1,59 @@
+#ifndef ARMCI_STATS_HPP
+#define ARMCI_STATS_HPP
+
+/// \file stats.hpp
+/// Per-process operation statistics (the analogue of ARMCI's profiling
+/// interface). Counters are incremented at the public API layer, so they
+/// are backend-independent: one put() is one put regardless of how the
+/// backend maps it onto epochs or datatypes. Useful for performance
+/// debugging ("how many strided operations did this GA_Put decompose
+/// into?") and exercised by the test suite to pin down the decomposition
+/// behaviour of the layers above.
+
+#include <cstdint>
+
+namespace armci {
+
+/// Cumulative operation counters for the calling process.
+struct Stats {
+  // Contiguous one-sided operations and payload bytes.
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t accs = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t get_bytes = 0;
+  std::uint64_t acc_bytes = 0;
+
+  // Noncontiguous operations (one per ARMCI_PutS/GetS/AccS or
+  // ARMCI_PutV/GetV/AccV call) and their payload bytes.
+  std::uint64_t strided_ops = 0;
+  std::uint64_t strided_bytes = 0;
+  std::uint64_t iov_ops = 0;
+  std::uint64_t iov_bytes = 0;
+  std::uint64_t iov_segments = 0;
+
+  // Synchronization and atomics.
+  std::uint64_t rmws = 0;
+  std::uint64_t mutex_locks = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t barriers = 0;
+
+  // Memory management.
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+
+  /// Total one-sided data volume (all op classes).
+  std::uint64_t total_bytes() const noexcept {
+    return put_bytes + get_bytes + acc_bytes + strided_bytes + iov_bytes;
+  }
+};
+
+/// Counters of the calling process (valid between init() and finalize()).
+const Stats& stats();
+
+/// Zero the calling process's counters.
+void reset_stats();
+
+}  // namespace armci
+
+#endif  // ARMCI_STATS_HPP

@@ -1,0 +1,118 @@
+#ifndef ARMCI_TYPES_HPP
+#define ARMCI_TYPES_HPP
+
+/// \file types.hpp
+/// Public types of the ARMCI layer: configuration, IOV descriptors,
+/// strided-operation notation, accumulate types, nonblocking handles.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace armci {
+
+/// Which runtime implements the one-sided operations.
+enum class Backend {
+  mpi,     ///< the paper's contribution: ARMCI over MPI-2 passive RMA
+  native,  ///< baseline: aggressively tuned vendor ARMCI (direct access)
+  mpi3,    ///< the paper's §VIII-B projection: ARMCI over MPI-3 RMA
+           ///< (epochless lock_all/flush, accumulate-based puts, atomic
+           ///< fetch_and_op -- the design production ARMCI-MPI adopted)
+};
+
+/// Transfer method for generalized I/O vector operations (paper §VI-A/B).
+enum class IovMethod {
+  conservative,  ///< one RMA op per segment, each in its own epoch
+  batched,       ///< up to B ops per epoch; segments must not overlap
+  direct,        ///< one RMA op with an indexed datatype per side
+  auto_,         ///< conflict-tree scan, then direct or conservative
+};
+
+/// Transfer method for strided operations (paper §VI-C).
+enum class StridedMethod {
+  direct,            ///< one RMA op with subarray datatypes
+  iov_direct,        ///< translate to IOV (Algorithm 1), then IovMethod::direct
+  iov_batched,       ///< translate to IOV, then IovMethod::batched
+  iov_conservative,  ///< translate to IOV, then IovMethod::conservative
+};
+
+/// Element type of an accumulate operation (ARMCI_ACC_* equivalents).
+enum class AccType {
+  int32,   ///< ARMCI_ACC_INT
+  int64,   ///< ARMCI_ACC_LNG
+  float32, ///< ARMCI_ACC_FLT
+  float64, ///< ARMCI_ACC_DBL
+};
+
+/// Bytes per element of an AccType.
+std::size_t acc_type_size(AccType t) noexcept;
+
+/// Access-mode hints (paper §VIII-A extension). Exclusive is always
+/// correct; the others let ARMCI-MPI use shared-lock epochs when the
+/// application guarantees the corresponding usage pattern for a phase.
+enum class AccessMode {
+  exclusive,        ///< default: all ops under exclusive epochs
+  read_only,        ///< only get operations will target this allocation
+  accumulate_only,  ///< only same-operator accumulates will target it
+};
+
+/// Runtime configuration, fixed at init(). Mirrors the environment knobs of
+/// the real ARMCI-MPI (ARMCI_IOV_METHOD, ARMCI_IOV_BATCHED_LIMIT, ...).
+struct Options {
+  Backend backend = Backend::mpi;
+  IovMethod iov_method = IovMethod::auto_;
+  StridedMethod strided_method = StridedMethod::direct;
+  /// Max RMA ops per epoch for IovMethod::batched; 0 = unlimited.
+  std::size_t iov_batched_limit = 0;
+  /// Skip the global-local-buffer staging copy (paper §V-E1). Safe only on
+  /// coherent platforms whose MPI allows concurrent local access; provided
+  /// because many MPI implementations extend the standard this way.
+  bool no_local_copy = false;
+};
+
+/// Generalized I/O vector descriptor (armci_giov_t): ptr_array_len segment
+/// pairs of `bytes` bytes each.
+struct Giov {
+  std::vector<const void*> src;  ///< source address of each segment
+  std::vector<void*> dst;        ///< destination address of each segment
+  std::size_t bytes = 0;         ///< length of every segment
+};
+
+/// Strided operation descriptor in GA/ARMCI notation (paper Table I).
+/// stride_levels == dimensionality - 1; count[0] is in bytes; the stride
+/// arrays give byte displacements of each dimension from the base address.
+struct StridedSpec {
+  int stride_levels = 0;
+  std::vector<std::size_t> count;        ///< length stride_levels + 1
+  std::vector<std::size_t> src_strides;  ///< length stride_levels
+  std::vector<std::size_t> dst_strides;  ///< length stride_levels
+};
+
+/// Handle for nonblocking operations. Under per-op-epoch MPI semantics all
+/// operations complete before returning, so handles are born complete; the
+/// API exists for source compatibility and for future request-based MPI-3
+/// backends (paper §VIII-B).
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation is locally complete.
+  bool test() const noexcept { return complete_; }
+
+ private:
+  friend class RequestAccess;
+  bool complete_ = true;
+};
+
+/// Read-modify-write operations (ARMCI_Rmw). The *_long variants operate on
+/// std::int64_t, the others on std::int32_t.
+enum class RmwOp {
+  fetch_and_add,
+  fetch_and_add_long,
+  swap,
+  swap_long,
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_TYPES_HPP

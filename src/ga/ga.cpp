@@ -1,0 +1,302 @@
+#include "src/ga/ga.hpp"
+
+#include <cstring>
+
+#include "src/armci/armci.hpp"
+#include "src/ga/ga_impl.hpp"
+#include "src/ga/layout.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace ga {
+
+using mpisim::Errc;
+
+std::size_t elem_size(ElemType t) noexcept {
+  return t == ElemType::dbl ? sizeof(double) : sizeof(std::int64_t);
+}
+
+using detail::GaImpl;
+
+GlobalArray::GlobalArray(std::shared_ptr<GaImpl> impl)
+    : impl_(std::move(impl)) {}
+
+GlobalArray GlobalArray::create(const std::string& name,
+                                std::span<const std::int64_t> dims,
+                                ElemType type,
+                                std::span<const std::int64_t> chunk) {
+  auto impl = std::make_shared<GaImpl>();
+  impl->name = name;
+  impl->type = type;
+  impl->dims.assign(dims.begin(), dims.end());
+  impl->dist = Distribution(dims, mpisim::nranks(), chunk);
+  impl->my_patch = impl->dist.patch_of(mpisim::rank());
+
+  const std::size_t bytes =
+      static_cast<std::size_t>(impl->my_patch.num_elems()) * elem_size(type);
+  impl->bases = armci::malloc_world(bytes);
+  if (bytes > 0) std::memset(impl->bases[static_cast<std::size_t>(mpisim::rank())], 0, bytes);
+  armci::barrier();
+  return GlobalArray(std::move(impl));
+}
+
+namespace {
+
+/// Shared tail of the create() variants: allocate and zero the local block.
+std::shared_ptr<GaImpl> finish_create(std::shared_ptr<GaImpl> impl) {
+  impl->my_patch = impl->dist.patch_of(mpisim::rank());
+  const std::size_t bytes =
+      static_cast<std::size_t>(impl->my_patch.num_elems()) *
+      elem_size(impl->type);
+  impl->bases = armci::malloc_world(bytes);
+  if (bytes > 0)
+    std::memset(impl->bases[static_cast<std::size_t>(mpisim::rank())], 0,
+                bytes);
+  armci::barrier();
+  return impl;
+}
+
+}  // namespace
+
+GlobalArray GlobalArray::create_irregular(
+    const std::string& name, std::span<const std::int64_t> dims,
+    ElemType type, std::span<const std::vector<std::int64_t>> block_starts) {
+  auto impl = std::make_shared<GaImpl>();
+  impl->name = name;
+  impl->type = type;
+  impl->dims.assign(dims.begin(), dims.end());
+  impl->dist = Distribution(dims, block_starts);
+  if (impl->dist.owning_procs() > mpisim::nranks())
+    mpisim::raise(Errc::invalid_argument,
+                  "irregular distribution needs more processes than exist");
+  return GlobalArray(finish_create(std::move(impl)));
+}
+
+GlobalArray GlobalArray::duplicate(const std::string& name,
+                                   const GlobalArray& g) {
+  auto impl = std::make_shared<GaImpl>();
+  impl->name = name;
+  impl->type = g.impl_->type;
+  impl->dims = g.impl_->dims;
+  impl->dist = g.impl_->dist;  // identical distribution, irregular or not
+  return GlobalArray(finish_create(std::move(impl)));
+}
+
+void GlobalArray::destroy() {
+  if (!impl_) return;
+  armci::barrier();
+  armci::free(impl_->bases[static_cast<std::size_t>(mpisim::rank())]);
+  impl_.reset();
+}
+
+const std::string& GlobalArray::name() const { return impl_->name; }
+int GlobalArray::ndim() const { return impl_->dist.ndim(); }
+const std::vector<std::int64_t>& GlobalArray::dims() const {
+  return impl_->dims;
+}
+ElemType GlobalArray::type() const { return impl_->type; }
+
+Patch GlobalArray::distribution(int proc) const {
+  return impl_->dist.patch_of(proc);
+}
+
+int GlobalArray::locate(std::span<const std::int64_t> subscript) const {
+  return impl_->dist.owner_of(subscript);
+}
+
+std::vector<OwnedPatch> GlobalArray::locate_region(const Patch& region) const {
+  return impl_->dist.intersect(region);
+}
+
+namespace {
+
+enum class XferKind { put, get, acc };
+
+/// Decompose a region access into one ARMCI strided op per owner
+/// (paper Fig. 2 / §VI-C).
+void region_xfer(GaImpl& ga, XferKind kind, const Patch& region, void* buf,
+                 std::span<const std::int64_t> ld, const void* alpha) {
+  const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
+  const std::size_t esz = elem_size(ga.type);
+  if (region.lo.size() != nd || region.hi.size() != nd)
+    mpisim::raise(Errc::invalid_argument, "region rank mismatch");
+  if (!ld.empty() && ld.size() != nd - 1)
+    mpisim::raise(Errc::invalid_argument, "ld must have ndim-1 entries");
+
+  // Byte strides of the caller's buffer.
+  std::vector<std::int64_t> buf_ext(nd);
+  for (std::size_t d = 0; d < nd; ++d) buf_ext[d] = region.extent(d);
+  for (std::size_t k = 0; k + 1 < nd; ++k) {
+    if (!ld.empty()) {
+      if (ld[k] < buf_ext[k + 1])
+        mpisim::raise(Errc::invalid_argument,
+                      "ld smaller than the patch extent");
+      buf_ext[k + 1] = ld[k];
+    }
+  }
+  const std::vector<std::size_t> buf_strides =
+      detail::row_major_strides(buf_ext, esz);
+
+  for (const OwnedPatch& op : ga.dist.intersect(region)) {
+    const Patch block = ga.dist.patch_of(op.proc);
+    std::vector<std::int64_t> blk_ext(nd);
+    for (std::size_t d = 0; d < nd; ++d) blk_ext[d] = block.extent(d);
+    const std::vector<std::size_t> rem_strides =
+        detail::row_major_strides(blk_ext, esz);
+
+    // Remote address of the sub-patch start within the owner's block.
+    std::size_t rem_off = 0;
+    std::size_t loc_off = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      rem_off += static_cast<std::size_t>(op.patch.lo[d] - block.lo[d]) *
+                 rem_strides[d];
+      loc_off += static_cast<std::size_t>(op.patch.lo[d] - region.lo[d]) *
+                 buf_strides[d];
+    }
+    auto* remote =
+        static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(op.proc)]) +
+        rem_off;
+    auto* local = static_cast<std::uint8_t*>(buf) + loc_off;
+
+    // ARMCI strided notation: count[0] in bytes over the innermost
+    // dimension; stride level i covers dimension nd-2-i.
+    armci::StridedSpec spec;
+    spec.stride_levels = static_cast<int>(nd) - 1;
+    spec.count.resize(nd);
+    spec.count[0] = static_cast<std::size_t>(op.patch.extent(nd - 1)) * esz;
+    for (std::size_t i = 1; i < nd; ++i)
+      spec.count[i] = static_cast<std::size_t>(op.patch.extent(nd - 1 - i));
+    spec.src_strides.resize(nd - 1);
+    spec.dst_strides.resize(nd - 1);
+    for (std::size_t i = 0; i + 1 < nd; ++i) {
+      const std::size_t d = nd - 2 - i;
+      const std::size_t local_stride = buf_strides[d];
+      const std::size_t remote_stride = rem_strides[d];
+      if (kind == XferKind::get) {
+        spec.src_strides[i] = remote_stride;
+        spec.dst_strides[i] = local_stride;
+      } else {
+        spec.src_strides[i] = local_stride;
+        spec.dst_strides[i] = remote_stride;
+      }
+    }
+
+    switch (kind) {
+      case XferKind::put:
+        armci::put_strided(local, remote, spec, op.proc);
+        break;
+      case XferKind::get:
+        armci::get_strided(remote, local, spec, op.proc);
+        break;
+      case XferKind::acc:
+        armci::acc_strided(ga.type == ElemType::dbl ? armci::AccType::float64
+                                                    : armci::AccType::int64,
+                           alpha, local, remote, spec, op.proc);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void GlobalArray::put(const Patch& region, const void* buf,
+                      std::span<const std::int64_t> ld) {
+  region_xfer(*impl_, XferKind::put, region, const_cast<void*>(buf), ld,
+              nullptr);
+}
+
+void GlobalArray::get(const Patch& region, void* buf,
+                      std::span<const std::int64_t> ld) const {
+  region_xfer(*impl_, XferKind::get, region, buf, ld, nullptr);
+}
+
+void GlobalArray::acc(const Patch& region, const void* buf, const void* alpha,
+                      std::span<const std::int64_t> ld) {
+  if (alpha == nullptr)
+    mpisim::raise(Errc::invalid_argument, "acc with null alpha");
+  region_xfer(*impl_, XferKind::acc, region, const_cast<void*>(buf), ld,
+              alpha);
+}
+
+void* GlobalArray::access(Patch& patch) {
+  GaImpl& ga = *impl_;
+  patch = ga.my_patch;
+  void* base = ga.bases[static_cast<std::size_t>(mpisim::rank())];
+  if (base == nullptr) return nullptr;
+  if (ga.access_depth == 0) armci::access_begin(base);
+  ++ga.access_depth;
+  return base;
+}
+
+void GlobalArray::release() {
+  GaImpl& ga = *impl_;
+  void* base = ga.bases[static_cast<std::size_t>(mpisim::rank())];
+  if (base == nullptr) return;
+  if (ga.access_depth <= 0)
+    mpisim::raise(Errc::invalid_argument, "release without access");
+  if (--ga.access_depth == 0) armci::access_end(base);
+}
+
+void GlobalArray::release_update() { release(); }
+
+std::int64_t GlobalArray::read_inc(std::span<const std::int64_t> subscript,
+                                   std::int64_t inc) {
+  GaImpl& ga = *impl_;
+  if (ga.type != ElemType::int64)
+    mpisim::raise(Errc::invalid_argument, "read_inc requires an int64 array");
+  const int proc = ga.dist.owner_of(subscript);
+  const Patch block = ga.dist.patch_of(proc);
+  const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
+  std::vector<std::int64_t> ext(nd);
+  for (std::size_t d = 0; d < nd; ++d) ext[d] = block.extent(d);
+  const std::vector<std::size_t> strides =
+      detail::row_major_strides(ext, sizeof(std::int64_t));
+  std::size_t off = 0;
+  for (std::size_t d = 0; d < nd; ++d)
+    off += static_cast<std::size_t>(subscript[d] - block.lo[d]) * strides[d];
+  auto* remote =
+      static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(proc)]) +
+      off;
+  std::int64_t old = 0;
+  armci::rmw(armci::RmwOp::fetch_and_add_long, &old, remote, inc, proc);
+  return old;
+}
+
+void GlobalArray::sync() const { armci::barrier(); }
+
+// ---------------------------------------------------------------------------
+// AtomicCounter
+// ---------------------------------------------------------------------------
+
+AtomicCounter AtomicCounter::create() {
+  AtomicCounter c;
+  c.bases_ =
+      armci::malloc_world(mpisim::rank() == 0 ? sizeof(std::int64_t) : 0);
+  if (mpisim::rank() == 0) *static_cast<std::int64_t*>(c.bases_[0]) = 0;
+  armci::barrier();
+  return c;
+}
+
+void AtomicCounter::destroy() {
+  armci::barrier();
+  armci::free(bases_[static_cast<std::size_t>(mpisim::rank())]);
+  bases_.clear();
+}
+
+std::int64_t AtomicCounter::next(std::int64_t inc) {
+  std::int64_t old = 0;
+  armci::rmw(armci::RmwOp::fetch_and_add_long, &old, bases_[0], inc, 0);
+  return old;
+}
+
+void AtomicCounter::reset(std::int64_t value) {
+  armci::barrier();
+  if (mpisim::rank() == 0) {
+    armci::access_begin(bases_[0]);
+    *static_cast<std::int64_t*>(bases_[0]) = value;
+    armci::access_end(bases_[0]);
+  }
+  armci::barrier();
+}
+
+}  // namespace ga

@@ -1,0 +1,187 @@
+// Element-wise scatter/gather (GA_Scatter / GA_Gather / GA_Scatter_acc) and
+// element-selection / element-wise-multiply collectives.
+//
+// Scatter/gather are the GA operations that map onto ARMCI's generalized
+// I/O vector interface: subscripts are bucketed by owner and each owner
+// receives one IOV descriptor whose segments are single elements -- the
+// many-small-segments regime the paper's IOV methods (§VI-A) exist for.
+
+#include <cstring>
+#include <limits>
+#include <map>
+
+#include "src/armci/armci.hpp"
+#include "src/ga/ga.hpp"
+#include "src/ga/ga_impl.hpp"
+#include "src/ga/layout.hpp"
+#include "src/mpisim/comm.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace ga {
+
+using mpisim::Errc;
+
+namespace {
+
+enum class ElemXfer { put, get, acc };
+
+void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
+                  std::span<const std::int64_t> subs, std::int64_t n,
+                  const void* alpha) {
+  const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
+  const std::size_t esz = elem_size(ga.type);
+  if (subs.size() != static_cast<std::size_t>(n) * nd)
+    mpisim::raise(Errc::invalid_argument,
+                  "subscript array must hold n * ndim entries");
+
+  // Bucket elements by owner, preserving per-owner order.
+  std::map<int, armci::Giov> per_owner;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::span<const std::int64_t> idx =
+        subs.subspan(static_cast<std::size_t>(i) * nd, nd);
+    const int proc = ga.dist.owner_of(idx);
+    const Patch block = ga.dist.patch_of(proc);
+    auto* remote =
+        static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(proc)]) +
+        detail::element_offset(block, idx, esz);
+    auto* local = static_cast<std::uint8_t*>(values) +
+                  static_cast<std::size_t>(i) * esz;
+    armci::Giov& g = per_owner[proc];
+    g.bytes = esz;
+    if (kind == ElemXfer::get) {
+      g.src.push_back(remote);
+      g.dst.push_back(local);
+    } else {
+      g.src.push_back(local);
+      g.dst.push_back(remote);
+    }
+  }
+
+  const armci::AccType at = ga.type == ElemType::dbl
+                                ? armci::AccType::float64
+                                : armci::AccType::int64;
+  for (auto& [proc, giov] : per_owner) {
+    switch (kind) {
+      case ElemXfer::put:
+        armci::put_iov({&giov, 1}, proc);
+        break;
+      case ElemXfer::get:
+        armci::get_iov({&giov, 1}, proc);
+        break;
+      case ElemXfer::acc:
+        armci::acc_iov(at, alpha, {&giov, 1}, proc);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void GlobalArray::scatter(const void* values,
+                          std::span<const std::int64_t> subs,
+                          std::int64_t n) {
+  element_xfer(*impl_, ElemXfer::put, const_cast<void*>(values), subs, n,
+               nullptr);
+}
+
+void GlobalArray::gather(void* values, std::span<const std::int64_t> subs,
+                         std::int64_t n) const {
+  element_xfer(*impl_, ElemXfer::get, values, subs, n, nullptr);
+}
+
+void GlobalArray::scatter_acc(const void* values,
+                              std::span<const std::int64_t> subs,
+                              std::int64_t n, const void* alpha) {
+  if (alpha == nullptr)
+    mpisim::raise(Errc::invalid_argument, "scatter_acc with null alpha");
+  element_xfer(*impl_, ElemXfer::acc, const_cast<void*>(values), subs, n,
+               alpha);
+}
+
+void GlobalArray::elem_multiply(const GlobalArray& a, const GlobalArray& b) {
+  if (dims() != a.dims() || dims() != b.dims() || type() != ElemType::dbl ||
+      a.type() != ElemType::dbl || b.type() != ElemType::dbl)
+    mpisim::raise(Errc::invalid_argument,
+                  "elem_multiply requires conformable double arrays");
+  sync();
+  Patch p, pa, pb;
+  auto* pc = static_cast<double*>(access(p));
+  auto* xa = static_cast<double*>(const_cast<GlobalArray&>(a).access(pa));
+  auto* xb = static_cast<double*>(const_cast<GlobalArray&>(b).access(pb));
+  if (pc != nullptr) {
+    const std::int64_t n = p.num_elems();
+    for (std::int64_t i = 0; i < n; ++i) pc[i] = xa[i] * xb[i];
+  }
+  if (xb != nullptr) const_cast<GlobalArray&>(b).release();
+  if (xa != nullptr) const_cast<GlobalArray&>(a).release();
+  if (pc != nullptr) release_update();
+  sync();
+}
+
+GlobalArray::Selected GlobalArray::select_elem(SelectOp op) const {
+  if (type() != ElemType::dbl)
+    mpisim::raise(Errc::invalid_argument,
+                  "select_elem requires a double array");
+  sync();
+  auto& self = const_cast<GlobalArray&>(*this);
+  Patch p;
+  const auto* blk = static_cast<const double*>(self.access(p));
+
+  // Local candidate: best value plus its *flattened global* index, so ties
+  // resolve deterministically toward the lowest index.
+  struct Cand {
+    double value;
+    std::int64_t flat;
+  };
+  const std::size_t nd = static_cast<std::size_t>(ndim());
+  Cand mine{op == SelectOp::max ? -std::numeric_limits<double>::infinity()
+                                : std::numeric_limits<double>::infinity(),
+            std::numeric_limits<std::int64_t>::max()};
+  if (blk != nullptr) {
+    std::vector<std::int64_t> idx(p.lo);
+    const std::int64_t n = p.num_elems();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = blk[i];
+      const bool better = op == SelectOp::max ? v > mine.value : v < mine.value;
+      if (better) {
+        std::int64_t flat = 0;
+        for (std::size_t d = 0; d < nd; ++d) flat = flat * dims()[d] + idx[d];
+        mine = {v, flat};
+      }
+      // Advance the n-d index within the block (row-major).
+      for (std::size_t d = nd; d-- > 0;) {
+        if (++idx[d] <= p.hi[d]) break;
+        idx[d] = p.lo[d];
+      }
+    }
+  }
+  if (blk != nullptr) self.release();
+
+  // Exchange all candidates; everyone picks the same winner.
+  std::vector<Cand> all(static_cast<std::size_t>(mpisim::nranks()));
+  mpisim::world().allgather(&mine, all.data(), sizeof(Cand));
+  Cand best = mine;
+  for (const Cand& c : all) {
+    const bool better =
+        op == SelectOp::max
+            ? (c.value > best.value ||
+               (c.value == best.value && c.flat < best.flat))
+            : (c.value < best.value ||
+               (c.value == best.value && c.flat < best.flat));
+    if (better) best = c;
+  }
+
+  Selected out;
+  out.value = best.value;
+  out.subscript.assign(nd, 0);
+  std::int64_t rem = best.flat;
+  for (std::size_t d = nd; d-- > 0;) {
+    out.subscript[d] = rem % dims()[d];
+    rem /= dims()[d];
+  }
+  sync();
+  return out;
+}
+
+}  // namespace ga

@@ -1,0 +1,28 @@
+#ifndef GA_GA_IMPL_HPP
+#define GA_GA_IMPL_HPP
+
+/// \file ga_impl.hpp
+/// Internal shared state of a GlobalArray (used by the implementation
+/// files ga.cpp / ga_gather.cpp; not part of the public API).
+
+#include <string>
+#include <vector>
+
+#include "src/ga/distribution.hpp"
+#include "src/ga/ga.hpp"
+
+namespace ga::detail {
+
+struct GaImpl {
+  std::string name;
+  ElemType type = ElemType::dbl;
+  std::vector<std::int64_t> dims;
+  Distribution dist;
+  std::vector<void*> bases;  ///< per world rank (null where no block)
+  Patch my_patch;
+  int access_depth = 0;
+};
+
+}  // namespace ga::detail
+
+#endif  // GA_GA_IMPL_HPP

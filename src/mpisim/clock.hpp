@@ -1,0 +1,51 @@
+#ifndef MPISIM_CLOCK_HPP
+#define MPISIM_CLOCK_HPP
+
+/// \file clock.hpp
+/// Per-rank virtual clocks.
+///
+/// The simulator models performance in *virtual time*: every communication
+/// action charges nanoseconds (per the active PlatformProfile) to the
+/// initiating rank's SimClock, and synchronizing operations reconcile clocks
+/// (a receive cannot complete before the matching send's timestamp plus the
+/// modeled flight time; a barrier advances everyone to the max). Benchmarks
+/// read elapsed virtual time instead of wall-clock time, which makes every
+/// figure deterministic and independent of host load.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mpisim {
+
+/// A monotonically advancing virtual clock, owned by exactly one rank
+/// (its own thread); other ranks may only read a published snapshot.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current virtual time in nanoseconds since simulation start.
+  double now_ns() const noexcept { return now_ns_; }
+
+  /// Advance by a nonnegative delta (negative deltas are clamped to zero).
+  void advance(double delta_ns) noexcept {
+    if (delta_ns > 0) now_ns_ += delta_ns;
+  }
+
+  /// Move forward to at least \p t_ns (never moves backward).
+  void advance_to(double t_ns) noexcept { now_ns_ = std::max(now_ns_, t_ns); }
+
+  /// Reset to zero (benchmark harness use only, between measurement phases).
+  void reset() noexcept { now_ns_ = 0.0; }
+
+ private:
+  double now_ns_ = 0.0;
+};
+
+/// Elapsed virtual seconds between two clock readings.
+inline double elapsed_seconds(double start_ns, double end_ns) noexcept {
+  return (end_ns - start_ns) * 1e-9;
+}
+
+}  // namespace mpisim
+
+#endif  // MPISIM_CLOCK_HPP

@@ -1,0 +1,205 @@
+#ifndef MPISIM_COMM_HPP
+#define MPISIM_COMM_HPP
+
+/// \file comm.hpp
+/// Communicators: intra- and inter-communicators with two-sided messaging
+/// and collectives.
+///
+/// ARMCI-MPI backs every ARMCI process group with a communicator. Collective
+/// group creation maps to split()/create_from_group(); noncollective group
+/// creation uses intercomm_create() + merge() recursively (Dinan et al.,
+/// EuroMPI'11), both of which are provided here with MPI semantics.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/mpisim/group.hpp"
+#include "src/mpisim/mailbox.hpp"
+#include "src/mpisim/op.hpp"
+
+namespace mpisim {
+
+class SimCore;
+
+/// Rendezvous state for in-progress collectives on one communicator.
+/// All fields are guarded by the simulator's global lock.
+struct CollCtx {
+  std::uint64_t gen = 0;       ///< completed-collective generation
+  int arrived = 0;             ///< ranks arrived in the current round
+  double max_clock_ns = 0.0;   ///< max arrival clock this round
+  double result_clock_ns = 0.0;  ///< departure clock of the finished round
+  std::vector<const void*> inbufs;
+  std::vector<void*> outbufs;
+  std::vector<std::size_t> incounts;  ///< per-rank scalar argument slot
+};
+
+/// Shared state of one communicator, identical on every member rank.
+struct CommImpl {
+  std::uint64_t id = 0;
+  SimCore* core = nullptr;
+  Group group;  ///< local group (world ranks)
+
+  // Intercommunicator support.
+  bool is_inter = false;
+  Group remote_group;
+
+  CollCtx coll;
+};
+
+/// Value handle to a communicator, bound to the calling rank. Cheap to copy.
+class Comm {
+ public:
+  Comm() = default;
+
+  /// Wrap shared state for the calling rank (internal; used by run()).
+  explicit Comm(std::shared_ptr<CommImpl> impl);
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// My rank in this communicator's (local) group.
+  int rank() const;
+
+  /// Size of the (local) group.
+  int size() const noexcept;
+
+  /// True for an intercommunicator.
+  bool is_inter() const noexcept;
+
+  /// Size of the remote group (intercommunicators only).
+  int remote_size() const;
+
+  /// The local group.
+  const Group& group() const noexcept;
+
+  /// The remote group (intercommunicators only).
+  const Group& remote_group() const;
+
+  /// World rank of \p r in the local group.
+  int world_rank(int r) const;
+
+  /// Unique id (diagnostics; matches message envelopes).
+  std::uint64_t id() const noexcept;
+
+  // ---- Two-sided messaging (intra; on intercomms ranks are remote) ----
+
+  /// Blocking standard-mode send of \p bytes to \p dest.
+  void send(const void* buf, std::size_t bytes, int dest, int tag) const;
+
+  /// Blocking receive; \p src / \p tag may be kAnySource / kAnyTag.
+  Status recv(void* buf, std::size_t capacity, int src, int tag) const;
+
+  /// Nonblocking probe: true if a matching message is queued.
+  bool iprobe(int src, int tag, Status* st = nullptr) const;
+
+  // ---- Nonblocking point-to-point ----
+
+  /// Handle for isend()/irecv(). wait() must be called exactly once for a
+  /// receive; sends are eager and complete immediately.
+  class Request {
+   public:
+    Request() = default;
+
+    /// Block until the operation completes; fills \p st for receives.
+    void wait(Status* st = nullptr);
+
+    /// True once complete (receives: a matching message has been consumed
+    /// into the buffer). Completing via test() replaces wait().
+    bool test(Status* st = nullptr);
+
+   private:
+    friend class Comm;
+    std::shared_ptr<CommImpl> impl_;
+    void* buf = nullptr;
+    std::size_t capacity = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    bool is_recv = false;
+    bool done = true;
+    Status status;
+  };
+
+  /// Nonblocking standard-mode send (eager: the payload is copied out and
+  /// the request is born complete, matching this simulator's send()).
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag) const;
+
+  /// Nonblocking receive: posts the match; wait()/test() complete it.
+  Request irecv(void* buf, std::size_t capacity, int src, int tag) const;
+
+  /// Complete every request in \p reqs (MPI_Waitall).
+  static void wait_all(std::span<Request> reqs);
+
+  // ---- Collectives (intracommunicators) ----
+
+  void barrier() const;
+  void bcast(void* buf, std::size_t bytes, int root) const;
+
+  /// Element-wise reduction to \p root; in == out allowed on no rank.
+  void reduce(const void* in, void* out, std::size_t count, BasicType t,
+              Op op, int root) const;
+  void allreduce(const void* in, void* out, std::size_t count, BasicType t,
+                 Op op) const;
+
+  /// Gather \p bytes from every rank into rank-ordered \p out (all ranks).
+  void allgather(const void* in, void* out, std::size_t bytes) const;
+
+  /// Variable-size allgather; \p counts gives each rank's contribution.
+  void allgatherv(const void* in, std::size_t my_bytes, void* out,
+                  std::span<const std::size_t> counts) const;
+
+  /// Personalized exchange: rank i sends in[j*bytes..] to rank j.
+  void alltoall(const void* in, void* out, std::size_t bytes) const;
+
+  /// Inclusive prefix reduction.
+  void scan(const void* in, void* out, std::size_t count, BasicType t,
+            Op op) const;
+
+  // ---- Communicator construction ----
+
+  /// Singleton communicator containing only the calling rank
+  /// (MPI_COMM_SELF equivalent). Noncollective; usable as the leaf of
+  /// recursive intercommunicator constructions.
+  static Comm self();
+
+  /// Duplicate (new id, same group). Collective.
+  Comm dup() const;
+
+  /// Split by color/key (color < 0: the caller gets no communicator back).
+  /// Collective over this communicator.
+  Comm split(int color, int key) const;
+
+  /// Create a subcommunicator for \p group (subset of this comm's group,
+  /// given as world ranks). Collective over this communicator; ranks not in
+  /// \p group receive an invalid Comm.
+  Comm create(const Group& subgroup) const;
+
+  /// Build an intercommunicator. Collective over this (local) communicator.
+  /// \p remote_leader_world is the world rank of the remote group's leader;
+  /// the two leaders rendezvous with \p tag on a world channel.
+  Comm intercomm_create(int local_leader, int remote_leader_world,
+                        int tag) const;
+
+  /// Merge an intercommunicator into an intracommunicator. The group that
+  /// passes high=true is ordered after the other. Collective over both sides.
+  Comm merge(bool high) const;
+
+  /// Shared-state accessor (simulator internals and Window).
+  const std::shared_ptr<CommImpl>& impl() const noexcept { return impl_; }
+
+ private:
+  /// Run one rendezvous collective round: every member contributes
+  /// (in, out, count); the last arriver executes \p leader_fn while holding
+  /// the global lock, then everyone's clock advances to the common result
+  /// time (max arrival + \p cost_ns).
+  void collective_round(
+      const void* in, void* out, std::size_t count, double cost_ns,
+      const std::function<void(CollCtx&, const Group&)>& leader_fn) const;
+
+  std::shared_ptr<CommImpl> impl_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_COMM_HPP

@@ -1,0 +1,121 @@
+#ifndef MPISIM_DATATYPE_HPP
+#define MPISIM_DATATYPE_HPP
+
+/// \file datatype.hpp
+/// MPI-style derived datatypes.
+///
+/// ARMCI-MPI's "direct" transfer methods hand noncontiguous layouts to MPI as
+/// a single RMA operation carrying an indexed or subarray derived datatype;
+/// the MPI library then chooses how to move the data (pack/unpack, batched,
+/// or hardware scatter/gather). This module provides exactly the datatype
+/// machinery those methods need: basic types, contiguous, (h)vector,
+/// (h)indexed, and C-order subarray constructors, with size/extent queries,
+/// contiguous-segment iteration, and pack/unpack.
+///
+/// Datatypes are immutable value handles (shared immutable tree underneath);
+/// copying is cheap and thread-safe.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/mpisim/op.hpp"
+
+namespace mpisim {
+
+namespace detail {
+struct TypeImpl;
+}
+
+/// One contiguous piece of a flattened datatype.
+struct Segment {
+  std::ptrdiff_t offset;  ///< byte offset from the base address
+  std::size_t length;     ///< bytes
+};
+
+/// Immutable handle to a (possibly derived) datatype.
+class Datatype {
+ public:
+  /// A predefined basic type.
+  static Datatype basic(BasicType t);
+
+  /// \p count consecutive copies of \p old.
+  static Datatype contiguous(std::size_t count, const Datatype& old);
+
+  /// \p count blocks of \p blocklen elements, regular stride measured in
+  /// elements of \p old (MPI_Type_vector).
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::ptrdiff_t stride_elems, const Datatype& old);
+
+  /// Like vector() but the stride is given in bytes (MPI_Type_create_hvector).
+  static Datatype hvector(std::size_t count, std::size_t blocklen,
+                          std::ptrdiff_t stride_bytes, const Datatype& old);
+
+  /// Blocks of varying length at varying displacements, both measured in
+  /// elements of \p old (MPI_Type_indexed).
+  static Datatype indexed(std::span<const std::size_t> blocklens,
+                          std::span<const std::ptrdiff_t> displs_elems,
+                          const Datatype& old);
+
+  /// Like indexed() but displacements are in bytes (MPI_Type_create_hindexed).
+  static Datatype hindexed(std::span<const std::size_t> blocklens,
+                           std::span<const std::ptrdiff_t> displs_bytes,
+                           const Datatype& old);
+
+  /// An n-dimensional subarray of an n-dimensional C-order array
+  /// (MPI_Type_create_subarray with MPI_ORDER_C). \p sizes are the full
+  /// array dimensions, \p subsizes the patch dimensions, \p starts the
+  /// patch origin, all in elements of \p old; dimension 0 is outermost.
+  static Datatype subarray(std::span<const std::size_t> sizes,
+                           std::span<const std::size_t> subsizes,
+                           std::span<const std::size_t> starts,
+                           const Datatype& old);
+
+  /// Payload bytes carried by one instance of this type.
+  std::size_t size() const noexcept;
+
+  /// Bytes spanned in memory by one instance (lower bound is always 0 here).
+  std::ptrdiff_t extent() const noexcept;
+
+  /// Underlying element type (uniform across the whole tree).
+  BasicType element_type() const noexcept;
+
+  /// True if one instance occupies size() contiguous bytes at offset 0.
+  bool contiguous_layout() const noexcept;
+
+  /// Number of maximal contiguous segments in one instance.
+  std::size_t segment_count() const noexcept;
+
+  /// Invoke \p f for every contiguous segment of \p count instances laid out
+  /// back-to-back (instance i starts at byte offset i * extent()). Adjacent
+  /// segments are emitted as produced, not merged.
+  void for_each_segment(std::size_t count,
+                        const std::function<void(Segment)>& f) const;
+
+  /// Flatten \p count instances into an explicit segment list.
+  std::vector<Segment> flatten(std::size_t count) const;
+
+  /// Gather \p count instances from \p base into the contiguous buffer
+  /// \p out (which must hold count * size() bytes).
+  void pack(const void* base, std::size_t count, void* out) const;
+
+  /// Scatter the contiguous buffer \p in (count * size() bytes) into
+  /// \p count instances at \p base.
+  void unpack(const void* in, void* base, std::size_t count) const;
+
+ private:
+  explicit Datatype(std::shared_ptr<const detail::TypeImpl> impl);
+  std::shared_ptr<const detail::TypeImpl> impl_;
+};
+
+/// Convenience handles for the common predefined types.
+Datatype byte_type();
+Datatype int32_type();
+Datatype int64_type();
+Datatype double_type();
+
+}  // namespace mpisim
+
+#endif  // MPISIM_DATATYPE_HPP

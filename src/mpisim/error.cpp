@@ -1,0 +1,34 @@
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+const char* errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::internal: return "internal";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::rank_out_of_range: return "rank_out_of_range";
+    case Errc::type_mismatch: return "type_mismatch";
+    case Errc::truncation: return "truncation";
+    case Errc::window_bounds: return "window_bounds";
+    case Errc::no_epoch: return "no_epoch";
+    case Errc::double_lock: return "double_lock";
+    case Errc::not_locked: return "not_locked";
+    case Errc::conflicting_access: return "conflicting_access";
+    case Errc::comm_mismatch: return "comm_mismatch";
+    case Errc::aborted: return "aborted";
+  }
+  return "unknown";
+}
+
+MpiError::MpiError(Errc code, const std::string& what)
+    : std::runtime_error(what), code_(code) {}
+
+void raise(Errc code, const std::string& detail) {
+  throw MpiError(code, std::string("mpisim: ") + errc_name(code) + ": " + detail);
+}
+
+void require_internal(bool cond, const char* what) {
+  if (!cond) raise(Errc::internal, what);
+}
+
+}  // namespace mpisim

@@ -1,0 +1,71 @@
+#include "src/mpisim/group.hpp"
+
+#include <numeric>
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+Group::Group(std::vector<int> world_ranks) : members_(std::move(world_ranks)) {
+  index_.reserve(members_.size());
+  for (int r = 0; r < static_cast<int>(members_.size()); ++r) {
+    auto [it, inserted] = index_.emplace(members_[r], r);
+    (void)it;
+    if (!inserted) raise(Errc::invalid_argument, "duplicate rank in group");
+  }
+}
+
+Group Group::range(int lo, int hi) {
+  if (lo > hi) raise(Errc::invalid_argument, "Group::range lo > hi");
+  std::vector<int> m(static_cast<std::size_t>(hi - lo));
+  std::iota(m.begin(), m.end(), lo);
+  return Group(std::move(m));
+}
+
+int Group::world_rank(int r) const {
+  if (r < 0 || r >= size())
+    raise(Errc::rank_out_of_range, "group rank " + std::to_string(r));
+  return members_[static_cast<std::size_t>(r)];
+}
+
+int Group::rank_of_world(int wr) const noexcept {
+  auto it = index_.find(wr);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Group Group::incl(std::span<const int> ranks) const {
+  std::vector<int> m;
+  m.reserve(ranks.size());
+  for (int r : ranks) m.push_back(world_rank(r));
+  return Group(std::move(m));
+}
+
+Group Group::excl(std::span<const int> ranks) const {
+  std::vector<bool> drop(members_.size(), false);
+  for (int r : ranks) {
+    if (r < 0 || r >= size())
+      raise(Errc::rank_out_of_range, "group rank " + std::to_string(r));
+    drop[static_cast<std::size_t>(r)] = true;
+  }
+  std::vector<int> m;
+  m.reserve(members_.size() - ranks.size());
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (!drop[i]) m.push_back(members_[i]);
+  return Group(std::move(m));
+}
+
+Group Group::union_with(const Group& other) const {
+  std::vector<int> m = members_;
+  for (int wr : other.members_)
+    if (!contains(wr)) m.push_back(wr);
+  return Group(std::move(m));
+}
+
+Group Group::intersection(const Group& other) const {
+  std::vector<int> m;
+  for (int wr : members_)
+    if (other.contains(wr)) m.push_back(wr);
+  return Group(std::move(m));
+}
+
+}  // namespace mpisim

@@ -1,0 +1,66 @@
+#ifndef MPISIM_GROUP_HPP
+#define MPISIM_GROUP_HPP
+
+/// \file group.hpp
+/// Process groups: ordered sets of world ranks (MPI_Group equivalent).
+///
+/// ARMCI's absolute-process-id model requires constant translation between
+/// "rank in some group" and "world rank"; Group provides both directions.
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace mpisim {
+
+/// An ordered set of distinct world ranks. Immutable after construction.
+class Group {
+ public:
+  Group() = default;
+
+  /// Build from an explicit rank list (must be distinct).
+  explicit Group(std::vector<int> world_ranks);
+
+  /// The contiguous group {lo, lo+1, ..., hi-1}.
+  static Group range(int lo, int hi);
+
+  /// Number of members.
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+
+  /// World rank of group member \p r (throws if out of range).
+  int world_rank(int r) const;
+
+  /// Rank of world rank \p wr within this group, or -1 if absent.
+  int rank_of_world(int wr) const noexcept;
+
+  /// True if \p wr is a member.
+  bool contains(int wr) const noexcept { return rank_of_world(wr) >= 0; }
+
+  /// Subgroup containing exactly the listed member ranks, in that order.
+  Group incl(std::span<const int> ranks) const;
+
+  /// Subgroup of all members except the listed member ranks.
+  Group excl(std::span<const int> ranks) const;
+
+  /// Members of this group followed by members of \p other not already
+  /// present (MPI_Group_union ordering).
+  Group union_with(const Group& other) const;
+
+  /// Members of this group that are also in \p other, in this group's order.
+  Group intersection(const Group& other) const;
+
+  /// All members, in group order.
+  const std::vector<int>& members() const noexcept { return members_; }
+
+  bool operator==(const Group& other) const noexcept {
+    return members_ == other.members_;
+  }
+
+ private:
+  std::vector<int> members_;
+  std::unordered_map<int, int> index_;  // world rank -> group rank
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_GROUP_HPP

@@ -1,0 +1,30 @@
+#include "src/mpisim/mailbox.hpp"
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+bool Mailbox::matches(const Message& m, std::uint64_t comm_id, int src,
+                      int tag) const {
+  return m.comm_id == comm_id && (src == kAnySource || m.src_comm_rank == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+bool Mailbox::has_match(std::uint64_t comm_id, int src, int tag) const {
+  for (const Message& m : queue_)
+    if (matches(m, comm_id, src, tag)) return true;
+  return false;
+}
+
+Message Mailbox::pop_match(std::uint64_t comm_id, int src, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, comm_id, src, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  raise(Errc::internal, "pop_match without has_match");
+}
+
+}  // namespace mpisim

@@ -1,0 +1,63 @@
+#ifndef MPISIM_MAILBOX_HPP
+#define MPISIM_MAILBOX_HPP
+
+/// \file mailbox.hpp
+/// Tag-matched message queues for two-sided communication.
+///
+/// One mailbox per world rank; all access is serialized by the simulator's
+/// global lock (see runtime.hpp), so the mailbox itself is a plain data
+/// structure. Matching follows MPI rules: (communicator, source, tag) with
+/// wildcard source/tag, FIFO per (source, tag) pair.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mpisim {
+
+/// Wildcards accepted by receive operations.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// An in-flight message. Payload is copied at send time (eager protocol).
+struct Message {
+  std::uint64_t comm_id = 0;  ///< communicator the send was posted on
+  int src_comm_rank = 0;      ///< sender's rank in that communicator
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+  double send_ts_ns = 0.0;  ///< sender's virtual clock at send
+};
+
+/// Completion information returned by receives.
+struct Status {
+  int source = kAnySource;  ///< matched sender (comm rank)
+  int tag = kAnyTag;
+  std::size_t bytes = 0;  ///< matched message size
+};
+
+/// Unexpected-message queue for one destination rank.
+class Mailbox {
+ public:
+  /// Append a message (preserves per-(src,tag) FIFO order).
+  void push(Message msg) { queue_.push_back(std::move(msg)); }
+
+  /// True if a message matching (comm, src, tag) is queued. \p src and
+  /// \p tag may be wildcards.
+  bool has_match(std::uint64_t comm_id, int src, int tag) const;
+
+  /// Remove and return the first matching message. Requires has_match().
+  Message pop_match(std::uint64_t comm_id, int src, int tag);
+
+  /// Number of queued messages (diagnostics).
+  std::size_t size() const noexcept { return queue_.size(); }
+
+ private:
+  bool matches(const Message& m, std::uint64_t comm_id, int src,
+               int tag) const;
+
+  std::deque<Message> queue_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_MAILBOX_HPP

@@ -1,0 +1,111 @@
+#include "src/mpisim/netmodel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mpisim {
+
+namespace {
+
+constexpr double kUs = 1000.0;         // ns per microsecond
+constexpr double kGiB = 1073741824.0;  // bytes per GiB
+
+/// ns to move `bytes` at `gbps` GiB/s (0 bandwidth = free, for Ideal).
+double xfer_ns(std::size_t bytes, double gbps) {
+  if (gbps <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (gbps * kGiB) * 1e9;
+}
+
+int ceil_log2(int n) {
+  int l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+double NetworkModel::p2p_ns(std::size_t bytes) const {
+  return prof_->net_latency_us * kUs + xfer_ns(bytes, prof_->net_bw_gbps);
+}
+
+double NetworkModel::lock_ns() const { return prof_->mpi_lock_us * kUs; }
+
+double NetworkModel::unlock_ns() const { return prof_->mpi_unlock_us * kUs; }
+
+double NetworkModel::wire_ns(RmaKind kind, std::size_t bytes, Path path,
+                             bool local_pinned) const {
+  double eff;
+  if (path == Path::mpi) {
+    eff = (kind == RmaKind::acc) ? prof_->mpi_acc_eff : prof_->mpi_bw_eff;
+    if (prof_->mpi_bw_kink_bytes != 0 && bytes > prof_->mpi_bw_kink_bytes)
+      eff *= prof_->mpi_bw_eff_large;
+  } else {
+    eff = (kind == RmaKind::acc) ? prof_->nat_acc_eff : prof_->nat_bw_eff;
+    if (!local_pinned) eff *= prof_->nat_unpinned_eff;
+  }
+  eff = std::max(eff, 1e-6);
+  return xfer_ns(bytes, prof_->net_bw_gbps * eff);
+}
+
+double NetworkModel::rma_op_ns(RmaKind kind, std::size_t bytes,
+                               std::size_t nsegments, Path path,
+                               std::size_t op_index, bool local_pinned,
+                               int nranks) const {
+  double ns = 0.0;
+  if (path == Path::mpi) {
+    ns += prof_->mpi_op_us * kUs;
+    ns += static_cast<double>(nsegments) * prof_->mpi_dt_seg_us * kUs;
+    // Per-epoch queue-scan degradation (MVAPICH2 batched-op issue): the
+    // i-th op in an epoch pays i * a small constant, i.e. O(n^2) per epoch.
+    ns += static_cast<double>(op_index) * prof_->mpi_epoch_quad_us * kUs;
+    // Ops after the first in an epoch are issued nonblocking and pipeline
+    // behind it; only the first pays the full wire latency.
+    if (op_index == 0) ns += prof_->net_latency_us * kUs;
+  } else {
+    ns += prof_->nat_op_us * kUs;
+    ns += static_cast<double>(nsegments) * prof_->nat_seg_us * kUs;
+    ns += prof_->net_latency_us * kUs;
+  }
+  ns += wire_ns(kind, bytes, path, local_pinned);
+  if (path == Path::native && nranks > 0) {
+    // Congestion sensitivity of the native stack, used to model the Cray
+    // XE6 development-release ARMCI whose performance flattens at scale.
+    ns += prof_->nat_congestion_us_per_rank * static_cast<double>(nranks) * kUs;
+  }
+  return ns;
+}
+
+double NetworkModel::rma_wire_ns(RmaKind kind, std::size_t bytes, Path path,
+                                 bool local_pinned) const {
+  return wire_ns(kind, bytes, path, local_pinned);
+}
+
+double NetworkModel::pack_ns(std::size_t bytes) const {
+  return xfer_ns(bytes, prof_->copy_gbps);
+}
+
+double NetworkModel::dtype_build_ns(std::size_t nsegments) const {
+  return prof_->mpi_dt_commit_us * kUs +
+         static_cast<double>(nsegments) * prof_->mpi_dt_seg_us * 0.25 * kUs;
+}
+
+double NetworkModel::registration_ns(std::size_t pages) const {
+  return static_cast<double>(pages) * prof_->reg_page_us * kUs;
+}
+
+double NetworkModel::tree_collective_ns(std::size_t bytes, int nranks) const {
+  if (nranks <= 1) return 0.0;
+  return static_cast<double>(ceil_log2(nranks)) * p2p_ns(bytes);
+}
+
+double NetworkModel::barrier_ns(int nranks) const {
+  return 2.0 * tree_collective_ns(0, nranks);
+}
+
+double NetworkModel::alltoall_ns(std::size_t bytes_per_peer, int nranks) const {
+  if (nranks <= 1) return 0.0;
+  return static_cast<double>(nranks - 1) * p2p_ns(bytes_per_peer);
+}
+
+}  // namespace mpisim

@@ -1,0 +1,89 @@
+#ifndef MPISIM_NETMODEL_HPP
+#define MPISIM_NETMODEL_HPP
+
+/// \file netmodel.hpp
+/// Virtual-time cost model.
+///
+/// Every communication action in the simulator charges nanoseconds to the
+/// initiating rank's SimClock through this model. Two cost paths coexist:
+/// Path::mpi is the moderately tuned MPI RMA stack used by ARMCI-MPI
+/// (epoch lock/unlock overheads, per-op issue cost, datatype processing,
+/// on-demand registration), and Path::native is the aggressively tuned
+/// vendor ARMCI stack (no epochs, CHT-served accumulates, pre-pinned
+/// buffers). The paper's figures are comparisons between these two paths
+/// on four platform profiles.
+
+#include <cstddef>
+
+#include "src/mpisim/platform.hpp"
+
+namespace mpisim {
+
+/// Which runtime stack is charged for an operation.
+enum class Path { mpi, native };
+
+/// RMA operation kind (cost-relevant: accumulate pays a reduced rate).
+enum class RmaKind { put, get, acc };
+
+/// Stateless cost calculator over a PlatformProfile. All results are
+/// nanoseconds of virtual time.
+class NetworkModel {
+ public:
+  explicit NetworkModel(const PlatformProfile& prof) : prof_(&prof) {}
+
+  const PlatformProfile& profile() const noexcept { return *prof_; }
+
+  /// Two-sided message: one-way latency plus serialization at peak bandwidth.
+  double p2p_ns(std::size_t bytes) const;
+
+  /// Passive-target lock acquisition (request/grant round trip).
+  double lock_ns() const;
+
+  /// Unlock including remote-completion acknowledgement.
+  double unlock_ns() const;
+
+  /// One RMA data-transfer operation of \p bytes in \p nsegments contiguous
+  /// pieces. \p op_index is the number of operations already issued in the
+  /// same epoch (models implementations whose per-epoch queues degrade
+  /// superlinearly, as observed for batched transfers on MVAPICH2).
+  /// \p local_pinned applies to Path::native only: false selects the
+  /// nonpinned (bounce) code path. \p nranks scales congestion-sensitive
+  /// native stacks (Cray XE6 development release).
+  double rma_op_ns(RmaKind kind, std::size_t bytes, std::size_t nsegments,
+                   Path path, std::size_t op_index = 0,
+                   bool local_pinned = true, int nranks = 2) const;
+
+  /// Serialization-only (wire) component of an RMA transfer: the time the
+  /// target NIC is occupied moving the payload. Subtracting this from
+  /// rma_op_ns() gives the initiator-side overhead component.
+  double rma_wire_ns(RmaKind kind, std::size_t bytes, Path path,
+                     bool local_pinned = true) const;
+
+  /// Local pack/unpack of \p bytes at the host copy rate.
+  double pack_ns(std::size_t bytes) const;
+
+  /// Building/committing a derived datatype with \p nsegments segments.
+  double dtype_build_ns(std::size_t nsegments) const;
+
+  /// Pinning \p pages 4-KiB pages (on-demand registration).
+  double registration_ns(std::size_t pages) const;
+
+  /// Binomial-tree collective of \p bytes over \p nranks.
+  double tree_collective_ns(std::size_t bytes, int nranks) const;
+
+  /// Barrier over \p nranks (zero-byte tree up and down).
+  double barrier_ns(int nranks) const;
+
+  /// Personalized all-to-all exchange of \p bytes_per_peer over \p nranks.
+  double alltoall_ns(std::size_t bytes_per_peer, int nranks) const;
+
+ private:
+  double wire_ns(RmaKind kind, std::size_t bytes, Path path,
+                 bool local_pinned) const;
+
+  const PlatformProfile* prof_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_NETMODEL_HPP

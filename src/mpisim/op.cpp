@@ -1,0 +1,123 @@
+#include "src/mpisim/op.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+std::size_t basic_type_size(BasicType t) noexcept {
+  switch (t) {
+    case BasicType::byte_: return 1;
+    case BasicType::int32: return 4;
+    case BasicType::int64: return 8;
+    case BasicType::uint64: return 8;
+    case BasicType::float32: return 4;
+    case BasicType::float64: return 8;
+  }
+  return 0;
+}
+
+const char* basic_type_name(BasicType t) noexcept {
+  switch (t) {
+    case BasicType::byte_: return "byte";
+    case BasicType::int32: return "int32";
+    case BasicType::int64: return "int64";
+    case BasicType::uint64: return "uint64";
+    case BasicType::float32: return "float";
+    case BasicType::float64: return "double";
+  }
+  return "unknown";
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::sum: return "sum";
+    case Op::prod: return "prod";
+    case Op::min: return "min";
+    case Op::max: return "max";
+    case Op::replace: return "replace";
+    case Op::no_op: return "no_op";
+    case Op::land: return "land";
+    case Op::lor: return "lor";
+    case Op::band: return "band";
+    case Op::bor: return "bor";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename T>
+void apply_arith(Op op, T* dst, const T* src, std::size_t count) {
+  switch (op) {
+    case Op::sum:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] + src[i]);
+      return;
+    case Op::prod:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] * src[i]);
+      return;
+    case Op::min:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = std::min(dst[i], src[i]);
+      return;
+    case Op::max:
+      for (std::size_t i = 0; i < count; ++i) dst[i] = std::max(dst[i], src[i]);
+      return;
+    case Op::replace:
+      std::memcpy(dst, src, count * sizeof(T));
+      return;
+    case Op::no_op:
+      return;
+    default:
+      break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+      case Op::land:
+        for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] && src[i]);
+        return;
+      case Op::lor:
+        for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] || src[i]);
+        return;
+      case Op::band:
+        for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] & src[i]);
+        return;
+      case Op::bor:
+        for (std::size_t i = 0; i < count; ++i) dst[i] = static_cast<T>(dst[i] | src[i]);
+        return;
+      default:
+        break;
+    }
+  }
+  raise(Errc::invalid_argument,
+        std::string("operator ") + op_name(op) + " undefined for this element type");
+}
+
+}  // namespace
+
+void apply_op(Op op, BasicType t, void* dst, const void* src, std::size_t count) {
+  switch (t) {
+    case BasicType::byte_:
+      apply_arith(op, static_cast<std::uint8_t*>(dst), static_cast<const std::uint8_t*>(src), count);
+      return;
+    case BasicType::int32:
+      apply_arith(op, static_cast<std::int32_t*>(dst), static_cast<const std::int32_t*>(src), count);
+      return;
+    case BasicType::int64:
+      apply_arith(op, static_cast<std::int64_t*>(dst), static_cast<const std::int64_t*>(src), count);
+      return;
+    case BasicType::uint64:
+      apply_arith(op, static_cast<std::uint64_t*>(dst), static_cast<const std::uint64_t*>(src), count);
+      return;
+    case BasicType::float32:
+      apply_arith(op, static_cast<float*>(dst), static_cast<const float*>(src), count);
+      return;
+    case BasicType::float64:
+      apply_arith(op, static_cast<double*>(dst), static_cast<const double*>(src), count);
+      return;
+  }
+  raise(Errc::invalid_argument, "unknown basic type");
+}
+
+}  // namespace mpisim

@@ -1,0 +1,95 @@
+#include "src/mpisim/pacer.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace mpisim {
+
+namespace detail {
+
+struct PacerImpl {
+  Comm comm;
+  // Guarded by the simulator's global lock.
+  std::vector<double> clocks;
+  std::vector<bool> active;
+  // Generation barrier for enter(): a fast rank may pace and leave() again
+  // before slow ranks observe the rendezvous, so "everyone active" is not
+  // a stable predicate -- the generation count is.
+  int arrived = 0;
+  std::uint64_t generation = 0;
+};
+
+}  // namespace detail
+
+using detail::PacerImpl;
+
+Pacer::Pacer(std::shared_ptr<PacerImpl> impl) : impl_(std::move(impl)) {}
+
+Pacer Pacer::create(const Comm& comm) {
+  SimCore& core = ctx().core();
+  std::shared_ptr<PacerImpl>* slot = nullptr;
+  if (comm.rank() == 0) {
+    auto impl = std::make_shared<PacerImpl>();
+    impl->comm = comm;
+    impl->clocks.assign(static_cast<std::size_t>(comm.size()), 0.0);
+    impl->active.assign(static_cast<std::size_t>(comm.size()), false);
+    slot = new std::shared_ptr<PacerImpl>(std::move(impl));
+  }
+  comm.bcast(&slot, sizeof slot, 0);
+  std::shared_ptr<PacerImpl> impl = *slot;
+  comm.barrier();
+  if (comm.rank() == 0) delete slot;
+  (void)core;
+  return Pacer(std::move(impl));
+}
+
+void Pacer::enter() {
+  PacerImpl& p = *impl_;
+  SimCore& core = *p.comm.impl()->core;
+  const auto me = static_cast<std::size_t>(p.comm.rank());
+  std::unique_lock lk(core.mu());
+  p.active[me] = true;
+  p.clocks[me] = ctx().clock().now_ns();
+  // Rendezvous: without it, a host-fast thread would see only itself
+  // active, consider itself the minimum, and race ahead of the region.
+  const std::uint64_t my_gen = p.generation;
+  if (++p.arrived == p.comm.size()) {
+    p.arrived = 0;
+    ++p.generation;
+    core.cv().notify_all();
+  } else {
+    core.wait(lk, [&] { return p.generation != my_gen; });
+  }
+}
+
+void Pacer::pace(double window_ns) {
+  PacerImpl& p = *impl_;
+  SimCore& core = *p.comm.impl()->core;
+  RankContext& rc = ctx();
+  const auto me = static_cast<std::size_t>(p.comm.rank());
+
+  std::unique_lock lk(core.mu());
+  require_internal(p.active[me], "Pacer::pace outside enter/leave");
+  p.clocks[me] = rc.clock().now_ns();
+  core.cv().notify_all();
+  core.wait(lk, [&] {
+    double min_clock = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < p.clocks.size(); ++r)
+      if (p.active[r]) min_clock = std::min(min_clock, p.clocks[r]);
+    return p.clocks[me] <= min_clock + window_ns;
+  });
+}
+
+void Pacer::leave() {
+  PacerImpl& p = *impl_;
+  SimCore& core = *p.comm.impl()->core;
+  const auto me = static_cast<std::size_t>(p.comm.rank());
+  std::lock_guard lk(core.mu());
+  p.active[me] = false;
+  core.cv().notify_all();
+}
+
+}  // namespace mpisim

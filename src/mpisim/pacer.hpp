@@ -1,0 +1,58 @@
+#ifndef MPISIM_PACER_HPP
+#define MPISIM_PACER_HPP
+
+/// \file pacer.hpp
+/// Virtual-time pacing for dynamically load-balanced loops.
+///
+/// The simulator races rank threads on the host's wall clock, but work
+/// distribution in a dynamically load-balanced loop (shared-counter task
+/// claiming) should be decided by the *modeled* clocks: a rank whose
+/// virtual clock is ahead has, in the modeled execution, not yet finished
+/// its current task and must not claim the next one early. Pacer provides
+/// that ordering: inside an enter()/leave() region, pace() blocks the
+/// calling thread while its virtual clock is ahead of the minimum clock of
+/// all ranks still in the region (plus an optional window). The rank at the
+/// minimum never blocks, so progress is guaranteed; the result is a
+/// deterministic, virtually-balanced task assignment -- a lightweight
+/// conservative parallel-discrete-event scheme for the task loop.
+
+#include <memory>
+
+#include "src/mpisim/comm.hpp"
+
+namespace mpisim {
+
+namespace detail {
+struct PacerImpl;
+}
+
+/// Value handle; collective create over a communicator.
+class Pacer {
+ public:
+  Pacer() = default;
+
+  /// Collective over \p comm: create a pacing region descriptor.
+  static Pacer create(const Comm& comm);
+
+  /// Join the paced region (publishes this rank's clock). Collective over
+  /// the communicator: blocks until every member has entered, so no rank
+  /// can start claiming work while peers are still outside the region.
+  void enter();
+
+  /// Block while this rank's virtual clock exceeds the minimum clock of
+  /// all ranks currently in the region by more than \p window_ns.
+  void pace(double window_ns = 0.0);
+
+  /// Leave the region (this rank's clock no longer constrains others).
+  void leave();
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+
+ private:
+  explicit Pacer(std::shared_ptr<detail::PacerImpl> impl);
+  std::shared_ptr<detail::PacerImpl> impl_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_PACER_HPP

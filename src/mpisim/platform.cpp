@@ -1,0 +1,206 @@
+#include "src/mpisim/platform.hpp"
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+namespace {
+
+/// Calibration notes: parameters are chosen so that the NetworkModel
+/// reproduces the qualitative regimes in the paper's Figures 3-6, e.g.
+///  - BG/P: slow (850 MHz) cores make datatype packing expensive, so the
+///    batched method catches up with direct for large segments (Fig. 4a);
+///  - InfiniBand: large native-vs-MPI accumulate gap (> 1.5 GiB/s, Fig. 3)
+///    and severe batched-method degradation at many segments (Fig. 4b);
+///  - XT5: MPI bandwidth halves beyond 32 KiB (Fig. 3/4c);
+///  - XE6: ARMCI-MPI beats the development-release native ARMCI by ~2x on
+///    put/get and ~25% on accumulate, and the native stack degrades with
+///    job size (Fig. 3/6).
+
+PlatformProfile make_bgp() {
+  PlatformProfile p;
+  p.name = "IBM Blue Gene/P (Intrepid)";
+  p.interconnect = "3D Torus";
+  p.mpi_version = "IBM MPI";
+  p.nodes = 40960;
+  p.sockets_per_node = 1;
+  p.cores_per_socket = 4;
+  p.memory_per_node_gb = 2.0;
+
+  p.cpu_ghz = 0.85;
+  p.net_latency_us = 3.5;
+  p.net_bw_gbps = 0.425;  // one torus link
+  p.copy_gbps = 1.6;
+
+  p.mpi_lock_us = 0.6;   // DCMF torus hardware: cheap lock messages
+  p.mpi_unlock_us = 0.6;
+  p.mpi_op_us = 0.5;
+  p.mpi_bw_eff = 0.82;
+  p.mpi_acc_eff = 0.55;
+  p.mpi_dt_seg_us = 0.35;  // slow cores: costly datatype processing
+  p.mpi_dt_commit_us = 1.2;
+
+  p.nat_op_us = 0.8;
+  p.nat_bw_eff = 0.95;
+  p.nat_acc_eff = 0.85;
+  p.nat_seg_us = 0.55;
+
+  p.dgemm_gflops = 2.7;  // per core, 850 MHz double-hummer
+  return p;
+}
+
+PlatformProfile make_ib() {
+  PlatformProfile p;
+  p.name = "Cluster (Fusion)";
+  p.interconnect = "InfiniBand QDR";
+  p.mpi_version = "MVAPICH2 1.6";
+  p.nodes = 320;
+  p.sockets_per_node = 2;
+  p.cores_per_socket = 4;
+  p.memory_per_node_gb = 36.0;
+
+  p.cpu_ghz = 2.6;
+  p.net_latency_us = 1.6;
+  p.net_bw_gbps = 3.2;
+  p.copy_gbps = 3.0;
+
+  p.mpi_lock_us = 1.1;
+  p.mpi_unlock_us = 1.1;
+  p.mpi_op_us = 0.3;
+  p.mpi_bw_eff = 0.88;
+  p.mpi_acc_eff = 0.28;  // > 1.5 GiB/s accumulate gap vs native (Fig. 3)
+  p.mpi_dt_seg_us = 0.09;
+  p.mpi_dt_commit_us = 0.5;
+  p.mpi_epoch_quad_us = 0.004;  // MVAPICH2 per-epoch queue scan (Fig. 4b)
+
+  p.nat_op_us = 0.35;
+  p.nat_bw_eff = 1.0;
+  p.nat_acc_eff = 0.80;
+  p.nat_seg_us = 0.14;
+  p.nat_unpinned_eff = 0.45;  // ARMCI's nonpinned path (Fig. 5)
+
+  p.on_demand_registration = true;  // MVAPICH2 registers on first touch
+  p.reg_page_us = 0.6;
+  p.bounce_threshold_bytes = 8192;  // < 2 pages: copy via pre-pinned bounce
+
+  p.dgemm_gflops = 9.0;
+  return p;
+}
+
+PlatformProfile make_xt5() {
+  PlatformProfile p;
+  p.name = "Cray XT5 (Jaguar PF)";
+  p.interconnect = "Seastar 2+";
+  p.mpi_version = "Cray MPI";
+  p.nodes = 18688;
+  p.sockets_per_node = 2;
+  p.cores_per_socket = 6;
+  p.memory_per_node_gb = 16.0;
+
+  p.cpu_ghz = 2.6;
+  p.net_latency_us = 5.0;  // SeaStar: high small-message latency
+  p.net_bw_gbps = 2.1;
+  p.copy_gbps = 8.0;
+
+  p.mpi_lock_us = 1.0;
+  p.mpi_unlock_us = 1.0;
+  p.mpi_op_us = 1.0;
+  p.mpi_bw_eff = 0.95;
+  p.mpi_bw_eff_large = 0.5;     // halves beyond the kink (Fig. 3)
+  p.mpi_bw_kink_bytes = 32768;  // 32 KiB
+  p.mpi_acc_eff = 0.60;
+  p.mpi_dt_seg_us = 0.06;
+  p.mpi_dt_commit_us = 0.6;
+
+  p.nat_op_us = 0.8;
+  p.nat_bw_eff = 1.0;
+  p.nat_acc_eff = 0.90;
+  p.nat_seg_us = 0.12;
+
+  p.dgemm_gflops = 9.2;
+  return p;
+}
+
+PlatformProfile make_xe6() {
+  PlatformProfile p;
+  p.name = "Cray XE6 (Hopper II)";
+  p.interconnect = "Gemini";
+  p.mpi_version = "Cray MPI";
+  p.nodes = 6392;
+  p.sockets_per_node = 2;
+  p.cores_per_socket = 12;
+  p.memory_per_node_gb = 32.0;
+
+  p.cpu_ghz = 2.1;
+  p.net_latency_us = 1.8;
+  p.net_bw_gbps = 3.0;
+  p.copy_gbps = 5.5;
+
+  p.mpi_lock_us = 1.2;
+  p.mpi_unlock_us = 1.2;
+  p.mpi_op_us = 0.6;
+  p.mpi_bw_eff = 0.50;  // ~1.5 GiB/s: well below peak but 2x native (Fig. 3)
+  p.mpi_acc_eff = 0.30;
+  p.mpi_dt_seg_us = 0.10;
+  p.mpi_dt_commit_us = 0.5;
+
+  // Development-release native ARMCI: half the MPI put/get bandwidth,
+  // accumulate ~25% below ARMCI-MPI, degrades with job size (Fig. 6).
+  p.nat_op_us = 4.0;
+  p.nat_bw_eff = 0.25;
+  p.nat_acc_eff = 0.24;
+  p.nat_seg_us = 0.50;
+  // Calibrated to the benchmark's compressed rank axis (4..64 ranks standing
+  // in for hundreds..thousands of cores): the development-release stack's
+  // software agent saturates, flattening (T) and worsening CCSD at scale.
+  p.nat_congestion_us_per_rank = 1.5;
+
+  p.dgemm_gflops = 8.4;
+  return p;
+}
+
+PlatformProfile make_ideal() {
+  PlatformProfile p;
+  p.name = "Ideal (functional testing)";
+  p.interconnect = "none";
+  p.mpi_version = "mpisim";
+  p.nodes = 1;
+  p.sockets_per_node = 1;
+  p.cores_per_socket = 64;
+  p.memory_per_node_gb = 64.0;
+  p.cpu_ghz = 3.0;
+  // Zero-cost network: all bandwidths 0 (interpreted as free), latencies 0.
+  p.dgemm_gflops = 10.0;
+  return p;
+}
+
+}  // namespace
+
+const PlatformProfile& platform_profile(Platform p) {
+  static const PlatformProfile bgp = make_bgp();
+  static const PlatformProfile ib = make_ib();
+  static const PlatformProfile xt5 = make_xt5();
+  static const PlatformProfile xe6 = make_xe6();
+  static const PlatformProfile ideal = make_ideal();
+  switch (p) {
+    case Platform::bluegene_p: return bgp;
+    case Platform::infiniband: return ib;
+    case Platform::cray_xt5: return xt5;
+    case Platform::cray_xe6: return xe6;
+    case Platform::ideal: return ideal;
+  }
+  raise(Errc::invalid_argument, "unknown platform");
+}
+
+const char* platform_id(Platform p) noexcept {
+  switch (p) {
+    case Platform::bluegene_p: return "bgp";
+    case Platform::infiniband: return "ib";
+    case Platform::cray_xt5: return "xt5";
+    case Platform::cray_xe6: return "xe6";
+    case Platform::ideal: return "ideal";
+  }
+  return "unknown";
+}
+
+}  // namespace mpisim

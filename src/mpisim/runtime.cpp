@@ -1,0 +1,176 @@
+#include "src/mpisim/runtime.hpp"
+
+#include <limits.h>
+#include <pthread.h>
+
+#include <algorithm>
+
+#include "src/mpisim/comm.hpp"
+
+namespace mpisim {
+
+namespace {
+
+thread_local RankContext* t_ctx = nullptr;
+
+std::shared_ptr<CommImpl> make_world_impl(SimCore& core, int nranks,
+                                          std::uint64_t id) {
+  auto impl = std::make_shared<CommImpl>();
+  impl->id = id;
+  impl->core = &core;
+  impl->group = Group::range(0, nranks);
+  const auto n = static_cast<std::size_t>(nranks);
+  impl->coll.inbufs.resize(n);
+  impl->coll.outbufs.resize(n);
+  impl->coll.incounts.resize(n);
+  return impl;
+}
+
+}  // namespace
+
+RankContext::RankContext(SimCore& core, int rank) : core_(&core), rank_(rank) {}
+
+RankContext::~RankContext() = default;
+
+SimCore::SimCore(const Config& cfg)
+    : cfg_(cfg),
+      prof_(platform_profile(cfg.platform)),
+      model_(prof_),
+      mailboxes_(static_cast<std::size_t>(cfg.nranks)) {
+  if (cfg.nranks < 1) raise(Errc::invalid_argument, "nranks < 1");
+  ranks_.reserve(static_cast<std::size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r)
+    ranks_.push_back(std::make_unique<RankContext>(*this, r));
+  // Comm id 0 is the runtime-internal system channel; world gets id 1.
+  world_impl_ = make_world_impl(*this, cfg.nranks, next_comm_id_++);
+}
+
+SimCore::~SimCore() = default;
+
+void SimCore::abort(std::exception_ptr err) noexcept {
+  std::lock_guard lk(mu_);
+  if (!aborted_) {
+    aborted_ = true;
+    first_error_ = err;
+  }
+  cv_.notify_all();
+}
+
+Mailbox& SimCore::mailbox(int r) {
+  if (r < 0 || r >= cfg_.nranks)
+    raise(Errc::rank_out_of_range, "mailbox rank " + std::to_string(r));
+  return mailboxes_[static_cast<std::size_t>(r)];
+}
+
+RankContext& SimCore::rank_ctx(int r) {
+  if (r < 0 || r >= cfg_.nranks)
+    raise(Errc::rank_out_of_range, "rank " + std::to_string(r));
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+void SimCore::publish_comm_locked(std::uint64_t key,
+                                  std::shared_ptr<CommImpl> impl) {
+  auto [it, inserted] = published_.emplace(key, std::move(impl));
+  (void)it;
+  require_internal(inserted, "duplicate comm publication key");
+}
+
+std::shared_ptr<CommImpl> SimCore::fetch_published_comm(std::uint64_t key) {
+  std::unique_lock lk(mu_);
+  wait(lk, [&] { return published_.contains(key); });
+  return published_.at(key);
+}
+
+namespace {
+
+struct ThreadArg {
+  SimCore* core;
+  int rank;
+  const std::function<void()>* fn;
+};
+
+void* rank_thread_main(void* p) {
+  auto* arg = static_cast<ThreadArg*>(p);
+  RankContext& me = arg->core->rank_ctx(arg->rank);
+  t_ctx = &me;
+  try {
+    (*arg->fn)();
+  } catch (...) {
+    arg->core->abort(std::current_exception());
+  }
+  if (me.user_state_cleanup) {
+    try {
+      me.user_state_cleanup();
+    } catch (...) {
+      // Cleanup failures after an abort are expected; keep the first error.
+      arg->core->abort(std::current_exception());
+    }
+    me.user_state_cleanup = nullptr;
+  }
+  t_ctx = nullptr;
+  return nullptr;
+}
+
+}  // namespace
+
+void run(const Config& cfg, const std::function<void()>& rank_main) {
+  if (t_ctx != nullptr)
+    raise(Errc::invalid_argument, "nested mpisim::run() is not supported");
+  SimCore core(cfg);
+
+  pthread_attr_t attr;
+  pthread_attr_init(&attr);
+  const std::size_t stack =
+      std::max<std::size_t>(cfg.stack_bytes, PTHREAD_STACK_MIN);
+  pthread_attr_setstacksize(&attr, stack);
+
+  std::vector<pthread_t> threads(static_cast<std::size_t>(cfg.nranks));
+  std::vector<ThreadArg> args(static_cast<std::size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r) {
+    args[static_cast<std::size_t>(r)] = {&core, r, &rank_main};
+    const int rc = pthread_create(&threads[static_cast<std::size_t>(r)], &attr,
+                                  rank_thread_main,
+                                  &args[static_cast<std::size_t>(r)]);
+    if (rc != 0) {
+      core.abort(std::make_exception_ptr(
+          MpiError(Errc::internal, "pthread_create failed")));
+      for (int j = 0; j < r; ++j)
+        pthread_join(threads[static_cast<std::size_t>(j)], nullptr);
+      pthread_attr_destroy(&attr);
+      raise(Errc::internal, "pthread_create failed for rank " +
+                                std::to_string(r));
+    }
+  }
+  pthread_attr_destroy(&attr);
+  for (pthread_t t : threads) pthread_join(t, nullptr);
+
+  if (core.first_error_) std::rethrow_exception(core.first_error_);
+}
+
+void run(int nranks, Platform platform,
+         const std::function<void()>& rank_main) {
+  Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = platform;
+  run(cfg, rank_main);
+}
+
+RankContext& ctx() {
+  if (t_ctx == nullptr)
+    raise(Errc::invalid_argument, "mpisim call outside of mpisim::run()");
+  return *t_ctx;
+}
+
+bool in_simulation() noexcept { return t_ctx != nullptr; }
+
+int rank() { return ctx().rank(); }
+
+int nranks() { return ctx().core().nranks(); }
+
+Comm world() { return Comm(ctx().core().world_impl()); }
+
+SimClock& clock() { return ctx().clock(); }
+
+const NetworkModel& model() { return ctx().core().model(); }
+
+}  // namespace mpisim

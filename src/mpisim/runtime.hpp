@@ -1,0 +1,199 @@
+#ifndef MPISIM_RUNTIME_HPP
+#define MPISIM_RUNTIME_HPP
+
+/// \file runtime.hpp
+/// The simulator core: thread-per-rank SPMD execution.
+///
+/// mpisim::run(cfg, fn) launches cfg.nranks OS threads; each runs \p fn as
+/// one "MPI process". All mpisim calls locate their rank's context through a
+/// thread-local pointer, so user code reads like ordinary SPMD MPI code:
+///
+///     mpisim::run({.nranks = 4}, [] {
+///       if (mpisim::rank() == 0) ...
+///       mpisim::world().barrier();
+///     });
+///
+/// Shared simulator state is serialized by a single global mutex (SimCore::mu)
+/// with one condition variable for all blocking operations. This coarse
+/// locking is deliberate: the simulator's performance story is told in
+/// *virtual* time (SimClock + NetworkModel), so host-side scalability of the
+/// simulator itself is irrelevant, while a single lock makes the many
+/// blocking-rendezvous protocols (receives, window locks, collectives)
+/// trivially deadlock- and race-free and lets an aborting rank wake every
+/// blocked peer.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/mpisim/clock.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/mailbox.hpp"
+#include "src/mpisim/netmodel.hpp"
+#include "src/mpisim/platform.hpp"
+#include "src/mpisim/registration.hpp"
+
+namespace mpisim {
+
+class Comm;
+struct CommImpl;
+class SimCore;
+
+/// Simulation parameters.
+struct Config {
+  int nranks = 4;
+  Platform platform = Platform::ideal;
+  /// Track access ranges inside window epochs and raise
+  /// Errc::conflicting_access on MPI-2-erroneous overlap.
+  bool check_conflicts = true;
+  /// Per-rank thread stack size in bytes (large rank counts need small
+  /// stacks; user code must keep big arrays on the heap).
+  std::size_t stack_bytes = 1 << 20;
+};
+
+/// Per-rank state. One instance per simulated process, owned by SimCore and
+/// bound to its thread via a thread_local pointer.
+class RankContext {
+ public:
+  RankContext(SimCore& core, int rank);
+  ~RankContext();
+
+  RankContext(const RankContext&) = delete;
+  RankContext& operator=(const RankContext&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  SimCore& core() noexcept { return *core_; }
+  SimClock& clock() noexcept { return clock_; }
+
+  /// Registration cache of the MPI runtime on this rank.
+  RegistrationCache& mpi_reg() noexcept { return mpi_reg_; }
+  /// Registration cache of the native ARMCI runtime on this rank.
+  RegistrationCache& native_reg() noexcept { return native_reg_; }
+
+  /// Slot for the layer above (ARMCI keeps its per-process state here).
+  void* user_state = nullptr;
+  /// Cleanup hook invoked when the rank thread finishes (even on error).
+  std::function<void()> user_state_cleanup;
+
+ private:
+  SimCore* core_;
+  int rank_;
+  SimClock clock_;
+  RegistrationCache mpi_reg_;
+  RegistrationCache native_reg_;
+};
+
+/// Shared simulation state for one run().
+class SimCore {
+ public:
+  SimCore(const Config& cfg);
+  ~SimCore();
+
+  SimCore(const SimCore&) = delete;
+  SimCore& operator=(const SimCore&) = delete;
+
+  const Config& config() const noexcept { return cfg_; }
+  int nranks() const noexcept { return cfg_.nranks; }
+  const PlatformProfile& profile() const noexcept { return prof_; }
+  const NetworkModel& model() const noexcept { return model_; }
+
+  /// The global lock guarding all shared simulator state.
+  std::mutex& mu() noexcept { return mu_; }
+  /// Notified on every state change; all blocking waits use wait().
+  std::condition_variable& cv() noexcept { return cv_; }
+
+  /// Block until \p pred() holds, waking on any state change. Throws
+  /// Errc::aborted if another rank failed meanwhile. \p lk must hold mu().
+  template <typename Pred>
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred) {
+    cv_.wait(lk, [&] { return aborted_ || pred(); });
+    if (aborted_) throw MpiError(Errc::aborted, "mpisim: aborted by peer failure");
+  }
+
+  /// Record the first failure and wake all blocked ranks.
+  void abort(std::exception_ptr err) noexcept;
+
+  /// True once any rank failed.
+  bool aborted() const noexcept { return aborted_; }
+
+  /// Mailbox of world rank \p r (access under mu()).
+  Mailbox& mailbox(int r);
+
+  /// Context of world rank \p r.
+  RankContext& rank_ctx(int r);
+
+  /// Fresh communicator id; caller must hold mu().
+  std::uint64_t alloc_comm_id_locked() noexcept { return next_comm_id_++; }
+
+  /// Fresh window id; caller must hold mu().
+  std::uint64_t alloc_win_id_locked() noexcept { return next_win_id_++; }
+
+  /// The world communicator's shared state.
+  const std::shared_ptr<CommImpl>& world_impl() const noexcept {
+    return world_impl_;
+  }
+
+  /// Publish a communicator impl under \p key for peers to fetch (used by
+  /// intercomm construction, where one leader builds the shared state).
+  /// Caller must hold mu() and notify cv() afterwards.
+  void publish_comm_locked(std::uint64_t key, std::shared_ptr<CommImpl> impl);
+
+  /// Block until a peer publishes \p key, then return the shared impl.
+  std::shared_ptr<CommImpl> fetch_published_comm(std::uint64_t key);
+
+ private:
+  friend void run(const Config&, const std::function<void()>&);
+
+  Config cfg_;
+  const PlatformProfile& prof_;
+  NetworkModel model_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool aborted_ = false;
+  std::exception_ptr first_error_;
+
+  std::vector<std::unique_ptr<RankContext>> ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::uint64_t next_comm_id_ = 1;
+  std::uint64_t next_win_id_ = 1;
+  std::shared_ptr<CommImpl> world_impl_;
+  std::map<std::uint64_t, std::shared_ptr<CommImpl>> published_;
+};
+
+/// Run \p rank_main on cfg.nranks simulated processes. Blocks until all
+/// finish; rethrows the first rank failure (after shutting down the rest).
+void run(const Config& cfg, const std::function<void()>& rank_main);
+
+/// Convenience overload.
+void run(int nranks, Platform platform, const std::function<void()>& rank_main);
+
+/// Context of the calling simulated process (throws outside run()).
+RankContext& ctx();
+
+/// True when called from inside a simulated process.
+bool in_simulation() noexcept;
+
+/// Rank of the calling simulated process in the world communicator.
+int rank();
+
+/// Number of simulated processes.
+int nranks();
+
+/// The world communicator.
+Comm world();
+
+/// This rank's virtual clock.
+SimClock& clock();
+
+/// The active cost model.
+const NetworkModel& model();
+
+}  // namespace mpisim
+
+#endif  // MPISIM_RUNTIME_HPP

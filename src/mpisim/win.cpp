@@ -1,0 +1,615 @@
+#include "src/mpisim/win.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace mpisim {
+
+namespace detail {
+
+namespace {
+
+/// Ordered set of half-open byte intervals with overlap queries. Used for
+/// MPI-2 conflicting-access detection inside and across epochs.
+class IntervalSet {
+ public:
+  bool overlaps(std::ptrdiff_t lo, std::ptrdiff_t hi) const {
+    if (m_.empty() || lo >= hi) return false;
+    auto it = m_.upper_bound(lo);
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > lo) return true;
+    }
+    return it != m_.end() && it->first < hi;
+  }
+
+  /// Insert, merging with any overlapping/adjacent intervals.
+  void insert_merge(std::ptrdiff_t lo, std::ptrdiff_t hi) {
+    auto it = m_.upper_bound(lo);
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) it = prev;
+    }
+    while (it != m_.end() && it->first <= hi) {
+      lo = std::min(lo, it->first);
+      hi = std::max(hi, it->second);
+      it = m_.erase(it);
+    }
+    m_[lo] = hi;
+  }
+
+  bool empty() const noexcept { return m_.empty(); }
+  void clear() noexcept { m_.clear(); }
+
+ private:
+  std::map<std::ptrdiff_t, std::ptrdiff_t> m_;
+};
+
+}  // namespace
+
+/// One origin's open access epoch on one target.
+struct Epoch {
+  LockType type = LockType::exclusive;
+  bool mpi3 = false;  ///< opened by lock_all: MPI-3 semantics, where
+                      ///< conflicting accesses are undefined rather than
+                      ///< erroneous, so the checker does not track them
+  std::size_t ops_issued = 0;
+  IntervalSet reads;
+  IntervalSet writes;
+  std::map<Op, IntervalSet> accs;
+};
+
+/// locked_target sentinel: the origin holds a lock_all epoch.
+constexpr int kLockAll = -2;
+
+/// Per-target lock and epoch state.
+struct TargetState {
+  std::map<int, Epoch> open;  // origin comm rank -> epoch
+  std::deque<std::pair<int, LockType>> waiters;
+  double busy_until_ns = 0.0;  // virtual end of the last exclusive epoch
+};
+
+struct WinImpl {
+  std::uint64_t id = 0;
+  Comm comm;
+  std::vector<void*> bases;
+  std::vector<std::size_t> sizes;
+  std::vector<TargetState> targets;
+  std::vector<int> locked_target;  // per-origin: target locked, or -1
+  bool freed = false;
+};
+
+namespace {
+
+/// Grant as many queued lock requests as compatibility allows (FIFO).
+void grant_locked(TargetState& ts) {
+  while (!ts.waiters.empty()) {
+    auto [origin, type] = ts.waiters.front();
+    const bool has_exclusive =
+        std::any_of(ts.open.begin(), ts.open.end(), [](const auto& kv) {
+          return kv.second.type == LockType::exclusive;
+        });
+    if (type == LockType::exclusive) {
+      if (!ts.open.empty()) return;
+    } else {
+      if (has_exclusive) return;
+    }
+    Epoch ep;
+    ep.type = type;
+    ts.open.emplace(origin, std::move(ep));
+    ts.waiters.pop_front();
+  }
+}
+
+const char* kind_name(int k) {
+  switch (k) {
+    case 0: return "put";
+    case 1: return "get";
+    default: return "accumulate";
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::Epoch;
+using detail::TargetState;
+using detail::WinImpl;
+
+Win::Win(std::shared_ptr<WinImpl> impl) : impl_(std::move(impl)) {}
+
+Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
+  if (base == nullptr && bytes != 0)
+    raise(Errc::invalid_argument, "null window base with nonzero size");
+
+  struct Info {
+    std::uintptr_t base;
+    std::size_t size;
+  };
+  const int n = comm.size();
+  Info mine{reinterpret_cast<std::uintptr_t>(base), bytes};
+  std::vector<Info> all(static_cast<std::size_t>(n));
+  comm.allgather(&mine, all.data(), sizeof(Info));
+
+  SimCore& core = ctx().core();
+  std::shared_ptr<WinImpl>* slot = nullptr;
+  if (comm.rank() == 0) {
+    auto impl = std::make_shared<WinImpl>();
+    impl->comm = comm;
+    impl->bases.reserve(static_cast<std::size_t>(n));
+    impl->sizes.reserve(static_cast<std::size_t>(n));
+    for (const Info& i : all) {
+      impl->bases.push_back(reinterpret_cast<void*>(i.base));
+      impl->sizes.push_back(i.size);
+    }
+    impl->targets.resize(static_cast<std::size_t>(n));
+    impl->locked_target.assign(static_cast<std::size_t>(n), -1);
+    {
+      std::lock_guard lk(core.mu());
+      impl->id = core.alloc_win_id_locked();
+    }
+    slot = new std::shared_ptr<WinImpl>(std::move(impl));
+  }
+  comm.bcast(&slot, sizeof slot, 0);
+  std::shared_ptr<WinImpl> impl = *slot;
+  comm.barrier();
+  if (comm.rank() == 0) delete slot;
+
+  // Window memory is registered at creation time (MPI_Alloc_mem-style);
+  // Figure 5's on-demand costs concern *local* buffers used as RMA origins.
+  ctx().mpi_reg().register_prepinned(base, bytes);
+  return Win(std::move(impl));
+}
+
+void Win::free() {
+  WinImpl& w = *impl_;
+  {
+    std::lock_guard lk(ctx().core().mu());
+    if (w.locked_target[static_cast<std::size_t>(w.comm.rank())] != -1)
+      raise(Errc::not_locked, "Win::free with an open epoch");
+  }
+  w.comm.barrier();
+  if (w.comm.rank() == 0) w.freed = true;
+  w.comm.barrier();
+  impl_.reset();
+}
+
+void Win::lock(LockType type, int target_rank) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
+  if (target_rank < 0 || target_rank >= w.comm.size())
+    raise(Errc::rank_out_of_range, "lock target " + std::to_string(target_rank));
+
+  std::unique_lock lk(core.mu());
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
+    raise(Errc::double_lock,
+          "origin already holds a lock on this window (target " +
+              std::to_string(w.locked_target[static_cast<std::size_t>(myrank)]) +
+              ")");
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  ts.waiters.emplace_back(myrank, type);
+  detail::grant_locked(ts);
+  core.cv().notify_all();
+  core.wait(lk, [&] { return ts.open.contains(myrank); });
+  w.locked_target[static_cast<std::size_t>(myrank)] = target_rank;
+
+  // Virtual time: a lock round trip; exclusive epochs additionally serialize
+  // behind the previous exclusive epoch's completion time.
+  me.clock().advance(core.model().lock_ns());
+  if (type == LockType::exclusive) me.clock().advance_to(ts.busy_until_ns);
+}
+
+void Win::unlock(int target_rank) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+
+  std::unique_lock lk(core.mu());
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  auto it = ts.open.find(myrank);
+  if (it == ts.open.end() ||
+      w.locked_target[static_cast<std::size_t>(myrank)] != target_rank)
+    raise(Errc::not_locked, "unlock without a matching lock");
+
+  const bool was_exclusive = it->second.type == LockType::exclusive;
+  ts.open.erase(it);
+  w.locked_target[static_cast<std::size_t>(myrank)] = -1;
+
+  me.clock().advance(core.model().unlock_ns());
+  if (was_exclusive)
+    ts.busy_until_ns = std::max(ts.busy_until_ns, me.clock().now_ns());
+
+  detail::grant_locked(ts);
+  core.cv().notify_all();
+}
+
+void Win::lock_all() const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
+
+  std::unique_lock lk(core.mu());
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
+    raise(Errc::double_lock, "lock_all while holding a lock on this window");
+  // Shared-mode epochs on every target; wait for each in turn (shared
+  // requests only queue behind exclusive holders, so this cannot deadlock
+  // against another lock_all).
+  for (int t = 0; t < w.comm.size(); ++t) {
+    TargetState& ts = w.targets[static_cast<std::size_t>(t)];
+    ts.waiters.emplace_back(myrank, LockType::shared);
+    detail::grant_locked(ts);
+    core.cv().notify_all();
+    core.wait(lk, [&] { return ts.open.contains(myrank); });
+    ts.open.at(myrank).mpi3 = true;
+  }
+  w.locked_target[static_cast<std::size_t>(myrank)] = detail::kLockAll;
+  me.clock().advance(core.model().lock_ns());
+}
+
+void Win::unlock_all() const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+
+  std::unique_lock lk(core.mu());
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != detail::kLockAll)
+    raise(Errc::not_locked, "unlock_all without lock_all");
+  for (int t = 0; t < w.comm.size(); ++t) {
+    TargetState& ts = w.targets[static_cast<std::size_t>(t)];
+    ts.open.erase(myrank);
+    detail::grant_locked(ts);
+  }
+  w.locked_target[static_cast<std::size_t>(myrank)] = -1;
+  me.clock().advance(core.model().unlock_ns());
+  core.cv().notify_all();
+}
+
+void Win::flush(int target_rank) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+
+  std::unique_lock lk(core.mu());
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  auto it = ts.open.find(myrank);
+  if (it == ts.open.end())
+    raise(Errc::no_epoch, "flush without an epoch on the target");
+  // Remote completion of everything outstanding: one acknowledgement round
+  // trip; afterwards the next operation pays wire latency again.
+  if (it->second.ops_issued > 0) {
+    it->second.ops_issued = 0;
+    me.clock().advance(core.model().unlock_ns() +
+                       core.model().p2p_ns(0));
+  }
+}
+
+void Win::flush_all() const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+
+  std::unique_lock lk(core.mu());
+  bool any = false;
+  for (int t = 0; t < w.comm.size(); ++t) {
+    TargetState& ts = w.targets[static_cast<std::size_t>(t)];
+    auto it = ts.open.find(myrank);
+    if (it != ts.open.end() && it->second.ops_issued > 0) {
+      it->second.ops_issued = 0;
+      any = true;
+    }
+  }
+  if (any)
+    me.clock().advance(core.model().unlock_ns() + core.model().p2p_ns(0));
+}
+
+void Win::put(const void* origin, std::size_t bytes, int target_rank,
+              std::size_t target_disp) const {
+  const Datatype t = byte_type();
+  rma_op(OpKind::put, origin, bytes, t, target_rank, target_disp, bytes, t,
+         Op::replace);
+}
+
+void Win::get(void* origin, std::size_t bytes, int target_rank,
+              std::size_t target_disp) const {
+  const Datatype t = byte_type();
+  rma_op(OpKind::get, origin, bytes, t, target_rank, target_disp, bytes, t,
+         Op::replace);
+}
+
+void Win::put(const void* origin, std::size_t origin_count,
+              const Datatype& origin_type, int target_rank,
+              std::size_t target_disp, std::size_t target_count,
+              const Datatype& target_type) const {
+  rma_op(OpKind::put, origin, origin_count, origin_type, target_rank,
+         target_disp, target_count, target_type, Op::replace);
+}
+
+void Win::get(void* origin, std::size_t origin_count,
+              const Datatype& origin_type, int target_rank,
+              std::size_t target_disp, std::size_t target_count,
+              const Datatype& target_type) const {
+  rma_op(OpKind::get, origin, origin_count, origin_type, target_rank,
+         target_disp, target_count, target_type, Op::replace);
+}
+
+void Win::accumulate(const void* origin, std::size_t origin_count,
+                     const Datatype& origin_type, int target_rank,
+                     std::size_t target_disp, std::size_t target_count,
+                     const Datatype& target_type, Op op) const {
+  rma_op(OpKind::acc, origin, origin_count, origin_type, target_rank,
+         target_disp, target_count, target_type, op);
+}
+
+void Win::get_accumulate(const void* origin, void* result, std::size_t count,
+                         const Datatype& type, int target_rank,
+                         std::size_t target_disp, Op op) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const std::size_t bytes = count * type.size();
+  if (bytes == 0) return;
+  if (!type.contiguous_layout())
+    raise(Errc::invalid_argument,
+          "get_accumulate supports contiguous datatypes");
+  if (op != Op::no_op && origin == nullptr)
+    raise(Errc::invalid_argument, "null origin with a combining op");
+  if (target_disp + bytes > w.sizes[static_cast<std::size_t>(target_rank)])
+    raise(Errc::window_bounds, "get_accumulate outside the window");
+
+  auto* tptr = static_cast<std::uint8_t*>(
+                   w.bases[static_cast<std::size_t>(target_rank)]) +
+               target_disp;
+
+  std::unique_lock lk(core.mu());
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  auto eit = ts.open.find(myrank);
+  if (eit == ts.open.end())
+    raise(Errc::no_epoch, "RMA operation outside a passive-target epoch");
+  Epoch& ep = eit->second;
+
+  // Accumulate-class atomicity: fetch, then combine, in one critical
+  // section. MPI-2 epochs still record the access (no_op mixes with any
+  // accumulate operator; MPI's same_op_no_op rule).
+  if (core.config().check_conflicts && !ep.mpi3) {
+    const auto lo = static_cast<std::ptrdiff_t>(target_disp);
+    const auto hi = lo + static_cast<std::ptrdiff_t>(bytes);
+    for (auto& [orank, oe] : ts.open) {
+      bool conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
+      for (auto& [o, set] : oe.accs)
+        if (o != op && o != Op::no_op && op != Op::no_op)
+          conflict = conflict || set.overlaps(lo, hi);
+      if (conflict)
+        raise(Errc::conflicting_access,
+              "get_accumulate conflicts with an access by origin " +
+                  std::to_string(orank));
+    }
+    ep.accs[op].insert_merge(lo, hi);
+  }
+
+  std::memcpy(result, tptr, bytes);
+  if (op != Op::no_op)
+    apply_op(op, type.element_type(), tptr, origin, count);
+
+  // Fetching semantics: the caller needs the reply, so unlike put-class
+  // operations the round trip is always paid.
+  const NetworkModel& nm = core.model();
+  me.clock().advance(nm.rma_op_ns(RmaKind::acc, bytes, 1, Path::mpi,
+                                  ep.ops_issued, true, w.comm.size()) +
+                     nm.p2p_ns(bytes));
+  ++ep.ops_issued;
+}
+
+void Win::fetch_and_op(const void* origin, void* result, BasicType type,
+                       int target_rank, std::size_t target_disp,
+                       Op op) const {
+  get_accumulate(origin, result, 1, Datatype::basic(type), target_rank,
+                 target_disp, op);
+}
+
+void Win::compare_and_swap(const void* origin, const void* compare,
+                           void* result, BasicType type, int target_rank,
+                           std::size_t target_disp) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const std::size_t bytes = basic_type_size(type);
+  if (target_disp + bytes > w.sizes[static_cast<std::size_t>(target_rank)])
+    raise(Errc::window_bounds, "compare_and_swap outside the window");
+
+  auto* tptr = static_cast<std::uint8_t*>(
+                   w.bases[static_cast<std::size_t>(target_rank)]) +
+               target_disp;
+
+  std::unique_lock lk(core.mu());
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  auto eit = ts.open.find(myrank);
+  if (eit == ts.open.end())
+    raise(Errc::no_epoch, "RMA operation outside a passive-target epoch");
+  Epoch& ep = eit->second;
+
+  std::memcpy(result, tptr, bytes);
+  if (std::memcmp(tptr, compare, bytes) == 0)
+    std::memcpy(tptr, origin, bytes);
+
+  const NetworkModel& nm = core.model();
+  me.clock().advance(nm.rma_op_ns(RmaKind::acc, bytes, 1, Path::mpi,
+                                  ep.ops_issued, true, w.comm.size()) +
+                     nm.p2p_ns(bytes));
+  ++ep.ops_issued;
+}
+
+void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
+                 const Datatype& origin_type, int target_rank,
+                 std::size_t target_disp, std::size_t target_count,
+                 const Datatype& target_type, Op op) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const std::size_t bytes = origin_count * origin_type.size();
+
+  if (bytes != target_count * target_type.size())
+    raise(Errc::type_mismatch, "origin/target transfer sizes differ");
+  if (bytes == 0) return;
+  if (kind == OpKind::acc &&
+      origin_type.element_type() != target_type.element_type())
+    raise(Errc::type_mismatch, "accumulate element types differ");
+
+  const std::size_t target_span =
+      target_disp + (target_count - 1) * static_cast<std::size_t>(
+                                             target_type.extent()) +
+      static_cast<std::size_t>(target_type.extent());
+  if (target_span > w.sizes[static_cast<std::size_t>(target_rank)])
+    raise(Errc::window_bounds,
+          "access [" + std::to_string(target_disp) + ", " +
+              std::to_string(target_span) + ") exceeds window of " +
+              std::to_string(w.sizes[static_cast<std::size_t>(target_rank)]) +
+              " bytes on rank " + std::to_string(target_rank));
+
+  auto* tbase = static_cast<std::uint8_t*>(
+                    w.bases[static_cast<std::size_t>(target_rank)]) +
+                target_disp;
+
+  std::unique_lock lk(core.mu());
+  TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
+  auto eit = ts.open.find(myrank);
+  if (eit == ts.open.end())
+    raise(Errc::no_epoch, "RMA operation outside a passive-target epoch");
+  Epoch& ep = eit->second;
+
+  const std::vector<Segment> osegs = origin_type.flatten(origin_count);
+  const std::vector<Segment> tsegs = target_type.flatten(target_count);
+
+  // ---- MPI-2 conflicting-access detection (within and across epochs) ----
+  // Check-and-insert per segment, so conflicts *within* one operation
+  // (e.g. a put datatype that writes the same bytes twice) are caught too:
+  // earlier segments of this op are already recorded in `ep` when later
+  // segments are checked. Epochs opened by lock_all() follow MPI-3
+  // semantics (conflicts undefined, not erroneous) and are not tracked.
+  if (core.config().check_conflicts && !ep.mpi3) {
+    for (const Segment& s : tsegs) {
+      const std::ptrdiff_t lo = static_cast<std::ptrdiff_t>(target_disp) + s.offset;
+      const std::ptrdiff_t hi = lo + static_cast<std::ptrdiff_t>(s.length);
+      for (auto& [orank, oe] : ts.open) {
+        bool conflict = false;
+        switch (kind) {
+          case OpKind::get:
+            conflict = oe.writes.overlaps(lo, hi);
+            for (auto& [o, set] : oe.accs)
+              conflict = conflict || set.overlaps(lo, hi);
+            break;
+          case OpKind::put:
+            conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
+            for (auto& [o, set] : oe.accs)
+              conflict = conflict || set.overlaps(lo, hi);
+            break;
+          case OpKind::acc:
+            conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
+            for (auto& [o, set] : oe.accs)
+              if (o != op) conflict = conflict || set.overlaps(lo, hi);
+            break;
+        }
+        if (conflict)
+          raise(Errc::conflicting_access,
+                std::string(detail::kind_name(static_cast<int>(kind))) +
+                    " on bytes [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + ") of rank " +
+                    std::to_string(target_rank) +
+                    " conflicts with an access by origin " +
+                    std::to_string(orank));
+      }
+      switch (kind) {
+        case OpKind::get: ep.reads.insert_merge(lo, hi); break;
+        case OpKind::put: ep.writes.insert_merge(lo, hi); break;
+        case OpKind::acc: ep.accs[op].insert_merge(lo, hi); break;
+      }
+    }
+  }
+
+  // ---- Data movement (safe under the global lock) ----
+  {
+    const std::size_t esz = basic_type_size(origin_type.element_type());
+    auto* obase =
+        static_cast<std::uint8_t*>(const_cast<void*>(origin));  // get writes
+    std::size_t oi = 0, ti = 0, opos = 0, tpos = 0;
+    while (oi < osegs.size() && ti < tsegs.size()) {
+      const std::size_t chunk =
+          std::min(osegs[oi].length - opos, tsegs[ti].length - tpos);
+      std::uint8_t* optr = obase + osegs[oi].offset + opos;
+      std::uint8_t* tptr = tbase + tsegs[ti].offset + tpos;
+      switch (kind) {
+        case OpKind::put:
+          std::memcpy(tptr, optr, chunk);
+          break;
+        case OpKind::get:
+          std::memcpy(optr, tptr, chunk);
+          break;
+        case OpKind::acc:
+          apply_op(op, origin_type.element_type(), tptr, optr, chunk / esz);
+          break;
+      }
+      opos += chunk;
+      tpos += chunk;
+      if (opos == osegs[oi].length) { ++oi; opos = 0; }
+      if (tpos == tsegs[ti].length) { ++ti; tpos = 0; }
+    }
+  }
+
+  // ---- Virtual-time accounting ----
+  const NetworkModel& nm = core.model();
+  const PlatformProfile& prof = nm.profile();
+  const std::size_t nseg = std::max(osegs.size(), tsegs.size());
+  const bool contig = nseg == 1;
+  double cost = nm.rma_op_ns(
+      kind == OpKind::put ? RmaKind::put
+      : kind == OpKind::get ? RmaKind::get
+                            : RmaKind::acc,
+      bytes, nseg, Path::mpi, ep.ops_issued, /*local_pinned=*/true,
+      w.comm.size());
+  if (!contig) {
+    cost += nm.dtype_build_ns(nseg);
+    // A noncontiguous side without hardware scatter/gather costs a pack at
+    // the origin plus an unpack at the target (two host copies).
+    if (osegs.size() > 1) cost += 2.0 * nm.pack_ns(bytes);
+    if (tsegs.size() > 1) cost += 2.0 * nm.pack_ns(bytes);
+  }
+  if (prof.on_demand_registration) {
+    if (bytes <= prof.bounce_threshold_bytes) {
+      cost += nm.pack_ns(bytes);  // copy through pre-pinned bounce buffers
+    } else {
+      const std::size_t pages = me.mpi_reg().ensure_registered(origin, bytes);
+      cost += nm.registration_ns(pages);
+    }
+  }
+  me.clock().advance(cost);
+  ++ep.ops_issued;
+}
+
+void* Win::base(int rank) const {
+  return impl_->bases.at(static_cast<std::size_t>(rank));
+}
+
+std::size_t Win::size(int rank) const {
+  return impl_->sizes.at(static_cast<std::size_t>(rank));
+}
+
+Comm Win::comm() const { return impl_->comm; }
+
+std::uint64_t Win::id() const noexcept { return impl_->id; }
+
+}  // namespace mpisim

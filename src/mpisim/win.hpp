@@ -1,0 +1,165 @@
+#ifndef MPISIM_WIN_HPP
+#define MPISIM_WIN_HPP
+
+/// \file win.hpp
+/// Passive-target one-sided communication (MPI-2 RMA windows).
+///
+/// This is the API surface the paper's ARMCI-MPI port is written against,
+/// with MPI-2 semantics enforced rather than merely documented:
+///
+///  - All data access must happen inside a passive-target access epoch
+///    (lock() ... unlock()); an op outside an epoch raises Errc::no_epoch.
+///  - An origin may hold at most one lock per window at a time; a second
+///    lock() raises Errc::double_lock. This is the restriction that forces
+///    ARMCI-MPI to stage communication whose *local* buffer is itself in
+///    global space through a temporary buffer (paper §V-E1).
+///  - Exclusive locks serialize with all other epochs on the target;
+///    shared locks admit concurrent origins.
+///  - Conflicting accesses (put/get overlap, put/put overlap, accumulate
+///    mixed with put/get, accumulates with different ops on the same
+///    location) -- whether within one epoch or across concurrent shared
+///    epochs -- are *erroneous* in MPI-2; with Config::check_conflicts the
+///    simulator detects them and raises Errc::conflicting_access.
+///  - Operations complete (locally and remotely) at unlock(); there is no
+///    separate local-completion event, matching MPI-2.
+///
+/// Virtual-time accounting: lock/unlock charge epoch overheads, each
+/// operation charges per-op issue cost, datatype-processing cost per
+/// segment, serialization at the modeled MPI RMA bandwidth, and (on
+/// registration-managed platforms) on-demand pinning of the local buffer.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/mpisim/comm.hpp"
+#include "src/mpisim/datatype.hpp"
+
+namespace mpisim {
+
+/// Passive-target lock modes.
+enum class LockType { shared, exclusive };
+
+namespace detail {
+struct WinImpl;
+}
+
+/// Value handle to an RMA window. Cheap to copy; all copies refer to the
+/// same collective window object.
+class Win {
+ public:
+  Win() = default;
+
+  /// Collectively create a window over \p comm exposing [base, base+bytes)
+  /// on the calling rank. \p base may be null iff bytes == 0.
+  static Win create(void* base, std::size_t bytes, const Comm& comm);
+
+  /// Collectively destroy the window. All epochs must be closed.
+  void free();
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// Open a passive-target access epoch on \p target_rank.
+  void lock(LockType type, int target_rank) const;
+
+  /// Close the epoch on \p target_rank; completes all its operations.
+  void unlock(int target_rank) const;
+
+  // ---- MPI-3 epochless passive mode (paper §VIII-B) ----
+
+  /// Open one shared-mode access epoch on *every* target at once
+  /// (MPI_Win_lock_all). Cannot be combined with lock() by the same origin;
+  /// close with unlock_all(). Together with flush() this is the epochless
+  /// communication mode the MPI-3 RMA proposal introduced.
+  void lock_all() const;
+
+  /// Close the lock_all() epoch, completing all outstanding operations.
+  void unlock_all() const;
+
+  /// Complete all outstanding operations to \p target_rank without closing
+  /// the epoch (MPI_Win_flush).
+  void flush(int target_rank) const;
+
+  /// flush() to every target (MPI_Win_flush_all).
+  void flush_all() const;
+
+  /// Contiguous byte put/get convenience wrappers.
+  void put(const void* origin, std::size_t bytes, int target_rank,
+           std::size_t target_disp) const;
+  void get(void* origin, std::size_t bytes, int target_rank,
+           std::size_t target_disp) const;
+
+  /// General typed put: origin described by (origin, count, type), target
+  /// by byte displacement + (count, type) relative to the target base.
+  void put(const void* origin, std::size_t origin_count,
+           const Datatype& origin_type, int target_rank,
+           std::size_t target_disp, std::size_t target_count,
+           const Datatype& target_type) const;
+
+  void get(void* origin, std::size_t origin_count, const Datatype& origin_type,
+           int target_rank, std::size_t target_disp, std::size_t target_count,
+           const Datatype& target_type) const;
+
+  /// Typed accumulate; \p op is applied element-wise at the target
+  /// (Op::replace gives MPI_REPLACE).
+  void accumulate(const void* origin, std::size_t origin_count,
+                  const Datatype& origin_type, int target_rank,
+                  std::size_t target_disp, std::size_t target_count,
+                  const Datatype& target_type, Op op) const;
+
+  // ---- MPI-3 atomic read-modify-write (paper §VIII-B) ----
+
+  /// Atomically fetch the target data into \p result and combine \p origin
+  /// into the target with \p op (MPI_Get_accumulate). Op::no_op with a null
+  /// \p origin is an atomic fetch. Accumulate-class operations are
+  /// element-atomic with respect to each other; no_op mixes with any other
+  /// accumulate operator (MPI's same_op_no_op rule).
+  void get_accumulate(const void* origin, void* result, std::size_t count,
+                      const Datatype& type, int target_rank,
+                      std::size_t target_disp, Op op) const;
+
+  /// Single-element atomic fetch-and-op (MPI_Fetch_and_op).
+  void fetch_and_op(const void* origin, void* result, BasicType type,
+                    int target_rank, std::size_t target_disp, Op op) const;
+
+  /// Single-element atomic compare-and-swap (MPI_Compare_and_swap): the
+  /// target value is fetched into \p result, and replaced by \p origin iff
+  /// it equals \p compare.
+  void compare_and_swap(const void* origin, const void* compare, void* result,
+                        BasicType type, int target_rank,
+                        std::size_t target_disp) const;
+
+  /// Local base address exposed by \p rank (window-group rank). The caller
+  /// must hold an appropriate epoch to actually dereference remote memory.
+  void* base(int rank) const;
+
+  /// Bytes exposed by \p rank.
+  std::size_t size(int rank) const;
+
+  /// The communicator the window was created over.
+  Comm comm() const;
+
+  /// Unique id (diagnostics).
+  std::uint64_t id() const noexcept;
+
+  bool operator==(const Win& other) const noexcept {
+    return impl_ == other.impl_;
+  }
+
+ private:
+  explicit Win(std::shared_ptr<detail::WinImpl> impl);
+
+  enum class OpKind { put, get, acc };
+  void rma_op(OpKind kind, const void* origin, std::size_t origin_count,
+              const Datatype& origin_type, int target_rank,
+              std::size_t target_disp, std::size_t target_count,
+              const Datatype& target_type, Op op) const;
+
+  std::shared_ptr<detail::WinImpl> impl_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_WIN_HPP

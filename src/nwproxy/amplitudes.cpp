@@ -1,0 +1,62 @@
+#include "src/nwproxy/amplitudes.hpp"
+
+#include <cmath>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace nwproxy {
+
+Amplitudes Amplitudes::create(const CcsdParams& p, const std::string& name) {
+  Amplitudes a;
+  a.rows_ = p.no * p.no;
+  a.cols_ = p.nv * p.nv;
+  a.tsq_ = p.tile * p.tile;
+  a.ntiles_ = (a.cols_ + a.tsq_ - 1) / a.tsq_;
+  const std::int64_t dims[] = {a.rows_, a.cols_};
+  a.ga_ = ga::GlobalArray::create(name, dims, ga::ElemType::dbl);
+  return a;
+}
+
+void Amplitudes::destroy() { ga_.destroy(); }
+
+std::pair<std::int64_t, std::int64_t> Amplitudes::tile_cols(
+    std::int64_t t) const {
+  const std::int64_t lo = t * tsq_;
+  const std::int64_t hi = std::min(cols_ - 1, lo + tsq_ - 1);
+  return {lo, hi};
+}
+
+std::int64_t Amplitudes::tile_width(std::int64_t t) const {
+  auto [lo, hi] = tile_cols(t);
+  return hi - lo + 1;
+}
+
+double Amplitudes::ref_value(std::int64_t r, std::int64_t c) {
+  // Smooth and deterministic; magnitude ~1e-2 like real amplitudes.
+  return 0.01 * std::sin(0.37 * static_cast<double>(r) +
+                         0.61 * static_cast<double>(c)) +
+         0.002;
+}
+
+void Amplitudes::init_reference() {
+  ga::Patch p;
+  auto* ptr = static_cast<double*>(ga_.access(p));
+  if (ptr != nullptr) {
+    const std::int64_t ni = p.extent(1);
+    for (std::int64_t r = p.lo[0]; r <= p.hi[0]; ++r)
+      for (std::int64_t c = p.lo[1]; c <= p.hi[1]; ++c)
+        ptr[(r - p.lo[0]) * ni + (c - p.lo[1])] = ref_value(r, c);
+    ga_.release_update();
+  }
+  ga_.sync();
+}
+
+double v_coeff(std::int64_t at, std::int64_t bt, std::int64_t kt) {
+  // Decaying coupling: dominated by kt == bt, perturbed by the tile pair.
+  const double d = static_cast<double>(kt - bt);
+  return std::cos(0.2 * static_cast<double>(at)) /
+         (1.0 + 0.5 * d * d);
+}
+
+}  // namespace nwproxy

@@ -1,0 +1,70 @@
+#ifndef NWPROXY_AMPLITUDES_HPP
+#define NWPROXY_AMPLITUDES_HPP
+
+/// \file amplitudes.hpp
+/// T2 amplitude storage for the CCSD(T) proxy.
+///
+/// The doubles amplitudes t2(i,j;c,d) are stored as a 2-d global array in
+/// the standard matricized form: row = composite occupied pair ij (no^2
+/// rows), column = composite virtual pair cd (nv^2 columns). Work is tiled
+/// over the composite virtual-pair index in chunks of tile^2 columns, so a
+/// tile access is a 2-d patch (all rows x one column band) that decomposes
+/// into strided ARMCI transfers across the owners -- the access pattern the
+/// paper's Figure 4 microbenchmarks isolate.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/ga/ga.hpp"
+#include "src/nwproxy/params.hpp"
+
+namespace nwproxy {
+
+/// Distributed T2 tensor (matricized), plus tile bookkeeping.
+class Amplitudes {
+ public:
+  Amplitudes() = default;
+
+  /// Collective: allocate the (no^2 x nv^2) array.
+  static Amplitudes create(const CcsdParams& p, const std::string& name);
+
+  /// Collective: free.
+  void destroy();
+
+  ga::GlobalArray& array() noexcept { return ga_; }
+  const ga::GlobalArray& array() const noexcept { return ga_; }
+
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  std::int64_t ntiles() const noexcept { return ntiles_; }
+
+  /// Inclusive column range [first, last] of pair-tile \p t.
+  std::pair<std::int64_t, std::int64_t> tile_cols(std::int64_t t) const;
+
+  /// Width (columns) of pair-tile \p t (the last tile may be partial).
+  std::int64_t tile_width(std::int64_t t) const;
+
+  /// Collective: fill with the deterministic reference values
+  /// t2(r, c) = ref_value(r, c).
+  void init_reference();
+
+  /// Deterministic pseudo-amplitude (smooth, nonzero, order ~1e-2).
+  static double ref_value(std::int64_t r, std::int64_t c);
+
+ private:
+  ga::GlobalArray ga_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t tsq_ = 0;
+  std::int64_t ntiles_ = 0;
+};
+
+/// On-the-fly "integral" coefficient coupling virtual-pair tile \p kt into
+/// output tile \p bt for task row-tile \p at -- the stand-in for a
+/// synthesized V(ab,cd) integral tile (direct-integral computation).
+double v_coeff(std::int64_t at, std::int64_t bt, std::int64_t kt);
+
+}  // namespace nwproxy
+
+#endif  // NWPROXY_AMPLITUDES_HPP

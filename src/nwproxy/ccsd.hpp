@@ -1,0 +1,55 @@
+#ifndef NWPROXY_CCSD_HPP
+#define NWPROXY_CCSD_HPP
+
+/// \file ccsd.hpp
+/// The CCSD and (T) proxy phases (paper §VII-C/D).
+///
+/// run_ccsd executes `iterations` sweeps of the dominant CCSD contraction
+/// pattern: tasks (one per upper-triangular virtual tile pair) are claimed
+/// from a shared atomic counter (NWChem's nxtval dynamic load balancing);
+/// each task one-sidedly GETs amplitude tiles, contracts them against
+/// integral tiles synthesized on the fly (modeled DGEMM time charged at the
+/// platform's per-core rate), and ACCumulates the result tile back --
+/// get/compute/accumulate, the signature GA workload. A damped Jacobi-style
+/// update and a pseudo-energy close each iteration.
+///
+/// run_triples executes the get-heavy (T) phase: one task per occupied
+/// (i,j,k) triple fetches amplitude rows for the three pair indices and
+/// reduces them into an energy contribution, charging the ~nv^3 triples
+/// kernel per task.
+///
+/// Both are collective over all processes; ARMCI must be initialized (the
+/// backend choice decides whether this is ARMCI-MPI or ARMCI-Native).
+
+#include <cstdint>
+
+#include "src/nwproxy/amplitudes.hpp"
+#include "src/nwproxy/params.hpp"
+
+namespace nwproxy {
+
+/// Outcome of one proxy phase.
+struct PhaseResult {
+  double virtual_seconds = 0.0;       ///< job time: slowest rank's clock
+  double virtual_seconds_mean = 0.0;  ///< mean across ranks (balance check)
+  double energy = 0.0;           ///< pseudo-energy (correctness signal)
+  std::int64_t my_tasks = 0;     ///< tasks executed by the calling rank
+  std::int64_t total_tasks = 0;  ///< tasks in the phase (per iteration)
+};
+
+/// Run the CCSD phase; on return, \p t2 holds the final amplitudes (it is
+/// created and initialized inside). Collective.
+PhaseResult run_ccsd(const CcsdParams& p, Amplitudes& t2);
+
+/// Run the (T) phase over existing amplitudes \p t2. Collective.
+PhaseResult run_triples(const CcsdParams& p, const Amplitudes& t2);
+
+/// Serial reference for one CCSD sweep on tiny problems (tests): the value
+/// of T2new(r, c) that one iteration must produce from amplitudes `f`.
+double ccsd_reference_value(const CcsdParams& p, std::int64_t r,
+                            std::int64_t c,
+                            double (*f)(std::int64_t, std::int64_t));
+
+}  // namespace nwproxy
+
+#endif  // NWPROXY_CCSD_HPP

@@ -1,0 +1,279 @@
+// Integration tests for ARMCI process groups (collective + noncollective
+// creation, §V-A), group allocations, direct local access (§V-E), and
+// access-mode hints (§VIII-A).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+namespace {
+
+using mpisim::Platform;
+
+TEST(ArmciGroupTest, WorldGroupBasics) {
+  mpisim::run(4, Platform::ideal, [] {
+    init({});
+    PGroup w = PGroup::world();
+    EXPECT_EQ(w.size(), 4);
+    EXPECT_EQ(w.rank(), mpisim::rank());
+    EXPECT_EQ(w.absolute_id(2), 2);
+    EXPECT_EQ(w.rank_of(3), 3);
+    finalize();
+  });
+}
+
+TEST(ArmciGroupTest, CollectiveSubgroupCreation) {
+  mpisim::run(5, Platform::ideal, [] {
+    init({});
+    const std::vector<int> members{1, 3, 4};
+    PGroup g = PGroup::create_collective(members, PGroup::world());
+    if (mpisim::rank() == 1 || mpisim::rank() == 3 || mpisim::rank() == 4) {
+      ASSERT_TRUE(g.valid());
+      EXPECT_EQ(g.size(), 3);
+      EXPECT_EQ(g.absolute_id(g.rank()), mpisim::rank());
+      // ARMCI_Absolute_id translation both ways.
+      EXPECT_EQ(g.rank_of(g.absolute_id(0)), 0);
+    } else {
+      EXPECT_FALSE(g.valid());
+    }
+    finalize();
+  });
+}
+
+TEST(ArmciGroupTest, NoncollectiveCreationOnlyMembersParticipate) {
+  mpisim::run(6, Platform::ideal, [] {
+    init({});
+    // Ranks 1, 2, 4 form a group WITHOUT the other ranks calling anything.
+    if (mpisim::rank() == 1 || mpisim::rank() == 2 || mpisim::rank() == 4) {
+      const std::vector<int> members{1, 2, 4};
+      PGroup g = PGroup::create_noncollective(members, /*tag=*/17);
+      ASSERT_TRUE(g.valid());
+      EXPECT_EQ(g.size(), 3);
+      EXPECT_EQ(g.absolute_id(g.rank()), mpisim::rank());
+      // The backing communicator is real: run a collective on it.
+      std::int64_t mine = mpisim::rank(), sum = 0;
+      g.comm().allreduce(&mine, &sum, 1, mpisim::BasicType::int64,
+                         mpisim::Op::sum);
+      EXPECT_EQ(sum, 7);
+    }
+    // Non-members do unrelated work meanwhile.
+    finalize();
+  });
+}
+
+TEST(ArmciGroupTest, NoncollectiveGroupSizes) {
+  // Exercise power-of-two and ragged sizes through the recursive merge.
+  for (int gsize : {1, 2, 3, 5, 8}) {
+    mpisim::run(8, Platform::ideal, [gsize] {
+      init({});
+      if (mpisim::rank() < gsize) {
+        std::vector<int> members;
+        for (int r = 0; r < gsize; ++r) members.push_back(r);
+        PGroup g = PGroup::create_noncollective(members, 23);
+        EXPECT_EQ(g.size(), gsize);
+        EXPECT_EQ(g.rank(), mpisim::rank());
+        g.barrier();
+      }
+      finalize();
+    });
+  }
+}
+
+TEST(ArmciGroupTest, GroupAllocationAndTransfer) {
+  mpisim::run(6, Platform::ideal, [] {
+    init({});
+    const std::vector<int> members{0, 2, 5};
+    PGroup g = PGroup::create_collective(members, PGroup::world());
+    if (g.valid()) {
+      std::vector<void*> bases = malloc_group(128, g);
+      ASSERT_EQ(bases.size(), 3u);  // indexed by group rank
+      g.barrier();
+      if (mpisim::rank() == 0) {
+        // Communicate with group rank 2 == absolute process 5.
+        const char v = 'G';
+        put(&v, bases[2], 1, g.absolute_id(2));
+        fence(g.absolute_id(2));
+      }
+      g.barrier();
+      if (mpisim::rank() == 5) {
+        EXPECT_EQ(static_cast<char*>(bases[2])[0], 'G');
+      }
+      free_group(bases[static_cast<std::size_t>(g.rank())], g);
+    }
+    finalize();
+  });
+}
+
+TEST(ArmciGroupTest, ZeroSizeGroupAllocation) {
+  mpisim::run(4, Platform::ideal, [] {
+    init({});
+    PGroup w = PGroup::world();
+    std::vector<void*> bases =
+        malloc_group(mpisim::rank() % 2 == 0 ? 64 : 0, w);
+    EXPECT_EQ(bases[1], nullptr);
+    EXPECT_NE(bases[0], nullptr);
+    free_group(bases[static_cast<std::size_t>(mpisim::rank())], w);
+    finalize();
+  });
+}
+
+class ArmciDlaTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  Options opts() const {
+    Options o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+TEST_P(ArmciDlaTest, AccessBeginEndRoundTrip) {
+  mpisim::run(2, Platform::ideal, [&] {
+    init(opts());
+    std::vector<void*> bases = malloc_world(64 * sizeof(double));
+    auto* mine = static_cast<double*>(
+        bases[static_cast<std::size_t>(mpisim::rank())]);
+    access_begin(mine);
+    for (int i = 0; i < 64; ++i) mine[i] = mpisim::rank() * 100.0 + i;
+    access_end(mine);
+    barrier();
+    if (mpisim::rank() == 0) {
+      double v = 0;
+      get(static_cast<double*>(bases[1]) + 7, &v, sizeof v, 1);
+      EXPECT_DOUBLE_EQ(v, 107.0);
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+TEST_P(ArmciDlaTest, UnmatchedAccessEndThrows) {
+  EXPECT_THROW(mpisim::run(2, Platform::ideal,
+                           [&] {
+                             init(opts());
+                             std::vector<void*> bases = malloc_world(64);
+                             access_end(
+                                 bases[static_cast<std::size_t>(
+                                     mpisim::rank())]);
+                           }),
+               mpisim::MpiError);
+}
+
+TEST_P(ArmciDlaTest, AccessOnNonGlobalPointerThrows) {
+  EXPECT_THROW(mpisim::run(2, Platform::ideal,
+                           [&] {
+                             init(opts());
+                             double local = 0;
+                             access_begin(&local);
+                           }),
+               mpisim::MpiError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArmciDlaTest,
+                         ::testing::Values(Backend::mpi, Backend::native,
+                                           Backend::mpi3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Backend::mpi: return "Mpi";
+                             case Backend::native: return "Native";
+                             case Backend::mpi3: return "Mpi3";
+                           }
+                           return "?";
+                         });
+
+// §V-E (MPI backend): while a process holds direct access, a remote
+// exclusive epoch on its region must wait -- the DLA epoch serializes.
+TEST(ArmciDlaMpiTest, RemoteOpWaitsForAccessEnd) {
+  mpisim::run(2, Platform::ideal, [] {
+    Options o;
+    o.backend = Backend::mpi;
+    init(o);
+    std::vector<void*> bases = malloc_world(sizeof(std::int64_t));
+    auto* mine = static_cast<std::int64_t*>(
+        bases[static_cast<std::size_t>(mpisim::rank())]);
+    *mine = 0;
+    barrier();
+    if (mpisim::rank() == 1) {
+      access_begin(mine);
+      *mine = 1;
+      // Signal rank 0 to start its put, then hold the access a moment.
+      const int go = 1;
+      msg_send(&go, sizeof go, 0, 5);
+      *mine = 2;
+      access_end(mine);
+    } else {
+      int go = 0;
+      msg_recv(&go, sizeof go, 1, 5);
+      const std::int64_t v = 99;
+      put(&v, bases[1], sizeof v, 1);  // blocks until access_end
+      fence(1);
+    }
+    barrier();
+    if (mpisim::rank() == 1) { EXPECT_EQ(*mine, 99); }
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+// §VIII-A: access-mode hints. With accumulate_only, concurrent accumulates
+// use shared epochs and still sum correctly.
+TEST(ArmciAccessModeTest, AccumulateOnlySharedEpochsSumCorrectly) {
+  mpisim::run(8, Platform::ideal, [] {
+    Options o;
+    o.backend = Backend::mpi;
+    init(o);
+    std::vector<void*> bases = malloc_world(16 * sizeof(double));
+    auto* mine = static_cast<double*>(
+        bases[static_cast<std::size_t>(mpisim::rank())]);
+    std::memset(mine, 0, 16 * sizeof(double));
+    set_access_mode(AccessMode::accumulate_only,
+                    bases[static_cast<std::size_t>(mpisim::rank())]);
+    barrier();
+    std::vector<double> src(16, 1.0);
+    const double one = 1.0;
+    for (int i = 0; i < 5; ++i)
+      acc(AccType::float64, &one, src.data(), bases[0], 16 * sizeof(double),
+          0);
+    barrier();
+    if (mpisim::rank() == 0)
+      for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(mine[i], 40.0);
+    set_access_mode(AccessMode::exclusive,
+                    bases[static_cast<std::size_t>(mpisim::rank())]);
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+TEST(ArmciAccessModeTest, ReadOnlyAllowsConcurrentGets) {
+  mpisim::run(8, Platform::ideal, [] {
+    Options o;
+    o.backend = Backend::mpi;
+    init(o);
+    std::vector<void*> bases = malloc_world(256 * sizeof(double));
+    auto* mine = static_cast<double*>(
+        bases[static_cast<std::size_t>(mpisim::rank())]);
+    for (int i = 0; i < 256; ++i) mine[i] = mpisim::rank() + i * 0.5;
+    barrier();
+    set_access_mode(AccessMode::read_only,
+                    bases[static_cast<std::size_t>(mpisim::rank())]);
+    // All ranks hammer rank 0 with gets under shared locks.
+    std::vector<double> buf(256);
+    for (int iter = 0; iter < 10; ++iter) {
+      get(bases[0], buf.data(), 256 * sizeof(double), 0);
+      for (int i = 0; i < 256; ++i) EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(i)], i * 0.5);
+    }
+    barrier();
+    set_access_mode(AccessMode::exclusive,
+                    bases[static_cast<std::size_t>(mpisim::rank())]);
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+}  // namespace
+}  // namespace armci

@@ -1,0 +1,173 @@
+// Unit and property tests for the block distribution.
+
+#include "src/ga/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mpisim/error.hpp"
+
+namespace ga {
+namespace {
+
+TEST(DistributionTest, OneDimensionalEvenSplit) {
+  const std::int64_t dims[] = {100};
+  Distribution d(dims, 4);
+  EXPECT_EQ(d.grid(), (std::vector<int>{4}));
+  EXPECT_EQ(d.patch_of(0).lo[0], 0);
+  EXPECT_EQ(d.patch_of(0).hi[0], 24);
+  EXPECT_EQ(d.patch_of(3).hi[0], 99);
+}
+
+TEST(DistributionTest, TwoDimensionalGrid) {
+  const std::int64_t dims[] = {64, 64};
+  Distribution d(dims, 4);
+  // 4 = 2x2 for a square array.
+  EXPECT_EQ(d.grid(), (std::vector<int>{2, 2}));
+  Patch p = d.patch_of(3);
+  EXPECT_EQ(p.lo[0], 32);
+  EXPECT_EQ(p.lo[1], 32);
+  EXPECT_EQ(p.hi[0], 63);
+  EXPECT_EQ(p.hi[1], 63);
+}
+
+TEST(DistributionTest, ElongatedArrayGetsElongatedGrid) {
+  const std::int64_t dims[] = {1000, 10};
+  Distribution d(dims, 8);
+  EXPECT_GE(d.grid()[0], d.grid()[1]);
+}
+
+TEST(DistributionTest, ChunkHintLimitsSplitting) {
+  const std::int64_t dims[] = {64, 64};
+  const std::int64_t chunk[] = {64, 1};  // dim 0 must stay whole
+  Distribution d(dims, 4, chunk);
+  EXPECT_EQ(d.grid()[0], 1);
+  EXPECT_EQ(d.grid()[1], 4);
+}
+
+TEST(DistributionTest, MoreProcsThanElements) {
+  const std::int64_t dims[] = {3};
+  Distribution d(dims, 8);
+  EXPECT_LE(d.owning_procs(), 3);
+  // Non-owning procs get an empty patch.
+  Patch p = d.patch_of(7);
+  EXPECT_EQ(p.num_elems(), 0);
+}
+
+TEST(DistributionTest, OwnerOfMatchesPatchOf) {
+  const std::int64_t dims[] = {37, 23};
+  Distribution d(dims, 6);
+  for (std::int64_t i = 0; i < 37; ++i) {
+    for (std::int64_t j = 0; j < 23; ++j) {
+      const std::int64_t idx[] = {i, j};
+      const int owner = d.owner_of(idx);
+      Patch p = d.patch_of(owner);
+      EXPECT_GE(i, p.lo[0]);
+      EXPECT_LE(i, p.hi[0]);
+      EXPECT_GE(j, p.lo[1]);
+      EXPECT_LE(j, p.hi[1]);
+    }
+  }
+}
+
+TEST(DistributionTest, PatchesPartitionTheArray) {
+  const std::int64_t dims[] = {17, 31};
+  Distribution d(dims, 12);
+  std::int64_t total = 0;
+  for (int p = 0; p < 12; ++p) total += d.patch_of(p).num_elems();
+  EXPECT_EQ(total, 17 * 31);
+}
+
+TEST(DistributionTest, IntersectSingleOwner) {
+  const std::int64_t dims[] = {64, 64};
+  Distribution d(dims, 4);
+  Patch r;
+  r.lo = {2, 3};
+  r.hi = {10, 12};
+  auto owned = d.intersect(r);
+  ASSERT_EQ(owned.size(), 1u);
+  EXPECT_EQ(owned[0].proc, 0);
+  EXPECT_EQ(owned[0].patch, r);
+}
+
+TEST(DistributionTest, IntersectAllOwners) {
+  const std::int64_t dims[] = {64, 64};
+  Distribution d(dims, 4);
+  Patch r;
+  r.lo = {16, 16};
+  r.hi = {47, 47};
+  auto owned = d.intersect(r);
+  ASSERT_EQ(owned.size(), 4u);  // paper Fig. 2: a put spanning 4 processes
+  std::int64_t covered = 0;
+  std::set<int> procs;
+  for (const auto& op : owned) {
+    covered += op.patch.num_elems();
+    procs.insert(op.proc);
+  }
+  EXPECT_EQ(covered, 32 * 32);
+  EXPECT_EQ(procs.size(), 4u);
+}
+
+TEST(DistributionTest, IntersectOutOfRangeThrows) {
+  const std::int64_t dims[] = {8};
+  Distribution d(dims, 2);
+  Patch r;
+  r.lo = {4};
+  r.hi = {9};
+  EXPECT_THROW(d.intersect(r), mpisim::MpiError);
+}
+
+TEST(DistributionTest, InvalidConstructionThrows) {
+  const std::int64_t dims[] = {0};
+  EXPECT_THROW(Distribution(dims, 2), mpisim::MpiError);
+  const std::int64_t ok[] = {4};
+  EXPECT_THROW(Distribution(ok, 0), mpisim::MpiError);
+}
+
+// Property sweep: every region decomposition covers the region exactly
+// once, with each sub-patch inside its owner's block.
+class DistributionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributionPropertyTest, IntersectionIsExactCover) {
+  auto [rows, cols, nproc] = GetParam();
+  const std::int64_t dims[] = {rows, cols};
+  Distribution d(dims, nproc);
+
+  Patch r;
+  r.lo = {rows / 5, cols / 3};
+  r.hi = {rows - 1 - rows / 7, cols - 1 - cols / 8};
+  auto owned = d.intersect(r);
+
+  std::int64_t covered = 0;
+  for (const auto& op : owned) {
+    covered += op.patch.num_elems();
+    Patch block = d.patch_of(op.proc);
+    for (std::size_t dd = 0; dd < 2; ++dd) {
+      EXPECT_GE(op.patch.lo[dd], block.lo[dd]);
+      EXPECT_LE(op.patch.hi[dd], block.hi[dd]);
+      EXPECT_GE(op.patch.lo[dd], r.lo[dd]);
+      EXPECT_LE(op.patch.hi[dd], r.hi[dd]);
+    }
+  }
+  EXPECT_EQ(covered, r.num_elems());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributionPropertyTest,
+    ::testing::Combine(::testing::Values(16, 37, 100),
+                       ::testing::Values(8, 23, 64),
+                       ::testing::Values(1, 2, 5, 8, 16)));
+
+TEST(DistributionTest, ThreeDimensional) {
+  const std::int64_t dims[] = {16, 16, 16};
+  Distribution d(dims, 8);
+  EXPECT_EQ(d.grid(), (std::vector<int>{2, 2, 2}));
+  std::int64_t total = 0;
+  for (int p = 0; p < 8; ++p) total += d.patch_of(p).num_elems();
+  EXPECT_EQ(total, 16 * 16 * 16);
+}
+
+}  // namespace
+}  // namespace ga

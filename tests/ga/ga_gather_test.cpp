@@ -1,0 +1,239 @@
+// Tests for GA element-wise scatter/gather, scatter_acc, elem_multiply and
+// select_elem, across all three ARMCI backends.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/ga/ga.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace ga {
+namespace {
+
+using mpisim::Platform;
+
+class GaGatherTest : public ::testing::TestWithParam<armci::Backend> {
+ protected:
+  armci::Options opts() const {
+    armci::Options o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+TEST_P(GaGatherTest, ScatterThenGatherRoundTrip) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {24, 24};
+    GlobalArray g = GlobalArray::create("sg", dims, ElemType::dbl);
+    g.zero();
+    if (mpisim::rank() == 0) {
+      // A diagonal-ish scatter touching every owner.
+      std::vector<std::int64_t> subs;
+      std::vector<double> vals;
+      for (std::int64_t i = 0; i < 24; ++i) {
+        subs.push_back(i);
+        subs.push_back((i * 7) % 24);
+        vals.push_back(100.0 + static_cast<double>(i));
+      }
+      g.scatter(vals.data(), subs, 24);
+      armci::fence_all();
+
+      std::vector<double> back(24, -1.0);
+      g.gather(back.data(), subs, 24);
+      EXPECT_EQ(back, vals);
+    }
+    g.sync();
+    // Elements not scattered are still zero.
+    Patch one;
+    one.lo = {1, 0};
+    one.hi = {1, 0};
+    double v = -1;
+    g.get(one, &v);
+    EXPECT_DOUBLE_EQ(v, 0.0);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, ScatterAccAccumulatesFromAllRanks) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {16, 16};
+    GlobalArray g = GlobalArray::create("sa", dims, ElemType::dbl);
+    g.zero();
+    g.sync();
+    // Every rank accumulates 1.0 into the same 8 scattered elements.
+    std::vector<std::int64_t> subs;
+    std::vector<double> vals(8, 1.0);
+    for (std::int64_t i = 0; i < 8; ++i) {
+      subs.push_back(i * 2);
+      subs.push_back(15 - i);
+    }
+    const double alpha = 0.5;
+    g.scatter_acc(vals.data(), subs, 8, &alpha);
+    g.sync();
+    std::vector<double> back(8, 0.0);
+    g.gather(back.data(), subs, 8);
+    for (double v : back) EXPECT_DOUBLE_EQ(v, 4 * 0.5);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, GatherInt64Elements) {
+  mpisim::run(3, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {30};
+    GlobalArray g = GlobalArray::create("gi", dims, ElemType::int64);
+    g.zero();
+    if (mpisim::rank() == 2) {
+      std::vector<std::int64_t> subs{3, 17, 29};
+      std::vector<std::int64_t> vals{33, 1717, 2929};
+      g.scatter(vals.data(), subs, 3);
+      std::vector<std::int64_t> back(3, 0);
+      g.gather(back.data(), subs, 3);
+      EXPECT_EQ(back, vals);
+    }
+    g.sync();
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, MismatchedSubscriptCountThrows) {
+  EXPECT_THROW(
+      mpisim::run(2, Platform::ideal,
+                  [&] {
+                    armci::init(opts());
+                    const std::int64_t dims[] = {8, 8};
+                    GlobalArray g =
+                        GlobalArray::create("bad", dims, ElemType::dbl);
+                    std::vector<std::int64_t> subs{1, 2, 3};  // 1.5 pairs
+                    double v[2] = {0, 0};
+                    g.gather(v, subs, 2);
+                  }),
+      mpisim::MpiError);
+}
+
+TEST_P(GaGatherTest, ElemMultiply) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {12, 12};
+    GlobalArray a = GlobalArray::create("a", dims, ElemType::dbl);
+    GlobalArray b = GlobalArray::duplicate("b", a);
+    GlobalArray c = GlobalArray::duplicate("c", a);
+    const double x = 3.0, y = -2.0;
+    a.fill(&x);
+    b.fill(&y);
+    c.elem_multiply(a, b);
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {11, 11};
+    std::vector<double> back(144);
+    c.get(all, back.data());
+    for (double v : back) EXPECT_DOUBLE_EQ(v, -6.0);
+    c.destroy();
+    b.destroy();
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, SelectElemFindsGlobalExtremes) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {20, 20};
+    GlobalArray g = GlobalArray::create("sel", dims, ElemType::dbl);
+    g.zero();
+    if (mpisim::rank() == 0) {
+      const double hi = 99.5, lo = -7.25;
+      Patch ph{{13, 17}, {13, 17}};
+      g.put(ph, &hi);
+      Patch pl{{2, 3}, {2, 3}};
+      g.put(pl, &lo);
+    }
+    g.sync();
+    GlobalArray::Selected mx = g.select_elem(GlobalArray::SelectOp::max);
+    EXPECT_DOUBLE_EQ(mx.value, 99.5);
+    EXPECT_EQ(mx.subscript, (std::vector<std::int64_t>{13, 17}));
+    GlobalArray::Selected mn = g.select_elem(GlobalArray::SelectOp::min);
+    EXPECT_DOUBLE_EQ(mn.value, -7.25);
+    EXPECT_EQ(mn.subscript, (std::vector<std::int64_t>{2, 3}));
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, SelectElemTieBreaksTowardLowestIndex) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {10, 10};
+    GlobalArray g = GlobalArray::create("tie", dims, ElemType::dbl);
+    const double v = 5.0;
+    g.fill(&v);  // every element ties
+    GlobalArray::Selected mx = g.select_elem(GlobalArray::SelectOp::max);
+    EXPECT_DOUBLE_EQ(mx.value, 5.0);
+    EXPECT_EQ(mx.subscript, (std::vector<std::int64_t>{0, 0}));
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaGatherTest, RandomScatterGatherProperty) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {32, 16, 8};
+    GlobalArray g = GlobalArray::create("rnd", dims, ElemType::dbl);
+    g.zero();
+    if (mpisim::rank() == 1) {
+      std::mt19937_64 rng(7);
+      // Distinct random subscripts (overlap would make put order matter).
+      std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> used;
+      std::vector<std::int64_t> subs;
+      std::vector<double> vals;
+      while (used.size() < 100) {
+        const std::int64_t i = static_cast<std::int64_t>(rng() % 32);
+        const std::int64_t j = static_cast<std::int64_t>(rng() % 16);
+        const std::int64_t k = static_cast<std::int64_t>(rng() % 8);
+        if (!used.insert({i, j, k}).second) continue;
+        subs.insert(subs.end(), {i, j, k});
+        vals.push_back(static_cast<double>(used.size()));
+      }
+      g.scatter(vals.data(), subs, 100);
+      std::vector<double> back(100, 0.0);
+      g.gather(back.data(), subs, 100);
+      EXPECT_EQ(back, vals);
+      // Cross-check one element through the patch interface.
+      Patch one;
+      one.lo = {subs[0], subs[1], subs[2]};
+      one.hi = one.lo;
+      double v = 0;
+      g.get(one, &v);
+      EXPECT_DOUBLE_EQ(v, vals[0]);
+    }
+    g.sync();
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GaGatherTest,
+                         ::testing::Values(armci::Backend::mpi,
+                                           armci::Backend::native,
+                                           armci::Backend::mpi3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case armci::Backend::mpi: return "Mpi";
+                             case armci::Backend::native: return "Native";
+                             case armci::Backend::mpi3: return "Mpi3";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace ga

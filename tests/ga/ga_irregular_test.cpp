@@ -1,0 +1,144 @@
+// Tests for irregular block distributions (GA_Create_irregular) and the
+// distribution-preserving duplicate().
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/ga/ga.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace ga {
+namespace {
+
+using mpisim::Platform;
+
+TEST(IrregularDistributionTest, ExplicitBlockBoundaries) {
+  const std::int64_t dims[] = {10, 12};
+  const std::vector<std::vector<std::int64_t>> starts = {{0, 7}, {0, 2, 9}};
+  Distribution d(dims, starts);
+  EXPECT_EQ(d.grid(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(d.owning_procs(), 6);
+
+  Patch p0 = d.patch_of(0);
+  EXPECT_EQ(p0.lo, (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(p0.hi, (std::vector<std::int64_t>{6, 1}));
+  Patch p5 = d.patch_of(5);
+  EXPECT_EQ(p5.lo, (std::vector<std::int64_t>{7, 9}));
+  EXPECT_EQ(p5.hi, (std::vector<std::int64_t>{9, 11}));
+
+  // Every element still has exactly one owner.
+  std::int64_t total = 0;
+  for (int p = 0; p < 6; ++p) total += d.patch_of(p).num_elems();
+  EXPECT_EQ(total, 120);
+}
+
+TEST(IrregularDistributionTest, InvalidMapsThrow) {
+  const std::int64_t dims[] = {10};
+  EXPECT_THROW(Distribution(dims, std::vector<std::vector<std::int64_t>>{
+                                      {1, 5}}),  // must start at 0
+               mpisim::MpiError);
+  EXPECT_THROW(Distribution(dims, std::vector<std::vector<std::int64_t>>{
+                                      {0, 5, 5}}),  // not increasing
+               mpisim::MpiError);
+  EXPECT_THROW(Distribution(dims, std::vector<std::vector<std::int64_t>>{
+                                      {0, 10}}),  // start beyond extent
+               mpisim::MpiError);
+}
+
+TEST(IrregularGaTest, CreateIrregularAndTransfer) {
+  mpisim::run(4, Platform::ideal, [] {
+    armci::init({});
+    const std::int64_t dims[] = {10, 10};
+    // Deliberately lopsided: rows split 8/2, columns split 3/7.
+    const std::vector<std::vector<std::int64_t>> starts = {{0, 8}, {0, 3}};
+    GlobalArray g = GlobalArray::create_irregular("irr", dims,
+                                                  ElemType::dbl, starts);
+    EXPECT_EQ(g.distribution(0).hi, (std::vector<std::int64_t>{7, 2}));
+    EXPECT_EQ(g.distribution(3).lo, (std::vector<std::int64_t>{8, 3}));
+    g.zero();
+
+    // A patch crossing both split lines touches all four owners.
+    Patch r;
+    r.lo = {6, 1};
+    r.hi = {9, 6};
+    EXPECT_EQ(g.locate_region(r).size(), 4u);
+    if (mpisim::rank() == 2) {
+      std::vector<double> buf(static_cast<std::size_t>(r.num_elems()));
+      std::iota(buf.begin(), buf.end(), 1.0);
+      g.put(r, buf.data());
+    }
+    g.sync();
+    std::vector<double> back(static_cast<std::size_t>(r.num_elems()), -1.0);
+    g.get(r, back.data());
+    for (std::size_t i = 0; i < back.size(); ++i)
+      EXPECT_DOUBLE_EQ(back[i], 1.0 + static_cast<double>(i));
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST(IrregularGaTest, TooManyBlocksThrows) {
+  EXPECT_THROW(
+      mpisim::run(2, Platform::ideal,
+                  [] {
+                    armci::init({});
+                    const std::int64_t dims[] = {10};
+                    const std::vector<std::vector<std::int64_t>> starts = {
+                        {0, 3, 6}};  // 3 blocks > 2 processes
+                    GlobalArray::create_irregular("big", dims, ElemType::dbl,
+                                                  starts);
+                  }),
+      mpisim::MpiError);
+}
+
+TEST(IrregularGaTest, DuplicatePreservesIrregularDistribution) {
+  mpisim::run(4, Platform::ideal, [] {
+    armci::init({});
+    const std::int64_t dims[] = {12};
+    const std::vector<std::vector<std::int64_t>> starts = {{0, 1, 2, 3}};
+    GlobalArray a = GlobalArray::create_irregular("a", dims, ElemType::dbl,
+                                                  starts);
+    GlobalArray b = GlobalArray::duplicate("b", a);
+    for (int p = 0; p < 4; ++p)
+      EXPECT_EQ(a.distribution(p), b.distribution(p));
+    // add() requires identical distributions -- it must work on the pair.
+    const double x = 2.0, y = 5.0;
+    a.fill(&x);
+    b.fill(&y);
+    GlobalArray c = GlobalArray::duplicate("c", a);
+    const double one = 1.0;
+    c.add(&one, a, &one, b);
+    EXPECT_DOUBLE_EQ(c.ddot(c), 12 * 49.0);
+    c.destroy();
+    b.destroy();
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST(IrregularGaTest, ReadIncOnIrregularBlocks) {
+  mpisim::run(3, Platform::ideal, [] {
+    armci::init({});
+    const std::int64_t dims[] = {9};
+    const std::vector<std::vector<std::int64_t>> starts = {{0, 1, 8}};
+    GlobalArray g = GlobalArray::create_irregular("cnt", dims,
+                                                  ElemType::int64, starts);
+    g.zero();
+    g.sync();
+    const std::int64_t idx[] = {8};  // lives in the last (1-wide) block
+    for (int i = 0; i < 5; ++i) g.read_inc(idx, 2);
+    g.sync();
+    std::int64_t v = 0;
+    Patch one{{8}, {8}};
+    g.get(one, &v);
+    EXPECT_EQ(v, 3 * 5 * 2);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,489 @@
+// Integration tests for the Global Arrays layer on both ARMCI backends.
+
+#include "src/ga/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace ga {
+namespace {
+
+using mpisim::Platform;
+
+class GaTest : public ::testing::TestWithParam<armci::Backend> {
+ protected:
+  armci::Options opts() const {
+    armci::Options o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+TEST_P(GaTest, CreateQueryDestroy) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {32, 48};
+    GlobalArray g = GlobalArray::create("test", dims, ElemType::dbl);
+    EXPECT_EQ(g.ndim(), 2);
+    EXPECT_EQ(g.dims(), (std::vector<std::int64_t>{32, 48}));
+    EXPECT_EQ(g.type(), ElemType::dbl);
+    EXPECT_EQ(g.name(), "test");
+    // Every element has exactly one owner.
+    const std::int64_t idx[] = {31, 47};
+    EXPECT_GE(g.locate(idx), 0);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, PutGetWholeArray) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {20, 30};
+    GlobalArray g = GlobalArray::create("pg", dims, ElemType::dbl);
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {19, 29};
+    if (mpisim::rank() == 0) {
+      std::vector<double> buf(600);
+      std::iota(buf.begin(), buf.end(), 0.0);
+      g.put(all, buf.data());
+    }
+    g.sync();
+    // Every rank reads the whole array back.
+    std::vector<double> back(600, -1.0);
+    g.get(all, back.data());
+    for (int i = 0; i < 600; ++i) EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i)], i);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, PutPatchSpanningFourOwners) {
+  // Paper Fig. 2: a GA_Put on a patch crossing block boundaries becomes
+  // several noncontiguous ARMCI operations.
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {64, 64};
+    GlobalArray g = GlobalArray::create("fig2", dims, ElemType::dbl);
+    g.zero();
+    Patch r;
+    r.lo = {20, 24};
+    r.hi = {43, 39};
+    ASSERT_EQ(g.locate_region(r).size(), 4u);
+    if (mpisim::rank() == 1) {
+      std::vector<double> buf(static_cast<std::size_t>(r.num_elems()));
+      std::iota(buf.begin(), buf.end(), 100.0);
+      g.put(r, buf.data());
+    }
+    g.sync();
+    std::vector<double> back(static_cast<std::size_t>(r.num_elems()));
+    g.get(r, back.data());
+    for (std::size_t i = 0; i < back.size(); ++i)
+      EXPECT_DOUBLE_EQ(back[i], 100.0 + static_cast<double>(i));
+    // Outside the patch: still zero.
+    Patch outside;
+    outside.lo = {0, 0};
+    outside.hi = {0, 0};
+    double v = -1;
+    g.get(outside, &v);
+    EXPECT_DOUBLE_EQ(v, 0.0);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, GetWithLeadingDimension) {
+  mpisim::run(2, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {8, 8};
+    GlobalArray g = GlobalArray::create("ld", dims, ElemType::dbl);
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {7, 7};
+    if (mpisim::rank() == 0) {
+      std::vector<double> buf(64);
+      std::iota(buf.begin(), buf.end(), 0.0);
+      g.put(all, buf.data());
+    }
+    g.sync();
+    // Fetch a 3x4 patch into a buffer with pitch 10.
+    Patch r;
+    r.lo = {2, 1};
+    r.hi = {4, 4};
+    std::vector<double> buf(3 * 10, -1.0);
+    const std::int64_t ld[] = {10};
+    g.get(r, buf.data(), ld);
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 4; ++j)
+        EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(i * 10 + j)],
+                         static_cast<double>((i + 2) * 8 + (j + 1)));
+      EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(i * 10 + 9)], -1.0);
+    }
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, AccumulateFromAllRanks) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {16, 16};
+    GlobalArray g = GlobalArray::create("acc", dims, ElemType::dbl);
+    g.zero();
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {15, 15};
+    std::vector<double> ones(256, 1.0);
+    const double alpha = 2.0;
+    g.acc(all, ones.data(), &alpha);
+    g.sync();
+    std::vector<double> back(256);
+    g.get(all, back.data());
+    for (double v : back) EXPECT_DOUBLE_EQ(v, 8.0);  // 4 ranks * 2.0
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, AccessReleaseLocalBlock) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {32, 32};
+    GlobalArray g = GlobalArray::create("axs", dims, ElemType::dbl);
+    Patch p;
+    auto* ptr = static_cast<double*>(g.access(p));
+    if (ptr != nullptr) {
+      EXPECT_EQ(p, g.distribution(mpisim::rank()));
+      const std::int64_t n = p.num_elems();
+      for (std::int64_t i = 0; i < n; ++i) ptr[i] = mpisim::rank() + 0.25;
+      g.release_update();
+    }
+    g.sync();
+    // Verify through one-sided reads.
+    Patch other = g.distribution((mpisim::rank() + 1) % 4);
+    if (other.num_elems() > 0) {
+      double v = -1;
+      Patch one;
+      one.lo = other.lo;
+      one.hi = other.lo;
+      g.get(one, &v);
+      EXPECT_DOUBLE_EQ(v, (mpisim::rank() + 1) % 4 + 0.25);
+    }
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, ReadIncIsAtomicTaskCounter) {
+  mpisim::run(8, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {4};
+    GlobalArray g = GlobalArray::create("cnt", dims, ElemType::int64);
+    g.zero();
+    g.sync();
+    const std::int64_t idx[] = {2};
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 10; ++i) seen.insert(g.read_inc(idx, 1));
+    EXPECT_EQ(seen.size(), 10u);  // my tickets are distinct
+    g.sync();
+    std::int64_t final_val = 0;
+    Patch one;
+    one.lo = {2};
+    one.hi = {2};
+    g.get(one, &final_val);
+    EXPECT_EQ(final_val, 80);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, ZeroFillScale) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {24, 24};
+    GlobalArray g = GlobalArray::create("zfs", dims, ElemType::dbl);
+    const double v = 3.0;
+    g.fill(&v);
+    const double s = -0.5;
+    g.scale(&s);
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {23, 23};
+    std::vector<double> back(576);
+    g.get(all, back.data());
+    for (double x : back) EXPECT_DOUBLE_EQ(x, -1.5);
+    g.zero();
+    g.get(all, back.data());
+    for (double x : back) EXPECT_DOUBLE_EQ(x, 0.0);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, AddAndDdot) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {10, 10};
+    GlobalArray a = GlobalArray::create("a", dims, ElemType::dbl);
+    GlobalArray b = GlobalArray::duplicate("b", a);
+    GlobalArray c = GlobalArray::duplicate("c", a);
+    const double two = 2.0, three = 3.0;
+    a.fill(&two);
+    b.fill(&three);
+    const double alpha = 1.0, beta = -1.0;
+    c.add(&alpha, a, &beta, b);  // c = a - b = -1 everywhere
+    EXPECT_DOUBLE_EQ(c.ddot(c), 100.0);
+    EXPECT_DOUBLE_EQ(a.ddot(b), 600.0);
+    c.destroy();
+    b.destroy();
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, CopyPreservesContents) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {12, 18};
+    GlobalArray a = GlobalArray::create("src", dims, ElemType::dbl);
+    GlobalArray b = GlobalArray::duplicate("dst", a);
+    Patch all;
+    all.lo = {0, 0};
+    all.hi = {11, 17};
+    if (mpisim::rank() == 0) {
+      std::vector<double> buf(216);
+      std::iota(buf.begin(), buf.end(), 7.0);
+      a.put(all, buf.data());
+    }
+    a.sync();
+    a.copy_to(b);
+    std::vector<double> back(216);
+    b.get(all, back.data());
+    for (int i = 0; i < 216; ++i)
+      EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i)], 7.0 + i);
+    b.destroy();
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, DgemmMatchesReference) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t m = 24, k = 16, n = 20;
+    const std::int64_t da[] = {m, k}, db[] = {k, n}, dc[] = {m, n};
+    GlobalArray A = GlobalArray::create("A", da, ElemType::dbl);
+    GlobalArray B = GlobalArray::create("B", db, ElemType::dbl);
+    GlobalArray C = GlobalArray::create("C", dc, ElemType::dbl);
+
+    std::vector<double> ha(static_cast<std::size_t>(m * k));
+    std::vector<double> hb(static_cast<std::size_t>(k * n));
+    for (std::size_t i = 0; i < ha.size(); ++i)
+      ha[i] = std::sin(static_cast<double>(i));
+    for (std::size_t i = 0; i < hb.size(); ++i)
+      hb[i] = std::cos(static_cast<double>(i) * 0.5);
+    if (mpisim::rank() == 0) {
+      Patch pa{{0, 0}, {m - 1, k - 1}};
+      A.put(pa, ha.data());
+      Patch pb{{0, 0}, {k - 1, n - 1}};
+      B.put(pb, hb.data());
+    }
+    A.sync();
+    B.sync();
+    C.zero();
+
+    GlobalArray::dgemm('n', 'n', 1.0, A, B, 0.0, C);
+
+    std::vector<double> hc(static_cast<std::size_t>(m * n), 0.0);
+    Patch pc{{0, 0}, {m - 1, n - 1}};
+    C.get(pc, hc.data());
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          ref += ha[static_cast<std::size_t>(i * k + kk)] *
+                 hb[static_cast<std::size_t>(kk * n + j)];
+        EXPECT_NEAR(hc[static_cast<std::size_t>(i * n + j)], ref, 1e-10);
+      }
+    }
+    C.destroy();
+    B.destroy();
+    A.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, DgemmTransposedOperands) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t m = 12, k = 10, n = 14;
+    const std::int64_t da[] = {k, m}, db[] = {n, k}, dc[] = {m, n};
+    GlobalArray A = GlobalArray::create("At", da, ElemType::dbl);
+    GlobalArray B = GlobalArray::create("Bt", db, ElemType::dbl);
+    GlobalArray C = GlobalArray::create("Ct", dc, ElemType::dbl);
+
+    std::vector<double> ha(static_cast<std::size_t>(k * m));
+    std::vector<double> hb(static_cast<std::size_t>(n * k));
+    for (std::size_t i = 0; i < ha.size(); ++i) ha[i] = 0.01 * static_cast<double>(i) - 0.3;
+    for (std::size_t i = 0; i < hb.size(); ++i) hb[i] = 0.02 * static_cast<double>(i) + 0.1;
+    if (mpisim::rank() == 0) {
+      Patch pa{{0, 0}, {k - 1, m - 1}};
+      A.put(pa, ha.data());
+      Patch pb{{0, 0}, {n - 1, k - 1}};
+      B.put(pb, hb.data());
+    }
+    A.sync();
+    B.sync();
+    C.zero();
+    GlobalArray::dgemm('t', 't', 2.0, A, B, 0.0, C);
+
+    std::vector<double> hc(static_cast<std::size_t>(m * n));
+    Patch pc{{0, 0}, {m - 1, n - 1}};
+    C.get(pc, hc.data());
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          ref += ha[static_cast<std::size_t>(kk * m + i)] *
+                 hb[static_cast<std::size_t>(j * k + kk)];
+        EXPECT_NEAR(hc[static_cast<std::size_t>(i * n + j)], 2.0 * ref, 1e-10);
+      }
+    }
+    C.destroy();
+    B.destroy();
+    A.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, AtomicCounterDistributesTickets) {
+  mpisim::run(8, Platform::ideal, [&] {
+    armci::init(opts());
+    AtomicCounter c = AtomicCounter::create();
+    std::vector<std::int64_t> mine;
+    for (int i = 0; i < 15; ++i) mine.push_back(c.next());
+    for (std::size_t i = 1; i < mine.size(); ++i)
+      EXPECT_GT(mine[i], mine[i - 1]);
+    armci::barrier();
+    // All 8 * 15 increments landed exactly once.
+    if (mpisim::rank() == 0) { EXPECT_EQ(c.next(), 120); }
+    armci::barrier();
+    c.reset(5);
+    if (mpisim::rank() == 3) { EXPECT_EQ(c.next(), 5); }
+    armci::barrier();
+    c.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, OneDimensionalArray) {
+  mpisim::run(3, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {100};
+    GlobalArray g = GlobalArray::create("vec", dims, ElemType::dbl);
+    g.zero();
+    Patch r;
+    r.lo = {10};
+    r.hi = {89};
+    if (mpisim::rank() == 2) {
+      std::vector<double> buf(80);
+      std::iota(buf.begin(), buf.end(), 0.0);
+      g.put(r, buf.data());
+    }
+    g.sync();
+    std::vector<double> back(80);
+    g.get(r, back.data());
+    for (int i = 0; i < 80; ++i) EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i)], i);
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(GaTest, ThreeDimensionalPatchOps) {
+  mpisim::run(8, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {12, 10, 8};
+    GlobalArray g = GlobalArray::create("cube", dims, ElemType::dbl);
+    g.zero();
+    Patch r;
+    r.lo = {3, 2, 1};
+    r.hi = {9, 7, 6};
+    if (mpisim::rank() == 0) {
+      std::vector<double> buf(static_cast<std::size_t>(r.num_elems()));
+      std::iota(buf.begin(), buf.end(), 0.5);
+      g.put(r, buf.data());
+    }
+    g.sync();
+    std::vector<double> back(static_cast<std::size_t>(r.num_elems()), -1);
+    g.get(r, back.data());
+    for (std::size_t i = 0; i < back.size(); ++i)
+      EXPECT_DOUBLE_EQ(back[i], 0.5 + static_cast<double>(i));
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+TEST(GaTransposeTest, TransposeMatchesReference) {
+  mpisim::run(4, Platform::ideal, [] {
+    armci::init({});
+    const std::int64_t da[] = {18, 26}, db[] = {26, 18};
+    GlobalArray a = GlobalArray::create("A", da, ElemType::dbl);
+    GlobalArray b = GlobalArray::create("B", db, ElemType::dbl);
+    if (mpisim::rank() == 0) {
+      std::vector<double> buf(18 * 26);
+      std::iota(buf.begin(), buf.end(), 0.0);
+      Patch all{{0, 0}, {17, 25}};
+      a.put(all, buf.data());
+    }
+    a.sync();
+    b.transpose_from(a);
+    std::vector<double> back(26 * 18);
+    Patch allb{{0, 0}, {25, 17}};
+    b.get(allb, back.data());
+    for (std::int64_t i = 0; i < 26; ++i)
+      for (std::int64_t j = 0; j < 18; ++j)
+        EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i * 18 + j)],
+                         static_cast<double>(j * 26 + i));
+    b.destroy();
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST(GaTransposeTest, ShapeMismatchThrows) {
+  EXPECT_THROW(mpisim::run(2, Platform::ideal,
+                           [] {
+                             armci::init({});
+                             const std::int64_t da[] = {8, 6};
+                             const std::int64_t db[] = {8, 6};  // not reversed
+                             GlobalArray a =
+                                 GlobalArray::create("A", da, ElemType::dbl);
+                             GlobalArray b =
+                                 GlobalArray::create("B", db, ElemType::dbl);
+                             b.transpose_from(a);
+                           }),
+               mpisim::MpiError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GaTest,
+                         ::testing::Values(armci::Backend::mpi,
+                                           armci::Backend::native,
+                                           armci::Backend::mpi3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case armci::Backend::mpi: return "Mpi";
+                             case armci::Backend::native: return "Native";
+                             case armci::Backend::mpi3: return "Mpi3";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,89 @@
+// Unit tests for process groups.
+
+#include "src/mpisim/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+namespace {
+
+TEST(GroupTest, RangeConstruction) {
+  Group g = Group::range(2, 6);
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_EQ(g.world_rank(0), 2);
+  EXPECT_EQ(g.world_rank(3), 5);
+}
+
+TEST(GroupTest, RankOfWorldRoundTrip) {
+  Group g({7, 3, 9, 0});
+  for (int r = 0; r < g.size(); ++r)
+    EXPECT_EQ(g.rank_of_world(g.world_rank(r)), r);
+  EXPECT_EQ(g.rank_of_world(42), -1);
+}
+
+TEST(GroupTest, ContainsMembership) {
+  Group g({1, 4});
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_TRUE(g.contains(4));
+  EXPECT_FALSE(g.contains(2));
+}
+
+TEST(GroupTest, DuplicateRankThrows) {
+  EXPECT_THROW(Group({1, 2, 1}), MpiError);
+}
+
+TEST(GroupTest, OutOfRangeThrows) {
+  Group g({0, 1});
+  EXPECT_THROW(g.world_rank(2), MpiError);
+  EXPECT_THROW(g.world_rank(-1), MpiError);
+}
+
+TEST(GroupTest, InclPreservesOrder) {
+  Group g({10, 20, 30, 40});
+  std::array<int, 2> pick{3, 1};
+  Group sub = g.incl(pick);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.world_rank(0), 40);
+  EXPECT_EQ(sub.world_rank(1), 20);
+}
+
+TEST(GroupTest, ExclRemoves) {
+  Group g({10, 20, 30, 40});
+  std::array<int, 2> drop{0, 2};
+  Group sub = g.excl(drop);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.world_rank(0), 20);
+  EXPECT_EQ(sub.world_rank(1), 40);
+}
+
+TEST(GroupTest, UnionOrdering) {
+  Group a({1, 2, 3});
+  Group b({3, 4, 2, 5});
+  Group u = a.union_with(b);
+  EXPECT_EQ(u.members(), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(GroupTest, Intersection) {
+  Group a({1, 2, 3, 4});
+  Group b({4, 2, 9});
+  Group i = a.intersection(b);
+  EXPECT_EQ(i.members(), (std::vector<int>{2, 4}));
+}
+
+TEST(GroupTest, EmptyGroup) {
+  Group g;
+  EXPECT_EQ(g.size(), 0);
+  EXPECT_FALSE(g.contains(0));
+}
+
+TEST(GroupTest, EqualityIsOrderSensitive) {
+  EXPECT_EQ(Group({1, 2}), Group({1, 2}));
+  EXPECT_FALSE(Group({1, 2}) == Group({2, 1}));
+}
+
+}  // namespace
+}  // namespace mpisim

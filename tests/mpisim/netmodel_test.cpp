@@ -1,0 +1,146 @@
+// Tests for the virtual-time cost model and platform profiles. These pin
+// down the qualitative regimes the paper's figures depend on.
+
+#include "src/mpisim/netmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/mpisim/platform.hpp"
+
+namespace mpisim {
+namespace {
+
+double bw_gbps(double ns, std::size_t bytes) {
+  return static_cast<double>(bytes) / 1073741824.0 / (ns * 1e-9);
+}
+
+TEST(NetModelTest, P2pCostMonotoneInSize) {
+  NetworkModel m(platform_profile(Platform::infiniband));
+  EXPECT_LT(m.p2p_ns(64), m.p2p_ns(4096));
+  EXPECT_LT(m.p2p_ns(4096), m.p2p_ns(1 << 20));
+}
+
+TEST(NetModelTest, IdealPlatformIsFree) {
+  NetworkModel m(platform_profile(Platform::ideal));
+  EXPECT_EQ(m.p2p_ns(1 << 20), 0.0);
+  EXPECT_EQ(m.rma_op_ns(RmaKind::put, 1 << 20, 1, Path::mpi), 0.0);
+  EXPECT_EQ(m.barrier_ns(64), 0.0);
+}
+
+TEST(NetModelTest, LargeTransfersApproachPathBandwidth) {
+  const PlatformProfile& prof = platform_profile(Platform::infiniband);
+  NetworkModel m(prof);
+  const std::size_t bytes = 64 << 20;
+  const double native =
+      bw_gbps(m.rma_op_ns(RmaKind::get, bytes, 1, Path::native), bytes);
+  const double mpi =
+      bw_gbps(m.rma_op_ns(RmaKind::get, bytes, 1, Path::mpi), bytes);
+  EXPECT_NEAR(native, prof.net_bw_gbps * prof.nat_bw_eff, 0.1);
+  EXPECT_NEAR(mpi, prof.net_bw_gbps * prof.mpi_bw_eff, 0.1);
+}
+
+// Paper Fig. 3 (InfiniBand): native accumulate outruns MPI accumulate by
+// well over 1.5 GiB/s at large sizes.
+TEST(NetModelTest, InfinibandAccumulateGap) {
+  NetworkModel m(platform_profile(Platform::infiniband));
+  const std::size_t bytes = 32 << 20;
+  const double nat =
+      bw_gbps(m.rma_op_ns(RmaKind::acc, bytes, 1, Path::native), bytes);
+  const double mpi =
+      bw_gbps(m.rma_op_ns(RmaKind::acc, bytes, 1, Path::mpi), bytes);
+  EXPECT_GT(nat - mpi, 1.5);
+}
+
+// Paper Fig. 3 (Cray XT): MPI bandwidth halves beyond 32 KiB.
+TEST(NetModelTest, Xt5BandwidthKink) {
+  NetworkModel m(platform_profile(Platform::cray_xt5));
+  const double below =
+      bw_gbps(m.rma_op_ns(RmaKind::put, 32768, 1, Path::mpi), 32768);
+  const double above = bw_gbps(
+      m.rma_op_ns(RmaKind::put, 16 << 20, 1, Path::mpi), 16 << 20);
+  // Large messages amortize the fixed overheads, so without the kink the
+  // 16 MiB point would be *faster*; with it, it is clearly slower.
+  EXPECT_LT(above, below);
+  const double native_above = bw_gbps(
+      m.rma_op_ns(RmaKind::put, 16 << 20, 1, Path::native), 16 << 20);
+  EXPECT_NEAR(above / native_above, 0.5, 0.08);
+}
+
+// Paper Fig. 3 (Cray XE): ARMCI-MPI roughly doubles the development-release
+// native bandwidth for large put/get and wins ~25% on accumulate.
+TEST(NetModelTest, Xe6MpiBeatsNative) {
+  NetworkModel m(platform_profile(Platform::cray_xe6));
+  const std::size_t bytes = 16 << 20;
+  const double mpi =
+      bw_gbps(m.rma_op_ns(RmaKind::get, bytes, 1, Path::mpi), bytes);
+  const double nat =
+      bw_gbps(m.rma_op_ns(RmaKind::get, bytes, 1, Path::native), bytes);
+  EXPECT_NEAR(mpi / nat, 2.0, 0.25);
+  const double mpi_acc =
+      bw_gbps(m.rma_op_ns(RmaKind::acc, bytes, 1, Path::mpi), bytes);
+  const double nat_acc =
+      bw_gbps(m.rma_op_ns(RmaKind::acc, bytes, 1, Path::native), bytes);
+  EXPECT_NEAR(mpi_acc / nat_acc, 1.25, 0.1);
+}
+
+// Paper Fig. 6 (Cray XE): the native stack degrades with job size.
+TEST(NetModelTest, Xe6NativeCongestionGrowsWithRanks) {
+  NetworkModel m(platform_profile(Platform::cray_xe6));
+  const double small =
+      m.rma_op_ns(RmaKind::put, 1024, 1, Path::native, 0, true, 24);
+  const double large =
+      m.rma_op_ns(RmaKind::put, 1024, 1, Path::native, 0, true, 5952);
+  EXPECT_GT(large, small * 2.0);
+  // The MPI path does not have this term.
+  EXPECT_EQ(m.rma_op_ns(RmaKind::put, 1024, 1, Path::mpi, 0, true, 24),
+            m.rma_op_ns(RmaKind::put, 1024, 1, Path::mpi, 0, true, 5952));
+}
+
+TEST(NetModelTest, SegmentsCostMoreOnMpiPath) {
+  NetworkModel m(platform_profile(Platform::bluegene_p));
+  EXPECT_LT(m.rma_op_ns(RmaKind::put, 4096, 1, Path::mpi),
+            m.rma_op_ns(RmaKind::put, 4096, 256, Path::mpi));
+}
+
+TEST(NetModelTest, EpochQueueDegradation) {
+  NetworkModel m(platform_profile(Platform::infiniband));
+  const double first = m.rma_op_ns(RmaKind::put, 16, 1, Path::mpi, 0);
+  const double thousandth = m.rma_op_ns(RmaKind::put, 16, 1, Path::mpi, 1000);
+  EXPECT_GT(thousandth, first);
+}
+
+TEST(NetModelTest, UnpinnedNativePathIsSlower) {
+  NetworkModel m(platform_profile(Platform::infiniband));
+  const std::size_t bytes = 1 << 20;
+  EXPECT_GT(m.rma_op_ns(RmaKind::get, bytes, 1, Path::native, 0, false),
+            m.rma_op_ns(RmaKind::get, bytes, 1, Path::native, 0, true));
+}
+
+TEST(NetModelTest, CollectiveCostsScaleLogarithmically) {
+  NetworkModel m(platform_profile(Platform::cray_xt5));
+  const double p2 = m.tree_collective_ns(1024, 2);
+  const double p16 = m.tree_collective_ns(1024, 16);
+  EXPECT_NEAR(p16 / p2, 4.0, 0.01);  // log2(16)/log2(2)
+  EXPECT_EQ(m.tree_collective_ns(1024, 1), 0.0);
+}
+
+TEST(NetModelTest, AllPaperProfilesAreComplete) {
+  for (Platform p : kPaperPlatforms) {
+    const PlatformProfile& prof = platform_profile(p);
+    EXPECT_FALSE(prof.name.empty());
+    EXPECT_GT(prof.nodes, 0);
+    EXPECT_GT(prof.net_bw_gbps, 0.0);
+    EXPECT_GT(prof.cpu_ghz, 0.0);
+    EXPECT_GT(prof.dgemm_gflops, 0.0);
+  }
+}
+
+TEST(NetModelTest, PlatformIdsAreDistinct) {
+  EXPECT_STREQ(platform_id(Platform::bluegene_p), "bgp");
+  EXPECT_STREQ(platform_id(Platform::infiniband), "ib");
+  EXPECT_STREQ(platform_id(Platform::cray_xt5), "xt5");
+  EXPECT_STREQ(platform_id(Platform::cray_xe6), "xe6");
+}
+
+}  // namespace
+}  // namespace mpisim

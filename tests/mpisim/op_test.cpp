@@ -1,0 +1,122 @@
+// Unit tests for reduction/accumulate operators.
+
+#include "src/mpisim/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+namespace {
+
+TEST(OpTest, BasicTypeSizes) {
+  EXPECT_EQ(basic_type_size(BasicType::byte_), 1u);
+  EXPECT_EQ(basic_type_size(BasicType::int32), 4u);
+  EXPECT_EQ(basic_type_size(BasicType::int64), 8u);
+  EXPECT_EQ(basic_type_size(BasicType::uint64), 8u);
+  EXPECT_EQ(basic_type_size(BasicType::float32), 4u);
+  EXPECT_EQ(basic_type_size(BasicType::float64), 8u);
+}
+
+TEST(OpTest, SumDouble) {
+  std::array<double, 3> dst{1.0, 2.0, 3.0};
+  std::array<double, 3> src{10.0, 20.0, 30.0};
+  apply_op(Op::sum, BasicType::float64, dst.data(), src.data(), 3);
+  EXPECT_DOUBLE_EQ(dst[0], 11.0);
+  EXPECT_DOUBLE_EQ(dst[1], 22.0);
+  EXPECT_DOUBLE_EQ(dst[2], 33.0);
+}
+
+TEST(OpTest, ProdInt) {
+  std::array<std::int32_t, 2> dst{3, 4};
+  std::array<std::int32_t, 2> src{5, -2};
+  apply_op(Op::prod, BasicType::int32, dst.data(), src.data(), 2);
+  EXPECT_EQ(dst[0], 15);
+  EXPECT_EQ(dst[1], -8);
+}
+
+TEST(OpTest, MinMax) {
+  std::array<std::int64_t, 2> dst{3, 9};
+  std::array<std::int64_t, 2> src{5, 2};
+  apply_op(Op::min, BasicType::int64, dst.data(), src.data(), 2);
+  EXPECT_EQ(dst[0], 3);
+  EXPECT_EQ(dst[1], 2);
+  dst = {3, 9};
+  apply_op(Op::max, BasicType::int64, dst.data(), src.data(), 2);
+  EXPECT_EQ(dst[0], 5);
+  EXPECT_EQ(dst[1], 9);
+}
+
+TEST(OpTest, ReplaceCopiesSource) {
+  std::array<double, 2> dst{1.0, 2.0};
+  std::array<double, 2> src{-7.5, 8.25};
+  apply_op(Op::replace, BasicType::float64, dst.data(), src.data(), 2);
+  EXPECT_DOUBLE_EQ(dst[0], -7.5);
+  EXPECT_DOUBLE_EQ(dst[1], 8.25);
+}
+
+TEST(OpTest, BitwiseOnIntegers) {
+  std::array<std::int32_t, 1> dst{0b1100};
+  std::array<std::int32_t, 1> src{0b1010};
+  apply_op(Op::band, BasicType::int32, dst.data(), src.data(), 1);
+  EXPECT_EQ(dst[0], 0b1000);
+  dst = {0b1100};
+  apply_op(Op::bor, BasicType::int32, dst.data(), src.data(), 1);
+  EXPECT_EQ(dst[0], 0b1110);
+}
+
+TEST(OpTest, LogicalOnIntegers) {
+  std::array<std::int32_t, 3> dst{0, 2, 0};
+  std::array<std::int32_t, 3> src{5, 0, 0};
+  apply_op(Op::lor, BasicType::int32, dst.data(), src.data(), 3);
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[1], 1);
+  EXPECT_EQ(dst[2], 0);
+}
+
+TEST(OpTest, BitwiseOnFloatThrows) {
+  std::array<double, 1> dst{1.0};
+  std::array<double, 1> src{2.0};
+  EXPECT_THROW(apply_op(Op::band, BasicType::float64, dst.data(), src.data(), 1),
+               MpiError);
+}
+
+TEST(OpTest, ZeroCountIsNoop) {
+  std::array<double, 1> dst{42.0};
+  std::array<double, 1> src{7.0};
+  apply_op(Op::sum, BasicType::float64, dst.data(), src.data(), 0);
+  EXPECT_DOUBLE_EQ(dst[0], 42.0);
+}
+
+TEST(OpTest, NamesAreStable) {
+  EXPECT_STREQ(op_name(Op::sum), "sum");
+  EXPECT_STREQ(op_name(Op::replace), "replace");
+  EXPECT_STREQ(basic_type_name(BasicType::float64), "double");
+}
+
+// Property sweep: sum over every arithmetic type keeps element independence.
+template <typename T>
+class OpSumTypedTest : public ::testing::Test {};
+
+using ArithTypes =
+    ::testing::Types<std::uint8_t, std::int32_t, std::int64_t, std::uint64_t,
+                     float, double>;
+TYPED_TEST_SUITE(OpSumTypedTest, ArithTypes);
+
+TYPED_TEST(OpSumTypedTest, ElementwiseIndependence) {
+  std::vector<TypeParam> dst(16), src(16);
+  for (int i = 0; i < 16; ++i) {
+    dst[static_cast<std::size_t>(i)] = static_cast<TypeParam>(i);
+    src[static_cast<std::size_t>(i)] = static_cast<TypeParam>(2 * i + 1);
+  }
+  apply_op(Op::sum, basic_type_of<TypeParam>(), dst.data(), src.data(), 16);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(dst[static_cast<std::size_t>(i)],
+              static_cast<TypeParam>(i + 2 * i + 1));
+}
+
+}  // namespace
+}  // namespace mpisim

@@ -1,0 +1,102 @@
+// Unit tests for the memory-registration cache model.
+
+#include "src/mpisim/registration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mpisim {
+namespace {
+
+constexpr std::size_t kPage = RegistrationCache::kPageBytes;
+
+TEST(RegistrationTest, FirstTouchPinsPages) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[4 * kPage];
+  EXPECT_FALSE(cache.is_registered(buf, kPage));
+  const std::size_t pinned = cache.ensure_registered(buf, 2 * kPage);
+  EXPECT_EQ(pinned, 2u);
+  EXPECT_TRUE(cache.is_registered(buf, 2 * kPage));
+}
+
+TEST(RegistrationTest, SecondTouchIsFree) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[4 * kPage];
+  cache.ensure_registered(buf, 3 * kPage);
+  EXPECT_EQ(cache.ensure_registered(buf, 3 * kPage), 0u);
+  EXPECT_EQ(cache.ensure_registered(buf + kPage, kPage), 0u);
+}
+
+TEST(RegistrationTest, PartialOverlapPinsOnlyGap) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[8 * kPage];
+  cache.ensure_registered(buf, 2 * kPage);
+  // Extend by two more pages: only the new ones are pinned.
+  EXPECT_EQ(cache.ensure_registered(buf, 4 * kPage), 2u);
+  EXPECT_EQ(cache.pinned_pages(), 4u);
+}
+
+TEST(RegistrationTest, HoleBetweenRegionsIsCounted) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[8 * kPage];
+  cache.ensure_registered(buf, kPage);
+  cache.ensure_registered(buf + 3 * kPage, kPage);
+  EXPECT_EQ(cache.pinned_pages(), 2u);
+  // Covering range pins exactly the two-page hole.
+  EXPECT_EQ(cache.ensure_registered(buf, 4 * kPage), 2u);
+  EXPECT_EQ(cache.pinned_pages(), 4u);
+}
+
+TEST(RegistrationTest, SubPageRangePinsWholePage) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[2 * kPage];
+  EXPECT_EQ(cache.ensure_registered(buf + 100, 8), 1u);
+  EXPECT_TRUE(cache.is_registered(buf + 100, 8));
+  EXPECT_TRUE(cache.is_registered(buf, 1));  // same page
+}
+
+TEST(RegistrationTest, StraddlingRangePinsBothPages) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[4 * kPage];
+  EXPECT_EQ(cache.ensure_registered(buf + kPage - 4, 8), 2u);
+}
+
+TEST(RegistrationTest, ZeroLengthIsTriviallyRegistered) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[kPage];
+  EXPECT_TRUE(cache.is_registered(buf, 0));
+  EXPECT_EQ(cache.ensure_registered(buf, 0), 0u);
+}
+
+TEST(RegistrationTest, PrepinnedIsFreeAfterwards) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[4 * kPage];
+  cache.register_prepinned(buf, 4 * kPage);
+  EXPECT_EQ(cache.ensure_registered(buf, 4 * kPage), 0u);
+}
+
+TEST(RegistrationTest, ClearDropsEverything) {
+  RegistrationCache cache;
+  alignas(4096) static std::uint8_t buf[2 * kPage];
+  cache.ensure_registered(buf, 2 * kPage);
+  cache.clear();
+  EXPECT_EQ(cache.pinned_pages(), 0u);
+  EXPECT_FALSE(cache.is_registered(buf, 1));
+}
+
+TEST(RegistrationTest, ManyDisjointRegionsMergeWhenCovered) {
+  RegistrationCache cache;
+  static std::vector<std::uint8_t> big(64 * kPage);
+  std::uint8_t* base = big.data();
+  for (int i = 0; i < 16; i += 2)
+    cache.ensure_registered(base + static_cast<std::size_t>(i) * 2 * kPage,
+                            kPage);
+  const std::size_t before = cache.pinned_pages();
+  cache.ensure_registered(base, 32 * kPage);
+  EXPECT_GT(cache.pinned_pages(), before);
+  EXPECT_EQ(cache.ensure_registered(base, 32 * kPage), 0u);
+}
+
+}  // namespace
+}  // namespace mpisim

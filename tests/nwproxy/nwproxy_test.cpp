@@ -1,0 +1,269 @@
+// Tests for the NWChem CCSD(T) proxy: task decoding, amplitude layout,
+// the distributed sweep against a serial reference, backend equivalence,
+// and load-balance/virtual-time sanity.
+
+#include "src/nwproxy/ccsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/armci/armci.hpp"
+#include "src/mpisim/comm.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/nwproxy/amplitudes.hpp"
+#include "src/nwproxy/params.hpp"
+
+namespace nwproxy {
+namespace {
+
+using mpisim::Platform;
+
+CcsdParams tiny() {
+  CcsdParams p;
+  p.no = 4;
+  p.nv = 8;
+  p.tile = 4;
+  p.iterations = 1;
+  p.mix = 1.0;  // t2 <- t2new exactly: directly comparable to the reference
+  return p;
+}
+
+TEST(ParamsTest, W5ScaledKeepsRatios) {
+  CcsdParams full = w5_scaled(1.0);
+  EXPECT_EQ(full.no, 20);
+  EXPECT_EQ(full.nv, 435);
+  CcsdParams tenth = w5_scaled(0.1);
+  EXPECT_EQ(tenth.no, 4);  // clamped to the minimum
+  EXPECT_EQ(tenth.nv, 43);
+  EXPECT_GE(tenth.tile, 4);
+}
+
+TEST(ParamsTest, TaskCounts) {
+  CcsdParams p = tiny();
+  // nv^2 = 64, tile^2 = 16 -> 4 pair tiles -> 10 upper-triangular pairs.
+  EXPECT_EQ(pair_tiles(p), 4);
+  EXPECT_EQ(ccsd_tasks(p), 10);
+  // no = 4 -> C(4+2,3) = 20 ordered triples.
+  EXPECT_EQ(triples_tasks(p), 20);
+  EXPECT_GT(ccsd_task_flops(p), 0.0);
+  EXPECT_GT(triples_task_flops(p), 0.0);
+}
+
+TEST(AmplitudesTest, TileGeometry) {
+  mpisim::run(2, Platform::ideal, [] {
+    armci::init({});
+    CcsdParams p = tiny();
+    p.nv = 9;  // 81 columns, tile^2 = 16 -> 6 tiles, last partial (1 col)
+    Amplitudes a = Amplitudes::create(p, "t");
+    EXPECT_EQ(a.rows(), 16);
+    EXPECT_EQ(a.cols(), 81);
+    EXPECT_EQ(a.ntiles(), 6);
+    EXPECT_EQ(a.tile_cols(0), (std::pair<std::int64_t, std::int64_t>{0, 15}));
+    EXPECT_EQ(a.tile_cols(5), (std::pair<std::int64_t, std::int64_t>{80, 80}));
+    EXPECT_EQ(a.tile_width(5), 1);
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+TEST(AmplitudesTest, InitReferenceIsGloballyConsistent) {
+  mpisim::run(4, Platform::ideal, [] {
+    armci::init({});
+    CcsdParams p = tiny();
+    Amplitudes a = Amplitudes::create(p, "t");
+    a.init_reference();
+    // Every rank reads a scattered sample and checks against the formula.
+    for (std::int64_t r = 0; r < a.rows(); r += 3) {
+      for (std::int64_t c = 0; c < a.cols(); c += 7) {
+        ga::Patch one;
+        one.lo = {r, c};
+        one.hi = {r, c};
+        double v = 0;
+        a.array().get(one, &v);
+        EXPECT_DOUBLE_EQ(v, Amplitudes::ref_value(r, c));
+      }
+    }
+    a.destroy();
+    armci::finalize();
+  });
+}
+
+class CcsdBackendTest : public ::testing::TestWithParam<armci::Backend> {
+ protected:
+  armci::Options opts() const {
+    armci::Options o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+TEST_P(CcsdBackendTest, OneSweepMatchesSerialReference) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const CcsdParams p = tiny();
+    Amplitudes t2;
+    PhaseResult res = run_ccsd(p, t2);
+    EXPECT_EQ(res.total_tasks, ccsd_tasks(p));
+
+    // After one sweep with mix=1, t2 must equal the serial reference.
+    const std::int64_t rows = p.no * p.no;
+    const std::int64_t cols = p.nv * p.nv;
+    std::vector<double> all(static_cast<std::size_t>(rows * cols));
+    ga::Patch whole;
+    whole.lo = {0, 0};
+    whole.hi = {rows - 1, cols - 1};
+    t2.array().get(whole, all.data());
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const double expect =
+            ccsd_reference_value(p, r, c, &Amplitudes::ref_value);
+        EXPECT_NEAR(all[static_cast<std::size_t>(r * cols + c)], expect,
+                    1e-12)
+            << "r=" << r << " c=" << c;
+      }
+    }
+    t2.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(CcsdBackendTest, AllTasksExecutedExactlyOnce) {
+  mpisim::run(8, Platform::ideal, [&] {
+    armci::init(opts());
+    CcsdParams p = tiny();
+    p.iterations = 3;
+    Amplitudes t2;
+    PhaseResult res = run_ccsd(p, t2);
+    std::int64_t total = 0;
+    mpisim::world().allreduce(&res.my_tasks, &total, 1,
+                              mpisim::BasicType::int64, mpisim::Op::sum);
+    EXPECT_EQ(total, 3 * res.total_tasks);
+    t2.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(CcsdBackendTest, EnergyIsDeterministicAcrossRankCounts) {
+  // The physics must not depend on parallelism: run with 2 and 5 ranks and
+  // compare the final pseudo-energy.
+  const CcsdParams p = [] {
+    CcsdParams q = tiny();
+    q.iterations = 2;
+    q.mix = 0.7;
+    return q;
+  }();
+  double e2 = 0, e5 = 0;
+  mpisim::run(2, Platform::ideal, [&] {
+    armci::init(opts());
+    Amplitudes t2;
+    PhaseResult r = run_ccsd(p, t2);
+    if (mpisim::rank() == 0) e2 = r.energy;
+    t2.destroy();
+    armci::finalize();
+  });
+  mpisim::run(5, Platform::ideal, [&] {
+    armci::init(opts());
+    Amplitudes t2;
+    PhaseResult r = run_ccsd(p, t2);
+    if (mpisim::rank() == 0) e5 = r.energy;
+    t2.destroy();
+    armci::finalize();
+  });
+  EXPECT_NEAR(e2, e5, 1e-10 * std::abs(e2));
+  EXPECT_NE(e2, 0.0);
+}
+
+TEST_P(CcsdBackendTest, TriplesEnergyDeterministic) {
+  const CcsdParams p = tiny();
+  double e3 = 0, e6 = 0;
+  for (int nr : {3, 6}) {
+    mpisim::run(nr, Platform::ideal, [&] {
+      armci::init(opts());
+      Amplitudes t2 = Amplitudes::create(p, "t2");
+      t2.init_reference();
+      PhaseResult r = run_triples(p, t2);
+      EXPECT_EQ(r.total_tasks, triples_tasks(p));
+      if (mpisim::rank() == 0) (nr == 3 ? e3 : e6) = r.energy;
+      t2.destroy();
+      armci::finalize();
+    });
+  }
+  EXPECT_NEAR(e3, e6, 1e-10 * std::abs(e3) + 1e-18);
+}
+
+TEST_P(CcsdBackendTest, ChunkedTaskClaimsPartitionTheWork) {
+  // chunk_tasks > 1 claims task ranges per counter fetch; the claims must
+  // still partition the task space exactly (no task lost or duplicated),
+  // even when the last chunk is partial.
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    CcsdParams p = tiny();
+    p.nv = 16;  // 16 tiles -> 136 tasks; 136 % 3 != 0 -> partial last chunk
+    p.chunk_tasks = 3;
+    Amplitudes t2;
+    PhaseResult res = run_ccsd(p, t2);
+    std::int64_t total = 0;
+    mpisim::world().allreduce(&res.my_tasks, &total, 1,
+                              mpisim::BasicType::int64, mpisim::Op::sum);
+    EXPECT_EQ(total, res.total_tasks);
+    EXPECT_EQ(res.total_tasks, 136);
+    t2.destroy();
+    armci::finalize();
+  });
+}
+
+TEST_P(CcsdBackendTest, VirtualTimeIsPositiveOnRealPlatforms) {
+  mpisim::run(4, Platform::infiniband, [&] {
+    armci::init(opts());
+    const CcsdParams p = tiny();
+    Amplitudes t2;
+    PhaseResult ccsd = run_ccsd(p, t2);
+    EXPECT_GT(ccsd.virtual_seconds, 0.0);
+    PhaseResult tr = run_triples(p, t2);
+    EXPECT_GT(tr.virtual_seconds, 0.0);
+    t2.destroy();
+    armci::finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CcsdBackendTest,
+                         ::testing::Values(armci::Backend::mpi,
+                                           armci::Backend::native,
+                                           armci::Backend::mpi3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case armci::Backend::mpi: return "Mpi";
+                             case armci::Backend::native: return "Native";
+                             case armci::Backend::mpi3: return "Mpi3";
+                           }
+                           return "?";
+                         });
+
+// Backend equivalence: identical physics from ARMCI-MPI and ARMCI-Native.
+TEST(CcsdCrossBackendTest, BackendsAgreeOnEnergy) {
+  const CcsdParams p = [] {
+    CcsdParams q = tiny();
+    q.iterations = 2;
+    q.mix = 0.4;
+    return q;
+  }();
+  double em = 0, en = 0;
+  for (armci::Backend b : {armci::Backend::mpi, armci::Backend::native}) {
+    mpisim::run(4, Platform::cray_xe6, [&] {
+      armci::Options o;
+      o.backend = b;
+      armci::init(o);
+      Amplitudes t2;
+      PhaseResult r = run_ccsd(p, t2);
+      if (mpisim::rank() == 0) (b == armci::Backend::mpi ? em : en) = r.energy;
+      t2.destroy();
+      armci::finalize();
+    });
+  }
+  EXPECT_NEAR(em, en, 1e-10 * std::abs(em));
+}
+
+}  // namespace
+}  // namespace nwproxy
