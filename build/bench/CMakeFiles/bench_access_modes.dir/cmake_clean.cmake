@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_modes.dir/bench_access_modes.cpp.o"
+  "CMakeFiles/bench_access_modes.dir/bench_access_modes.cpp.o.d"
+  "bench_access_modes"
+  "bench_access_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

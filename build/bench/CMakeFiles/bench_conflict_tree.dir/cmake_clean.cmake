@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict_tree.dir/bench_conflict_tree.cpp.o"
+  "CMakeFiles/bench_conflict_tree.dir/bench_conflict_tree.cpp.o.d"
+  "bench_conflict_tree"
+  "bench_conflict_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contig.dir/bench_contig.cpp.o"
+  "CMakeFiles/bench_contig.dir/bench_contig.cpp.o.d"
+  "bench_contig"
+  "bench_contig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

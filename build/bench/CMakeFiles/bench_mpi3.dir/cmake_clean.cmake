@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi3.dir/bench_mpi3.cpp.o"
+  "CMakeFiles/bench_mpi3.dir/bench_mpi3.cpp.o.d"
+  "bench_mpi3"
+  "bench_mpi3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

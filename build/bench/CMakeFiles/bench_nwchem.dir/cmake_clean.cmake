@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nwchem.dir/bench_nwchem.cpp.o"
+  "CMakeFiles/bench_nwchem.dir/bench_nwchem.cpp.o.d"
+  "bench_nwchem"
+  "bench_nwchem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nwchem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

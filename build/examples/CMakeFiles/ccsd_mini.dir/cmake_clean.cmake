@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsd_mini.dir/ccsd_mini.cpp.o"
+  "CMakeFiles/ccsd_mini.dir/ccsd_mini.cpp.o.d"
+  "ccsd_mini"
+  "ccsd_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsd_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

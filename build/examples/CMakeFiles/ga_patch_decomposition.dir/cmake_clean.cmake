@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_patch_decomposition.dir/ga_patch_decomposition.cpp.o"
+  "CMakeFiles/ga_patch_decomposition.dir/ga_patch_decomposition.cpp.o.d"
+  "ga_patch_decomposition"
+  "ga_patch_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_patch_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

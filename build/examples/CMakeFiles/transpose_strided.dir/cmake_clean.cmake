@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_strided.dir/transpose_strided.cpp.o"
+  "CMakeFiles/transpose_strided.dir/transpose_strided.cpp.o.d"
+  "transpose_strided"
+  "transpose_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

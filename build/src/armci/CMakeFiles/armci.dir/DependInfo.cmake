@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armci/accops.cpp" "src/armci/CMakeFiles/armci.dir/accops.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/accops.cpp.o.d"
+  "/root/repo/src/armci/api.cpp" "src/armci/CMakeFiles/armci.dir/api.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/api.cpp.o.d"
+  "/root/repo/src/armci/backend_mpi.cpp" "src/armci/CMakeFiles/armci.dir/backend_mpi.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/backend_mpi.cpp.o.d"
+  "/root/repo/src/armci/backend_mpi3.cpp" "src/armci/CMakeFiles/armci.dir/backend_mpi3.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/backend_mpi3.cpp.o.d"
+  "/root/repo/src/armci/backend_native.cpp" "src/armci/CMakeFiles/armci.dir/backend_native.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/backend_native.cpp.o.d"
+  "/root/repo/src/armci/conflict_tree.cpp" "src/armci/CMakeFiles/armci.dir/conflict_tree.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/conflict_tree.cpp.o.d"
+  "/root/repo/src/armci/gmr.cpp" "src/armci/CMakeFiles/armci.dir/gmr.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/gmr.cpp.o.d"
+  "/root/repo/src/armci/groups.cpp" "src/armci/CMakeFiles/armci.dir/groups.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/groups.cpp.o.d"
+  "/root/repo/src/armci/iov.cpp" "src/armci/CMakeFiles/armci.dir/iov.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/iov.cpp.o.d"
+  "/root/repo/src/armci/mutex.cpp" "src/armci/CMakeFiles/armci.dir/mutex.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/mutex.cpp.o.d"
+  "/root/repo/src/armci/state.cpp" "src/armci/CMakeFiles/armci.dir/state.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/state.cpp.o.d"
+  "/root/repo/src/armci/strided.cpp" "src/armci/CMakeFiles/armci.dir/strided.cpp.o" "gcc" "src/armci/CMakeFiles/armci.dir/strided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

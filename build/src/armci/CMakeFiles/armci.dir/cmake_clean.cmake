@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci.dir/accops.cpp.o"
+  "CMakeFiles/armci.dir/accops.cpp.o.d"
+  "CMakeFiles/armci.dir/api.cpp.o"
+  "CMakeFiles/armci.dir/api.cpp.o.d"
+  "CMakeFiles/armci.dir/backend_mpi.cpp.o"
+  "CMakeFiles/armci.dir/backend_mpi.cpp.o.d"
+  "CMakeFiles/armci.dir/backend_mpi3.cpp.o"
+  "CMakeFiles/armci.dir/backend_mpi3.cpp.o.d"
+  "CMakeFiles/armci.dir/backend_native.cpp.o"
+  "CMakeFiles/armci.dir/backend_native.cpp.o.d"
+  "CMakeFiles/armci.dir/conflict_tree.cpp.o"
+  "CMakeFiles/armci.dir/conflict_tree.cpp.o.d"
+  "CMakeFiles/armci.dir/gmr.cpp.o"
+  "CMakeFiles/armci.dir/gmr.cpp.o.d"
+  "CMakeFiles/armci.dir/groups.cpp.o"
+  "CMakeFiles/armci.dir/groups.cpp.o.d"
+  "CMakeFiles/armci.dir/iov.cpp.o"
+  "CMakeFiles/armci.dir/iov.cpp.o.d"
+  "CMakeFiles/armci.dir/mutex.cpp.o"
+  "CMakeFiles/armci.dir/mutex.cpp.o.d"
+  "CMakeFiles/armci.dir/state.cpp.o"
+  "CMakeFiles/armci.dir/state.cpp.o.d"
+  "CMakeFiles/armci.dir/strided.cpp.o"
+  "CMakeFiles/armci.dir/strided.cpp.o.d"
+  "libarmci.a"
+  "libarmci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

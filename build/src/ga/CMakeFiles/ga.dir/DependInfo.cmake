@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/distribution.cpp" "src/ga/CMakeFiles/ga.dir/distribution.cpp.o" "gcc" "src/ga/CMakeFiles/ga.dir/distribution.cpp.o.d"
+  "/root/repo/src/ga/ga.cpp" "src/ga/CMakeFiles/ga.dir/ga.cpp.o" "gcc" "src/ga/CMakeFiles/ga.dir/ga.cpp.o.d"
+  "/root/repo/src/ga/ga_gather.cpp" "src/ga/CMakeFiles/ga.dir/ga_gather.cpp.o" "gcc" "src/ga/CMakeFiles/ga.dir/ga_gather.cpp.o.d"
+  "/root/repo/src/ga/ga_math.cpp" "src/ga/CMakeFiles/ga.dir/ga_math.cpp.o" "gcc" "src/ga/CMakeFiles/ga.dir/ga_math.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/armci/CMakeFiles/armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

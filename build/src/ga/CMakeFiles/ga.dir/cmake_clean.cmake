@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga.dir/distribution.cpp.o"
+  "CMakeFiles/ga.dir/distribution.cpp.o.d"
+  "CMakeFiles/ga.dir/ga.cpp.o"
+  "CMakeFiles/ga.dir/ga.cpp.o.d"
+  "CMakeFiles/ga.dir/ga_gather.cpp.o"
+  "CMakeFiles/ga.dir/ga_gather.cpp.o.d"
+  "CMakeFiles/ga.dir/ga_math.cpp.o"
+  "CMakeFiles/ga.dir/ga_math.cpp.o.d"
+  "libga.a"
+  "libga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/mpisim.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/datatype.cpp" "src/mpisim/CMakeFiles/mpisim.dir/datatype.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpisim/error.cpp" "src/mpisim/CMakeFiles/mpisim.dir/error.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/error.cpp.o.d"
+  "/root/repo/src/mpisim/group.cpp" "src/mpisim/CMakeFiles/mpisim.dir/group.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/group.cpp.o.d"
+  "/root/repo/src/mpisim/mailbox.cpp" "src/mpisim/CMakeFiles/mpisim.dir/mailbox.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpisim/netmodel.cpp" "src/mpisim/CMakeFiles/mpisim.dir/netmodel.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/netmodel.cpp.o.d"
+  "/root/repo/src/mpisim/op.cpp" "src/mpisim/CMakeFiles/mpisim.dir/op.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/op.cpp.o.d"
+  "/root/repo/src/mpisim/pacer.cpp" "src/mpisim/CMakeFiles/mpisim.dir/pacer.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/pacer.cpp.o.d"
+  "/root/repo/src/mpisim/platform.cpp" "src/mpisim/CMakeFiles/mpisim.dir/platform.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/platform.cpp.o.d"
+  "/root/repo/src/mpisim/registration.cpp" "src/mpisim/CMakeFiles/mpisim.dir/registration.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/registration.cpp.o.d"
+  "/root/repo/src/mpisim/runtime.cpp" "src/mpisim/CMakeFiles/mpisim.dir/runtime.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/runtime.cpp.o.d"
+  "/root/repo/src/mpisim/win.cpp" "src/mpisim/CMakeFiles/mpisim.dir/win.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpisim.dir/win.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

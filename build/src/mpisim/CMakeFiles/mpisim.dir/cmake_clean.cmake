@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim.dir/comm.cpp.o"
+  "CMakeFiles/mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/mpisim.dir/datatype.cpp.o"
+  "CMakeFiles/mpisim.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpisim.dir/error.cpp.o"
+  "CMakeFiles/mpisim.dir/error.cpp.o.d"
+  "CMakeFiles/mpisim.dir/group.cpp.o"
+  "CMakeFiles/mpisim.dir/group.cpp.o.d"
+  "CMakeFiles/mpisim.dir/mailbox.cpp.o"
+  "CMakeFiles/mpisim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mpisim.dir/netmodel.cpp.o"
+  "CMakeFiles/mpisim.dir/netmodel.cpp.o.d"
+  "CMakeFiles/mpisim.dir/op.cpp.o"
+  "CMakeFiles/mpisim.dir/op.cpp.o.d"
+  "CMakeFiles/mpisim.dir/pacer.cpp.o"
+  "CMakeFiles/mpisim.dir/pacer.cpp.o.d"
+  "CMakeFiles/mpisim.dir/platform.cpp.o"
+  "CMakeFiles/mpisim.dir/platform.cpp.o.d"
+  "CMakeFiles/mpisim.dir/registration.cpp.o"
+  "CMakeFiles/mpisim.dir/registration.cpp.o.d"
+  "CMakeFiles/mpisim.dir/runtime.cpp.o"
+  "CMakeFiles/mpisim.dir/runtime.cpp.o.d"
+  "CMakeFiles/mpisim.dir/win.cpp.o"
+  "CMakeFiles/mpisim.dir/win.cpp.o.d"
+  "libmpisim.a"
+  "libmpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nwproxy/amplitudes.cpp" "src/nwproxy/CMakeFiles/nwproxy.dir/amplitudes.cpp.o" "gcc" "src/nwproxy/CMakeFiles/nwproxy.dir/amplitudes.cpp.o.d"
+  "/root/repo/src/nwproxy/ccsd.cpp" "src/nwproxy/CMakeFiles/nwproxy.dir/ccsd.cpp.o" "gcc" "src/nwproxy/CMakeFiles/nwproxy.dir/ccsd.cpp.o.d"
+  "/root/repo/src/nwproxy/params.cpp" "src/nwproxy/CMakeFiles/nwproxy.dir/params.cpp.o" "gcc" "src/nwproxy/CMakeFiles/nwproxy.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ga/CMakeFiles/ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/armci/CMakeFiles/armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

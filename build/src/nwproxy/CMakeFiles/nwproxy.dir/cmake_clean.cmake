@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwproxy.dir/amplitudes.cpp.o"
+  "CMakeFiles/nwproxy.dir/amplitudes.cpp.o.d"
+  "CMakeFiles/nwproxy.dir/ccsd.cpp.o"
+  "CMakeFiles/nwproxy.dir/ccsd.cpp.o.d"
+  "CMakeFiles/nwproxy.dir/params.cpp.o"
+  "CMakeFiles/nwproxy.dir/params.cpp.o.d"
+  "libnwproxy.a"
+  "libnwproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

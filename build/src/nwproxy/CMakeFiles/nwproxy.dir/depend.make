@@ -1,0 +1,2 @@
+# Empty dependencies file for nwproxy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_conflict_tree_test.dir/armci/conflict_tree_test.cpp.o"
+  "CMakeFiles/armci_conflict_tree_test.dir/armci/conflict_tree_test.cpp.o.d"
+  "armci_conflict_tree_test"
+  "armci_conflict_tree_test.pdb"
+  "armci_conflict_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_conflict_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

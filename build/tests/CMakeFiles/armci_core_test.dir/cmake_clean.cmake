@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_core_test.dir/armci/armci_core_test.cpp.o"
+  "CMakeFiles/armci_core_test.dir/armci/armci_core_test.cpp.o.d"
+  "armci_core_test"
+  "armci_core_test.pdb"
+  "armci_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_groups_dla_test.dir/armci/armci_groups_dla_test.cpp.o"
+  "CMakeFiles/armci_groups_dla_test.dir/armci/armci_groups_dla_test.cpp.o.d"
+  "armci_groups_dla_test"
+  "armci_groups_dla_test.pdb"
+  "armci_groups_dla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_groups_dla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

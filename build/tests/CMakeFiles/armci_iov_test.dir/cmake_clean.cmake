@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_iov_test.dir/armci/armci_iov_test.cpp.o"
+  "CMakeFiles/armci_iov_test.dir/armci/armci_iov_test.cpp.o.d"
+  "armci_iov_test"
+  "armci_iov_test.pdb"
+  "armci_iov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_iov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_model_properties_test.dir/armci/armci_model_properties_test.cpp.o"
+  "CMakeFiles/armci_model_properties_test.dir/armci/armci_model_properties_test.cpp.o.d"
+  "armci_model_properties_test"
+  "armci_model_properties_test.pdb"
+  "armci_model_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_model_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_mutex_rmw_test.dir/armci/armci_mutex_rmw_test.cpp.o"
+  "CMakeFiles/armci_mutex_rmw_test.dir/armci/armci_mutex_rmw_test.cpp.o.d"
+  "armci_mutex_rmw_test"
+  "armci_mutex_rmw_test.pdb"
+  "armci_mutex_rmw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_mutex_rmw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

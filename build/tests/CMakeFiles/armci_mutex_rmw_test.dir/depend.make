@@ -1,0 +1,2 @@
+# Empty dependencies file for armci_mutex_rmw_test.
+# This may be replaced when dependencies are built.

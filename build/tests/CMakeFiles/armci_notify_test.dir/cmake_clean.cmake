@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_notify_test.dir/armci/armci_notify_test.cpp.o"
+  "CMakeFiles/armci_notify_test.dir/armci/armci_notify_test.cpp.o.d"
+  "armci_notify_test"
+  "armci_notify_test.pdb"
+  "armci_notify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_notify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_stats_test.dir/armci/armci_stats_test.cpp.o"
+  "CMakeFiles/armci_stats_test.dir/armci/armci_stats_test.cpp.o.d"
+  "armci_stats_test"
+  "armci_stats_test.pdb"
+  "armci_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

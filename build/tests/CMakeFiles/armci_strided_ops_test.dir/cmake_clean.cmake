@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_strided_ops_test.dir/armci/armci_strided_ops_test.cpp.o"
+  "CMakeFiles/armci_strided_ops_test.dir/armci/armci_strided_ops_test.cpp.o.d"
+  "armci_strided_ops_test"
+  "armci_strided_ops_test.pdb"
+  "armci_strided_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_strided_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

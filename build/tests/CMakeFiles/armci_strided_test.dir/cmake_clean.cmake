@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_strided_test.dir/armci/strided_test.cpp.o"
+  "CMakeFiles/armci_strided_test.dir/armci/strided_test.cpp.o.d"
+  "armci_strided_test"
+  "armci_strided_test.pdb"
+  "armci_strided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_strided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

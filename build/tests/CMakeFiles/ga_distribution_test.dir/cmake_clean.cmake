@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_distribution_test.dir/ga/distribution_test.cpp.o"
+  "CMakeFiles/ga_distribution_test.dir/ga/distribution_test.cpp.o.d"
+  "ga_distribution_test"
+  "ga_distribution_test.pdb"
+  "ga_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_gather_test.dir/ga/ga_gather_test.cpp.o"
+  "CMakeFiles/ga_gather_test.dir/ga/ga_gather_test.cpp.o.d"
+  "ga_gather_test"
+  "ga_gather_test.pdb"
+  "ga_gather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_gather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

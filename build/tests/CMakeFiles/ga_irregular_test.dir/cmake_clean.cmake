@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_irregular_test.dir/ga/ga_irregular_test.cpp.o"
+  "CMakeFiles/ga_irregular_test.dir/ga/ga_irregular_test.cpp.o.d"
+  "ga_irregular_test"
+  "ga_irregular_test.pdb"
+  "ga_irregular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_irregular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

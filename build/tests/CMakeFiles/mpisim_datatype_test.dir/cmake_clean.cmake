@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_datatype_test.dir/mpisim/datatype_test.cpp.o"
+  "CMakeFiles/mpisim_datatype_test.dir/mpisim/datatype_test.cpp.o.d"
+  "mpisim_datatype_test"
+  "mpisim_datatype_test.pdb"
+  "mpisim_datatype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_datatype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

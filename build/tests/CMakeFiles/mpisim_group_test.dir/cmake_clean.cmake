@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_group_test.dir/mpisim/group_test.cpp.o"
+  "CMakeFiles/mpisim_group_test.dir/mpisim/group_test.cpp.o.d"
+  "mpisim_group_test"
+  "mpisim_group_test.pdb"
+  "mpisim_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

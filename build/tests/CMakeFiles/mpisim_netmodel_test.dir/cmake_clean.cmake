@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_netmodel_test.dir/mpisim/netmodel_test.cpp.o"
+  "CMakeFiles/mpisim_netmodel_test.dir/mpisim/netmodel_test.cpp.o.d"
+  "mpisim_netmodel_test"
+  "mpisim_netmodel_test.pdb"
+  "mpisim_netmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_netmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_op_test.dir/mpisim/op_test.cpp.o"
+  "CMakeFiles/mpisim_op_test.dir/mpisim/op_test.cpp.o.d"
+  "mpisim_op_test"
+  "mpisim_op_test.pdb"
+  "mpisim_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

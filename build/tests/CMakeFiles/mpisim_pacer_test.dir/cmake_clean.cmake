@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_pacer_test.dir/mpisim/pacer_test.cpp.o"
+  "CMakeFiles/mpisim_pacer_test.dir/mpisim/pacer_test.cpp.o.d"
+  "mpisim_pacer_test"
+  "mpisim_pacer_test.pdb"
+  "mpisim_pacer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_pacer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_registration_test.dir/mpisim/registration_test.cpp.o"
+  "CMakeFiles/mpisim_registration_test.dir/mpisim/registration_test.cpp.o.d"
+  "mpisim_registration_test"
+  "mpisim_registration_test.pdb"
+  "mpisim_registration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_registration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

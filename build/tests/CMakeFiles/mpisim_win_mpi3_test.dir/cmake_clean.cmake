@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_win_mpi3_test.dir/mpisim/win_mpi3_test.cpp.o"
+  "CMakeFiles/mpisim_win_mpi3_test.dir/mpisim/win_mpi3_test.cpp.o.d"
+  "mpisim_win_mpi3_test"
+  "mpisim_win_mpi3_test.pdb"
+  "mpisim_win_mpi3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_win_mpi3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

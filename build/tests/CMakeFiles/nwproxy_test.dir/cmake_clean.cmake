@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwproxy_test.dir/nwproxy/nwproxy_test.cpp.o"
+  "CMakeFiles/nwproxy_test.dir/nwproxy/nwproxy_test.cpp.o.d"
+  "nwproxy_test"
+  "nwproxy_test.pdb"
+  "nwproxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwproxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mpisim_op_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_group_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_registration_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_netmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_win_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_conflict_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_strided_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_core_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_iov_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_strided_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_mutex_rmw_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_groups_dla_test[1]_include.cmake")
+include("/root/repo/build/tests/ga_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/ga_test[1]_include.cmake")
+include("/root/repo/build/tests/nwproxy_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_pacer_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_win_mpi3_test[1]_include.cmake")
+include("/root/repo/build/tests/ga_gather_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ga_irregular_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_notify_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_model_properties_test[1]_include.cmake")
