@@ -21,6 +21,8 @@ double hot_target_seconds(armci::AccessMode mode, bench::Xfer op, int nranks,
   mpisim::run(cfg, [&] {
     armci::Options o;
     o.backend = armci::Backend::mpi;
+    o.metrics = true;
+    o.trace = true;
     armci::init(o);
     std::vector<void*> bases = armci::malloc_world(bytes);
     armci::set_access_mode(mode,
@@ -42,6 +44,7 @@ double hot_target_seconds(armci::AccessMode mode, bench::Xfer op, int nranks,
     mpisim::world().allreduce(&mine, &max_s, 1, mpisim::BasicType::float64,
                               mpisim::Op::max);
     if (mpisim::rank() == 0) result = max_s;
+    bench::Reporter::instance().capture_rank();
     armci::free_local(local);
     armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
     armci::finalize();
@@ -68,13 +71,14 @@ void register_all() {
                          "/ranks:" + std::to_string(nranks);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [c, nranks](benchmark::State& st) {
+          [c, nranks, name](benchmark::State& st) {
             double secs = 0.0;
             for (auto _ : st) {
               secs = hot_target_seconds(c.mode, c.op, nranks, 64 << 10, 8);
               st.SetIterationTime(secs);
             }
             st.counters["seconds"] = secs;
+            bench::Reporter::instance().add_point(name, secs, "s");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_access_modes");
   benchmark::Shutdown();
   return 0;
 }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_batch_sweep");
   benchmark::Shutdown();
   return 0;
 }

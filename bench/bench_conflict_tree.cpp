@@ -6,12 +6,36 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "bench/report.hpp"
 #include "src/armci/iov.hpp"
 
 namespace {
+
+/// Record approximate wall time per iteration into the bench report (the
+/// precise statistics remain google-benchmark's console/JSON output).
+class WallPoint {
+ public:
+  WallPoint(const char* what, std::size_t n)
+      : name_(std::string(what) + "/n:" + std::to_string(n)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void close(benchmark::IterationCount iters) {
+    const std::chrono::duration<double> secs =
+        std::chrono::steady_clock::now() - start_;
+    if (iters > 0)
+      bench::Reporter::instance().add_point(
+          name_, secs.count() / static_cast<double>(iters), "s_per_iter");
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 std::vector<const void*> make_segments(std::size_t n, std::size_t bytes,
                                        bool shuffled) {
@@ -29,9 +53,11 @@ void BM_ConflictTree(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t bytes = 64;
   const auto ptrs = make_segments(n, bytes, /*shuffled=*/true);
+  WallPoint point("ConflictTree", n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(armci::iov_has_overlap(ptrs, bytes));
   }
+  point.close(state.iterations());
   state.SetComplexityN(state.range(0));
 }
 
@@ -39,9 +65,11 @@ void BM_NaiveScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t bytes = 64;
   const auto ptrs = make_segments(n, bytes, /*shuffled=*/true);
+  WallPoint point("NaiveScan", n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(armci::iov_has_overlap_naive(ptrs, bytes));
   }
+  point.close(state.iterations());
   state.SetComplexityN(state.range(0));
 }
 
@@ -51,9 +79,11 @@ void BM_ConflictTreeSorted(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t bytes = 64;
   const auto ptrs = make_segments(n, bytes, /*shuffled=*/false);
+  WallPoint point("ConflictTreeSorted", n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(armci::iov_has_overlap(ptrs, bytes));
   }
+  point.close(state.iterations());
   state.SetComplexityN(state.range(0));
 }
 
@@ -68,4 +98,11 @@ BENCHMARK(BM_ConflictTreeSorted)->RangeMultiplier(4)->Range(16, 1 << 17)
 BENCHMARK(BM_NaiveScan)->RangeMultiplier(4)->Range(16, 1 << 13)
     ->Complexity(benchmark::oNSquared);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_conflict_tree");
+  benchmark::Shutdown();
+  return 0;
+}

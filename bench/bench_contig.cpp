@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_contig");
   benchmark::Shutdown();
   return 0;
 }

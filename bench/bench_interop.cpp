@@ -102,7 +102,7 @@ void register_all() {
                          std::to_string(bytes);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [curve, bytes](benchmark::State& st) {
+          [curve, bytes, name](benchmark::State& st) {
             double gibps = 0.0;
             for (auto _ : st) {
               gibps = interop_bw(curve, bytes);
@@ -110,6 +110,7 @@ void register_all() {
                                   (gibps * bench::kGiB));
             }
             st.counters["GiB/s"] = gibps;
+            bench::Reporter::instance().add_point(name, gibps, "GiB/s");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_interop");
   benchmark::Shutdown();
   return 0;
 }

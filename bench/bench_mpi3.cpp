@@ -146,32 +146,37 @@ double ccsd_s(armci::Backend b, int nranks) {
 
 void register_all() {
   for (armci::Backend b : kAll) {
+    const std::string put_name =
+        std::string("Mpi3/small_put_us/") + backend_name(b);
     benchmark::RegisterBenchmark(
-        (std::string("Mpi3/small_put_us/") + backend_name(b)).c_str(),
-        [b](benchmark::State& st) {
+        put_name.c_str(),
+        [b, put_name](benchmark::State& st) {
           double us = 0.0;
           for (auto _ : st) {
             us = small_put_us(b);
             st.SetIterationTime(us * 1e-6);
           }
           st.counters["usec"] = us;
+          bench::Reporter::instance().add_point(put_name, us, "us");
         })
         ->UseManualTime()
         ->Iterations(1)
         ->Unit(benchmark::kMicrosecond);
 
     for (int nranks : {2, 8}) {
+      const std::string rmw_name = std::string("Mpi3/rmw_us/") +
+                                   backend_name(b) +
+                                   "/ranks:" + std::to_string(nranks);
       benchmark::RegisterBenchmark(
-          (std::string("Mpi3/rmw_us/") + backend_name(b) +
-           "/ranks:" + std::to_string(nranks))
-              .c_str(),
-          [b, nranks](benchmark::State& st) {
+          rmw_name.c_str(),
+          [b, nranks, rmw_name](benchmark::State& st) {
             double us = 0.0;
             for (auto _ : st) {
               us = rmw_us(b, nranks);
               st.SetIterationTime(us * 1e-6);
             }
             st.counters["usec"] = us;
+            bench::Reporter::instance().add_point(rmw_name, us, "us");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -179,17 +184,19 @@ void register_all() {
     }
 
     for (int nranks : {2, 16}) {
+      const std::string hot_name = std::string("Mpi3/hot_acc_ms/") +
+                                   backend_name(b) +
+                                   "/ranks:" + std::to_string(nranks);
       benchmark::RegisterBenchmark(
-          (std::string("Mpi3/hot_acc_ms/") + backend_name(b) +
-           "/ranks:" + std::to_string(nranks))
-              .c_str(),
-          [b, nranks](benchmark::State& st) {
+          hot_name.c_str(),
+          [b, nranks, hot_name](benchmark::State& st) {
             double ms = 0.0;
             for (auto _ : st) {
               ms = hot_acc_ms(b, nranks);
               st.SetIterationTime(ms * 1e-3);
             }
             st.counters["ms"] = ms;
+            bench::Reporter::instance().add_point(hot_name, ms, "ms");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -197,17 +204,19 @@ void register_all() {
     }
 
     for (int nranks : {8, 32}) {
+      const std::string ccsd_name = std::string("Mpi3/ccsd_s/") +
+                                    backend_name(b) +
+                                    "/ranks:" + std::to_string(nranks);
       benchmark::RegisterBenchmark(
-          (std::string("Mpi3/ccsd_s/") + backend_name(b) +
-           "/ranks:" + std::to_string(nranks))
-              .c_str(),
-          [b, nranks](benchmark::State& st) {
+          ccsd_name.c_str(),
+          [b, nranks, ccsd_name](benchmark::State& st) {
             double s = 0.0;
             for (auto _ : st) {
               s = ccsd_s(b, nranks);
               st.SetIterationTime(s);
             }
             st.counters["seconds"] = s;
+            bench::Reporter::instance().add_point(ccsd_name, s, "s");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -222,6 +231,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_mpi3");
   benchmark::Shutdown();
   return 0;
 }

@@ -20,6 +20,8 @@ double mutex_us_per_pair(mpisim::Platform plat, armci::Backend backend,
   mpisim::run(cfg, [&] {
     armci::Options o;
     o.backend = backend;
+    o.metrics = true;
+    o.trace = true;
     armci::init(o);
     armci::create_mutexes(1);
     armci::barrier();
@@ -36,6 +38,7 @@ double mutex_us_per_pair(mpisim::Platform plat, armci::Backend backend,
                               mpisim::Op::max);
     if (mpisim::rank() == 0) result = max_us;
     armci::barrier();
+    bench::Reporter::instance().capture_rank();
     armci::destroy_mutexes();
     armci::finalize();
   });
@@ -51,7 +54,7 @@ void register_all() {
           "/ranks:" + std::to_string(nranks);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [backend, nranks](benchmark::State& st) {
+          [backend, nranks, name](benchmark::State& st) {
             double us = 0.0;
             for (auto _ : st) {
               us = mutex_us_per_pair(mpisim::Platform::infiniband, backend,
@@ -59,6 +62,7 @@ void register_all() {
               st.SetIterationTime(us * 1e-6);
             }
             st.counters["us_per_lock"] = us;
+            bench::Reporter::instance().add_point(name, us, "us_per_lock");
           })
           ->UseManualTime()
           ->Iterations(1)
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_mutex");
   benchmark::Shutdown();
   return 0;
 }

@@ -64,7 +64,7 @@ void register_all() {
             "/ranks:" + std::to_string(nranks);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [plat, backend, nranks](benchmark::State& st) {
+            [plat, backend, nranks, name](benchmark::State& st) {
               NwTimes t{};
               for (auto _ : st) {
                 t = run_proxy(plat, backend, nranks);
@@ -73,6 +73,10 @@ void register_all() {
               st.counters["CCSD_min"] = t.ccsd_min;
               st.counters["T_min"] = t.t_min;
               st.counters["ranks"] = nranks;
+              bench::Reporter::instance().add_point(name + "/ccsd", t.ccsd_min,
+                                                    "min");
+              bench::Reporter::instance().add_point(name + "/triples", t.t_min,
+                                                    "min");
             })
             ->UseManualTime()
             ->Iterations(1)
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_nwchem");
   benchmark::Shutdown();
   return 0;
 }

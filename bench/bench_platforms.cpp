@@ -71,13 +71,14 @@ void register_all() {
         std::string("TableII/small_put_us/") + mpisim::platform_id(plat);
     benchmark::RegisterBenchmark(
         name.c_str(),
-        [plat](benchmark::State& st) {
+        [plat, name](benchmark::State& st) {
           double us = 0.0;
           for (auto _ : st) {
             us = epoch_overhead_us(plat);
             st.SetIterationTime(us * 1e-6);
           }
           st.counters["usec"] = us;
+          bench::Reporter::instance().add_point(name, us, "us");
         })
         ->UseManualTime()
         ->Iterations(1)
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_platforms");
   benchmark::Shutdown();
   return 0;
 }

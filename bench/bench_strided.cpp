@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_strided");
   benchmark::Shutdown();
   return 0;
 }

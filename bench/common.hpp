@@ -15,12 +15,22 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.hpp"
 #include "src/armci/armci.hpp"
 #include "src/mpisim/runtime.hpp"
 
 namespace bench {
 
 inline constexpr double kGiB = 1073741824.0;
+
+inline const char* backend_name(armci::Backend b) {
+  switch (b) {
+    case armci::Backend::mpi: return "mpi";
+    case armci::Backend::native: return "native";
+    case armci::Backend::mpi3: return "mpi3";
+  }
+  return "?";
+}
 
 /// Operation selector shared by the bandwidth benchmarks.
 enum class Xfer { get, put, acc };
@@ -48,6 +58,8 @@ inline double contig_bw(mpisim::Platform plat, armci::Backend backend,
   mpisim::run(cfg, [&] {
     armci::Options o;
     o.backend = backend;
+    o.metrics = true;
+    o.trace = true;
     armci::init(o);
     std::vector<void*> bases = armci::malloc_world(bytes);
     auto* local = static_cast<double*>(armci::malloc_local(bytes));
@@ -72,10 +84,17 @@ inline double contig_bw(mpisim::Platform plat, armci::Backend backend,
       result = static_cast<double>(bytes) * reps / secs / kGiB;
     }
     armci::barrier();
+    Reporter::instance().capture_rank();
     armci::free_local(local);
     armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
     armci::finalize();
   });
+  Reporter::instance().add_point(std::string("contig/") +
+                                     mpisim::platform_id(plat) + "/" +
+                                     xfer_name(op) + "/" +
+                                     backend_name(backend) + "/" +
+                                     std::to_string(bytes),
+                                 result, "GiB/s");
   return result;
 }
 
@@ -124,6 +143,8 @@ inline double strided_bw(mpisim::Platform plat, StridedImpl impl, Xfer op,
         break;
     }
     o.iov_batched_limit = batch_limit;
+    o.metrics = true;
+    o.trace = true;
     armci::init(o);
 
     const std::size_t pitch = seg_bytes * 2;
@@ -165,10 +186,17 @@ inline double strided_bw(mpisim::Platform plat, StridedImpl impl, Xfer op,
           static_cast<double>(seg_bytes * nseg) * reps / secs / kGiB;
     }
     armci::barrier();
+    Reporter::instance().capture_rank();
     armci::free_local(local);
     armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
     armci::finalize();
   });
+  Reporter::instance().add_point(
+      std::string("strided/") + mpisim::platform_id(plat) + "/" +
+          strided_impl_name(impl) + "/" + xfer_name(op) + "/seg" +
+          std::to_string(seg_bytes) + "/n" + std::to_string(nseg) + "/B" +
+          std::to_string(batch_limit),
+      result, "GiB/s");
   return result;
 }
 

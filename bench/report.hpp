@@ -1,0 +1,150 @@
+#ifndef BENCH_REPORT_HPP
+#define BENCH_REPORT_HPP
+
+/// \file report.hpp
+/// Machine-readable results for the benchmark binaries.
+///
+/// Every measurement point is recorded into a process-wide Reporter; each
+/// bench main() calls write_report() at exit to produce
+///   results/<bench>.json        -- all points, each with its per-rank
+///                                  armci metrics documents (schema
+///                                  armci-bench-v1)
+///   results/<bench>.trace.json  -- Chrome trace_event document of the
+///                                  *last* captured point (one virtual-time
+///                                  track per rank); load in
+///                                  chrome://tracing or Perfetto.
+///
+/// Harnesses that run a simulation have each rank call capture_rank()
+/// while ARMCI is still initialized; the driving thread then closes the
+/// point with add_point() after mpisim::run() returns. Points without a
+/// capture (pure-CPU benches) simply carry an empty "ranks" array.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
+
+namespace bench {
+
+class Reporter {
+ public:
+  static Reporter& instance() {
+    static Reporter r;
+    return r;
+  }
+
+  /// Snapshot the calling rank's metrics + trace events for the point in
+  /// flight. Call from inside the simulation, before armci::finalize().
+  void capture_rank() {
+    std::string json = armci::metrics_json();
+    mpisim::RankTrace rt;
+    rt.rank = mpisim::rank();
+    rt.events = mpisim::tracer().events();
+    std::lock_guard lk(mu_);
+    current_ranks_.push_back(std::move(json));
+    current_traces_.push_back(std::move(rt));
+  }
+
+  /// Close the point in flight, attaching whatever the ranks captured.
+  void add_point(std::string name, double value, const char* unit) {
+    std::lock_guard lk(mu_);
+    Point p;
+    p.name = std::move(name);
+    p.value = value;
+    p.unit = unit;
+    p.ranks = std::move(current_ranks_);
+    current_ranks_.clear();
+    if (!current_traces_.empty()) {
+      last_traces_ = std::move(current_traces_);
+      current_traces_.clear();
+    }
+    points_.push_back(std::move(p));
+  }
+
+  /// Write results/<bench_name>.json (+ .trace.json when any point traced).
+  bool write(const std::string& bench_name) {
+    std::lock_guard lk(mu_);
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (ec) return false;
+
+    std::string doc = "{\"schema\":\"armci-bench-v1\",\"bench\":\"" +
+                      escape(bench_name) + "\",\"points\":[";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const Point& p = points_[i];
+      if (i != 0) doc += ',';
+      char num[64];
+      std::snprintf(num, sizeof num, "%.6g", p.value);
+      doc += "{\"name\":\"" + escape(p.name) + "\",\"value\":" + num +
+             ",\"unit\":\"" + escape(p.unit) + "\",\"ranks\":[";
+      for (std::size_t r = 0; r < p.ranks.size(); ++r) {
+        if (r != 0) doc += ',';
+        doc += p.ranks[r];  // already a JSON object (armci::metrics_json)
+      }
+      doc += "]}";
+    }
+    doc += "]}";
+    if (!dump("results/" + bench_name + ".json", doc)) return false;
+
+    if (!last_traces_.empty()) {
+      // Ranks finish in nondeterministic order; sort for stable output.
+      std::sort(last_traces_.begin(), last_traces_.end(),
+                [](const mpisim::RankTrace& a, const mpisim::RankTrace& b) {
+                  return a.rank < b.rank;
+                });
+      if (!dump("results/" + bench_name + ".trace.json",
+                mpisim::chrome_trace_json(last_traces_)))
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Point {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+    std::vector<std::string> ranks;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  static bool dump(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+    return std::fclose(f) == 0 && n == content.size();
+  }
+
+  std::mutex mu_;
+  std::vector<Point> points_;
+  std::vector<std::string> current_ranks_;
+  std::vector<mpisim::RankTrace> current_traces_;
+  std::vector<mpisim::RankTrace> last_traces_;
+};
+
+/// Bench main() epilogue: flush the report files, warn on failure.
+inline void write_report(const char* bench_name) {
+  if (!Reporter::instance().write(bench_name))
+    std::fprintf(stderr, "warning: could not write results/%s.json\n",
+                 bench_name);
+}
+
+}  // namespace bench
+
+#endif  // BENCH_REPORT_HPP

@@ -7,6 +7,7 @@
 #include "src/armci/backend_mpi.hpp"
 #include "src/armci/backend_mpi3.hpp"
 #include "src/armci/backend_native.hpp"
+#include "src/armci/metrics.hpp"
 #include "src/armci/state.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
@@ -38,6 +39,8 @@ void init(const Options& opts) {
       st->backend = std::make_unique<Mpi3Backend>(st.get());
       break;
   }
+  if (opts.metrics) st->metrics.enable();
+  if (opts.trace) me.tracer().enable(opts.trace_capacity);
   me.user_state = st.release();
   me.user_state_cleanup = [&me] {
     delete static_cast<ProcState*>(me.user_state);
@@ -60,6 +63,8 @@ void finalize() {
   }
   mpisim::world().barrier();
   mpisim::RankContext& me = mpisim::ctx();
+  // Capture traces before finalize(): the sink dies with the ARMCI instance.
+  me.tracer().disable();
   delete static_cast<ProcState*>(me.user_state);
   me.user_state = nullptr;
   me.user_state_cleanup = nullptr;
@@ -71,7 +76,13 @@ const Options& options() { return state().opts; }
 
 const Stats& stats() { return state().stats; }
 
-void reset_stats() { state().stats = Stats{}; }
+const MetricsRegistry& metrics() { return state().metrics; }
+
+void reset_stats() {
+  ProcState& st = state();
+  st.stats = Stats{};
+  st.metrics.reset();
+}
 
 // ---------------------------------------------------------------------------
 // Global memory
@@ -210,17 +221,19 @@ void contig_op(OneSided kind, const void* remote, void* local,
 }  // namespace
 
 void put(const void* src, void* dst, std::size_t bytes, int proc) {
-  Stats& st = state().stats;
-  ++st.puts;
-  st.put_bytes += bytes;
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::put, "armci.put", bytes);
+  ++st.stats.puts;
+  st.stats.put_bytes += bytes;
   contig_op(OneSided::put, dst, const_cast<void*>(src), bytes, proc,
             AccType::float64, &kUnitScaleD);
 }
 
 void get(const void* src, void* dst, std::size_t bytes, int proc) {
-  Stats& st = state().stats;
-  ++st.gets;
-  st.get_bytes += bytes;
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::get, "armci.get", bytes);
+  ++st.stats.gets;
+  st.stats.get_bytes += bytes;
   contig_op(OneSided::get, src, dst, bytes, proc, AccType::float64,
             &kUnitScaleD);
 }
@@ -232,9 +245,10 @@ void acc(AccType type, const void* scale, const void* src, void* dst,
   if (bytes % acc_type_size(type) != 0)
     mpisim::raise(Errc::invalid_argument,
                   "accumulate length not a multiple of the element size");
-  Stats& st = state().stats;
-  ++st.accs;
-  st.acc_bytes += bytes;
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::acc, "armci.acc", bytes);
+  ++st.stats.accs;
+  st.stats.acc_bytes += bytes;
   contig_op(OneSided::acc, dst, const_cast<void*>(src), bytes, proc, type,
             scale);
 }
@@ -245,69 +259,80 @@ void acc(AccType type, const void* scale, const void* src, void* dst,
 
 namespace {
 
-void count_iov(std::span<const Giov> iov) {
+std::uint64_t count_iov(std::span<const Giov> iov) {
   Stats& st = state().stats;
   ++st.iov_ops;
+  std::uint64_t bytes = 0;
   for (const Giov& g : iov) {
     st.iov_segments += g.src.size();
-    st.iov_bytes += g.bytes * g.src.size();
+    bytes += g.bytes * g.src.size();
   }
+  st.iov_bytes += bytes;
+  return bytes;
 }
 
 }  // namespace
 
 void put_iov(std::span<const Giov> iov, int proc) {
-  count_iov(iov);
-  state().backend->iov(OneSided::put, iov, proc, AccType::float64,
-                       &kUnitScaleD);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::iov, "armci.put_iov", count_iov(iov));
+  st.backend->iov(OneSided::put, iov, proc, AccType::float64, &kUnitScaleD);
 }
 
 void get_iov(std::span<const Giov> iov, int proc) {
-  count_iov(iov);
-  state().backend->iov(OneSided::get, iov, proc, AccType::float64,
-                       &kUnitScaleD);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::iov, "armci.get_iov", count_iov(iov));
+  st.backend->iov(OneSided::get, iov, proc, AccType::float64, &kUnitScaleD);
 }
 
 void acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
              int proc) {
   if (scale == nullptr)
     mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
-  count_iov(iov);
-  state().backend->iov(OneSided::acc, iov, proc, type, scale);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::iov, "armci.acc_iov", count_iov(iov));
+  st.backend->iov(OneSided::acc, iov, proc, type, scale);
 }
 
 namespace {
 
-void count_strided(const StridedSpec& spec) {
+std::uint64_t count_strided(const StridedSpec& spec) {
   Stats& st = state().stats;
   ++st.strided_ops;
   std::uint64_t bytes = 1;
   for (std::size_t c : spec.count) bytes *= c;
   st.strided_bytes += bytes;
+  return bytes;
 }
 
 }  // namespace
 
 void put_strided(const void* src, void* dst, const StridedSpec& spec,
                  int proc) {
-  count_strided(spec);
-  state().backend->strided(OneSided::put, src, dst, spec, proc,
-                           AccType::float64, &kUnitScaleD);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::strided, "armci.put_strided",
+                count_strided(spec));
+  st.backend->strided(OneSided::put, src, dst, spec, proc, AccType::float64,
+                      &kUnitScaleD);
 }
 
 void get_strided(const void* src, void* dst, const StridedSpec& spec,
                  int proc) {
-  count_strided(spec);
-  state().backend->strided(OneSided::get, src, dst, spec, proc,
-                           AccType::float64, &kUnitScaleD);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::strided, "armci.get_strided",
+                count_strided(spec));
+  st.backend->strided(OneSided::get, src, dst, spec, proc, AccType::float64,
+                      &kUnitScaleD);
 }
 
 void acc_strided(AccType type, const void* scale, const void* src, void* dst,
                  const StridedSpec& spec, int proc) {
   if (scale == nullptr)
     mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
-  count_strided(spec);
-  state().backend->strided(OneSided::acc, src, dst, spec, proc, type, scale);
+  ProcState& st = state();
+  OpTimer probe(st, OpClass::strided, "armci.acc_strided",
+                count_strided(spec));
+  st.backend->strided(OneSided::acc, src, dst, spec, proc, type, scale);
 }
 
 // ---------------------------------------------------------------------------
@@ -458,6 +483,8 @@ void lock(int mutex, int proc) {
   ProcState& st = state();
   if (!st.mutexes_exist || mutex < 0 || mutex >= st.mutex_count)
     mpisim::raise(Errc::invalid_argument, "invalid mutex");
+  OpTimer probe(st, OpClass::mutex, "armci.lock",
+                static_cast<std::uint64_t>(mutex));
   ++st.stats.mutex_locks;
   st.backend->mutex_lock(mutex, proc);
 }
@@ -473,6 +500,7 @@ void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc) {
   if (ploc == nullptr || prem == nullptr)
     mpisim::raise(Errc::invalid_argument, "rmw with null pointer");
   ProcState& st = state();
+  OpTimer probe(st, OpClass::rmw, "armci.rmw");
   ++st.stats.rmws;
   st.backend->rmw(op, ploc, prem, extra, proc);
 }
@@ -487,6 +515,7 @@ void access_begin(void* ptr) {
   if (st.open_accesses.contains(ptr))
     mpisim::raise(Errc::invalid_argument,
                   "access_begin: region already open");
+  ++st.stats.dla_epochs;
   st.backend->access_begin(loc);
   st.open_accesses.emplace(ptr, loc);
 }

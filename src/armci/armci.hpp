@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/armci/groups.hpp"
+#include "src/armci/metrics.hpp"
 #include "src/armci/stats.hpp"
 #include "src/armci/types.hpp"
 
@@ -56,7 +57,11 @@ const Options& options();
 /// Operation counters of the calling process (see stats.hpp).
 const Stats& stats();
 
-/// Zero the calling process's operation counters.
+/// Per-op latency histograms of the calling process (see metrics.hpp);
+/// populated only when Options::metrics is set.
+const MetricsRegistry& metrics();
+
+/// Zero the calling process's operation counters and latency histograms.
 void reset_stats();
 
 // ---------------------------------------------------------------------------

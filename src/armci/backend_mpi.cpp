@@ -10,12 +10,15 @@
 #include "src/armci/strided.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace armci {
 
 using mpisim::Datatype;
 using mpisim::Errc;
 using mpisim::LockType;
+using mpisim::TraceCat;
+using mpisim::TraceScope;
 
 namespace {
 
@@ -64,6 +67,9 @@ void MpiBackend::staged_local_copy(void* dst, const void* src,
   // global space is under an exclusive self-epoch on its window, released
   // before any other window is locked (avoiding deadlock from holding two
   // locks).
+  ++st_->stats.staged_local_copies;
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.staged_copy",
+                bytes);
   GmrLoc l = st_->table.require(mpisim::rank(), global_side, bytes);
   l.gmr->win.lock(LockType::exclusive, l.target_rank);
   std::memcpy(dst, src, bytes);
@@ -73,6 +79,7 @@ void MpiBackend::staged_local_copy(void* dst, const void* src,
 
 void MpiBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
                         std::size_t bytes, AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.contig", bytes);
   const Gmr& gmr = *loc.gmr;
   const LockType lt = epoch_lock(gmr, kind);
 
@@ -172,6 +179,8 @@ void MpiBackend::iov_conservative(OneSided kind, const Giov& giov, int proc,
   // One operation per segment, each within its own epoch. Segments may
   // live in different GMRs and may overlap (successive exclusive epochs
   // serialize, so overlap is not erroneous here).
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.iov_conservative",
+                giov.src.size());
   const bool is_get = kind == OneSided::get;
   for (std::size_t i = 0; i < giov.src.size(); ++i) {
     const void* remote = is_get ? giov.src[i] : giov.dst[i];
@@ -183,6 +192,8 @@ void MpiBackend::iov_conservative(OneSided kind, const Giov& giov, int proc,
 
 void MpiBackend::iov_batched(OneSided kind, const Giov& giov, int proc,
                              AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.iov_batched",
+                giov.src.size());
   const bool is_get = kind == OneSided::get;
   const std::size_t n = giov.src.size();
   const std::size_t bytes = giov.bytes;
@@ -199,7 +210,7 @@ void MpiBackend::iov_batched(OneSided kind, const Giov& giov, int proc,
     }
     const bool need_scale =
         kind == OneSided::acc && !scale_is_identity(at, scale);
-    if (any_global || need_scale || (is_get && any_global)) {
+    if (any_global || need_scale) {
       temp.resize(n * bytes);
       use_temp = true;
       if (!is_get) {
@@ -276,6 +287,8 @@ void MpiBackend::iov_batched(OneSided kind, const Giov& giov, int proc,
 
 void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
                             AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.iov_direct",
+                giov.src.size());
   const bool is_get = kind == OneSided::get;
   const std::size_t n = giov.src.size();
   const std::size_t bytes = giov.bytes;
@@ -400,6 +413,8 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
 void MpiBackend::strided(OneSided kind, const void* src, void* dst,
                          const StridedSpec& spec, int proc, AccType at,
                          const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.strided",
+                static_cast<std::uint64_t>(spec.stride_levels));
   validate_spec(spec);
   const StridedMethod method = st_->opts.strided_method;
   if (method != StridedMethod::direct) {
@@ -439,6 +454,7 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
     const bool local_global = local_is_global(local, lextent);
     if (!is_get) {
       if (local_global) {
+        ++st_->stats.staged_local_copies;
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
         l.gmr->win.lock(LockType::exclusive, l.target_rank);
         ltype.pack(local, 1, temp.data());
@@ -473,6 +489,7 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
     gmr.win.unlock(loc.target_rank);
     if (is_get) {
       if (local_global) {
+        ++st_->stats.staged_local_copies;
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
         l.gmr->win.lock(LockType::exclusive, l.target_rank);
         ltype.unpack(temp.data(), local, 1);
@@ -514,6 +531,7 @@ void MpiBackend::fence_all() {}
 
 void MpiBackend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
                      int proc) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.rmw");
   const bool is_long =
       op == RmwOp::fetch_and_add_long || op == RmwOp::swap_long;
   const std::size_t width = is_long ? 8 : 4;

@@ -9,11 +9,14 @@
 #include "src/armci/strided.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace armci {
 
 using mpisim::Datatype;
 using mpisim::Errc;
+using mpisim::TraceCat;
+using mpisim::TraceScope;
 
 void Mpi3Backend::gmr_created(Gmr& gmr) {
   const int me = gmr.group.rank();
@@ -71,6 +74,7 @@ void Mpi3Backend::issue(OneSided kind, const Gmr& gmr, int grank,
 
 void Mpi3Backend::contig(OneSided kind, const GmrLoc& loc, void* local,
                          std::size_t bytes, AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.contig", bytes);
   const Gmr& gmr = *loc.gmr;
   if (kind == OneSided::acc) {
     const std::size_t esz = acc_type_size(at);
@@ -90,6 +94,7 @@ void Mpi3Backend::iov(OneSided kind, std::span<const Giov> vec, int proc,
   // Direct datatype method per GMR group, under the standing epoch. No
   // overlap scan is needed: conflicting accumulate-class operations are
   // defined (same-op) or merely undefined (MPI-3), never fatal.
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.iov", vec.size());
   const bool is_get = kind == OneSided::get;
   for (const Giov& g : vec) {
     if (g.src.size() != g.dst.size())
@@ -143,6 +148,8 @@ void Mpi3Backend::iov(OneSided kind, std::span<const Giov> vec, int proc,
 void Mpi3Backend::strided(OneSided kind, const void* src, void* dst,
                           const StridedSpec& spec, int proc, AccType at,
                           const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.strided",
+                static_cast<std::uint64_t>(spec.stride_levels));
   validate_spec(spec);
   const bool is_get = kind == OneSided::get;
   const mpisim::BasicType elem = kind == OneSided::acc
@@ -175,6 +182,7 @@ void Mpi3Backend::fence_all() {
 
 void Mpi3Backend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
                       int proc) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.rmw");
   const bool is_long =
       op == RmwOp::fetch_and_add_long || op == RmwOp::swap_long;
   const std::size_t width = is_long ? 8 : 4;

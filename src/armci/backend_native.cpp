@@ -8,10 +8,13 @@
 #include "src/armci/strided.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace armci {
 
 using mpisim::Errc;
+using mpisim::TraceCat;
+using mpisim::TraceScope;
 
 namespace {
 
@@ -64,6 +67,7 @@ void NativeBackend::move_segment(OneSided kind, void* remote, void* local,
 
 void NativeBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
                            std::size_t bytes, AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "native.contig", bytes);
   auto* remote = static_cast<std::uint8_t*>(
                      loc.gmr->bases[static_cast<std::size_t>(loc.target_rank)]) +
                  loc.offset;
@@ -79,6 +83,8 @@ void NativeBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
 
 void NativeBackend::iov(OneSided kind, std::span<const Giov> vec, int proc,
                         AccType at, const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "native.iov",
+                vec.size());
   const bool is_get = kind == OneSided::get;
   for (const Giov& g : vec) {
     if (g.src.size() != g.dst.size())
@@ -106,6 +112,8 @@ void NativeBackend::iov(OneSided kind, std::span<const Giov> vec, int proc,
 void NativeBackend::strided(OneSided kind, const void* src, void* dst,
                             const StridedSpec& spec, int proc, AccType at,
                             const void* scale) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "native.strided",
+                static_cast<std::uint64_t>(spec.stride_levels));
   validate_spec(spec);
   const bool is_get = kind == OneSided::get;
   const void* remote_base_c = is_get ? src : dst;
@@ -160,6 +168,7 @@ void NativeBackend::fence_all() {
 
 void NativeBackend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
                         int proc) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "native.rmw");
   st_->table.require(proc, prem,
                      (op == RmwOp::fetch_and_add_long ||
                       op == RmwOp::swap_long)

@@ -1,0 +1,187 @@
+#include "src/armci/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/armci/state.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
+
+namespace armci {
+
+const char* op_class_name(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::put: return "put";
+    case OpClass::get: return "get";
+    case OpClass::acc: return "acc";
+    case OpClass::strided: return "strided";
+    case OpClass::iov: return "iov";
+    case OpClass::rmw: return "rmw";
+    case OpClass::mutex: return "mutex";
+  }
+  return "?";
+}
+
+namespace {
+
+int bucket_of(double ns) noexcept {
+  if (!(ns >= 1.0)) return 0;  // sub-ns and NaN land in the first bucket
+  const auto n = static_cast<std::uint64_t>(ns);
+  const int i = std::bit_width(n) - 1;
+  return i >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : i;
+}
+
+double bucket_upper_ns(int i) noexcept {
+  return std::ldexp(1.0, i + 1);  // 2^(i+1)
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double ns) noexcept {
+  if (ns < 0.0) ns = 0.0;
+  ++buckets_[static_cast<std::size_t>(bucket_of(ns))];
+  ++count_;
+  sum_ns_ += ns;
+  if (ns > max_ns_) max_ns_ = ns;
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum >= target) {
+      const double upper = bucket_upper_ns(i);
+      return upper < max_ns_ ? upper : max_ns_;
+    }
+  }
+  return max_ns_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  max_ns_ = 0.0;
+  sum_ns_ = 0.0;
+}
+
+OpTimer::OpTimer(ProcState& st, OpClass cls, const char* name,
+                 std::uint64_t arg)
+    : st_(&st),
+      cls_(cls),
+      name_(name),
+      arg_(arg),
+      start_ns_(0.0),
+      metrics_(st.metrics.enabled()),
+      trace_(mpisim::tracer().enabled()) {
+  if (metrics_ || trace_) start_ns_ = mpisim::clock().now_ns();
+  if (trace_) mpisim::tracer().begin(mpisim::TraceCat::api, name_, arg_);
+}
+
+OpTimer::~OpTimer() {
+  if (trace_) mpisim::tracer().end(mpisim::TraceCat::api, name_, arg_);
+  if (metrics_)
+    st_->metrics.record(cls_, mpisim::clock().now_ns() - start_ns_);
+}
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_json() {
+  ProcState& st = state();
+  const Stats& s = st.stats;
+  const mpisim::Tracer& tr = mpisim::tracer();
+
+  std::string out;
+  out.reserve(2048);
+  append(out, "{\"schema\":\"armci-metrics-v1\",\"rank\":%d,", mpisim::rank());
+
+  // Flat operation counters (stats.hpp).
+  append(out,
+         "\"counters\":{\"puts\":%llu,\"gets\":%llu,\"accs\":%llu,"
+         "\"put_bytes\":%llu,\"get_bytes\":%llu,\"acc_bytes\":%llu,"
+         "\"strided_ops\":%llu,\"strided_bytes\":%llu,"
+         "\"iov_ops\":%llu,\"iov_bytes\":%llu,\"iov_segments\":%llu,"
+         "\"rmws\":%llu,\"mutex_locks\":%llu,\"fences\":%llu,"
+         "\"barriers\":%llu,\"allocations\":%llu,\"frees\":%llu,"
+         "\"dla_epochs\":%llu,\"staged_local_copies\":%llu},",
+         (unsigned long long)s.puts, (unsigned long long)s.gets,
+         (unsigned long long)s.accs, (unsigned long long)s.put_bytes,
+         (unsigned long long)s.get_bytes, (unsigned long long)s.acc_bytes,
+         (unsigned long long)s.strided_ops,
+         (unsigned long long)s.strided_bytes, (unsigned long long)s.iov_ops,
+         (unsigned long long)s.iov_bytes, (unsigned long long)s.iov_segments,
+         (unsigned long long)s.rmws, (unsigned long long)s.mutex_locks,
+         (unsigned long long)s.fences, (unsigned long long)s.barriers,
+         (unsigned long long)s.allocations, (unsigned long long)s.frees,
+         (unsigned long long)s.dla_epochs,
+         (unsigned long long)s.staged_local_copies);
+
+  // Per-op-class virtual-time latency summaries.
+  out += "\"ops\":{";
+  for (int c = 0; c < kOpClassCount; ++c) {
+    const auto cls = static_cast<OpClass>(c);
+    const LatencyHistogram& h = st.metrics.op(cls).latency;
+    append(out,
+           "%s\"%s\":{\"count\":%llu,\"mean_ns\":%.3f,\"p50_ns\":%.3f,"
+           "\"p95_ns\":%.3f,\"max_ns\":%.3f}",
+           c == 0 ? "" : ",", op_class_name(cls),
+           (unsigned long long)h.count(), h.mean_ns(), h.percentile(0.50),
+           h.percentile(0.95), h.max_ns());
+  }
+  out += "},";
+
+  // Per-window lock/epoch counters, annotated with the owning GMR where
+  // one is still live (mutex-set windows report with "gmr_id":null).
+  out += "\"windows\":[";
+  bool first = true;
+  for (const auto& [win_id, ws] : tr.win_stats()) {
+    long long gmr_id = -1;
+    for (const auto& gmr : st.table.all()) {
+      if (gmr->win.valid() && gmr->win.id() == win_id) {
+        gmr_id = static_cast<long long>(gmr->id);
+        break;
+      }
+    }
+    append(out, "%s{\"win_id\":%llu,", first ? "" : ",",
+           (unsigned long long)win_id);
+    if (gmr_id >= 0)
+      append(out, "\"gmr_id\":%lld,", gmr_id);
+    else
+      out += "\"gmr_id\":null,";
+    append(out,
+           "\"exclusive_locks\":%llu,\"shared_locks\":%llu,"
+           "\"lock_alls\":%llu,\"flushes\":%llu,\"epochs\":%llu}",
+           (unsigned long long)ws.exclusive_locks,
+           (unsigned long long)ws.shared_locks,
+           (unsigned long long)ws.lock_alls, (unsigned long long)ws.flushes,
+           (unsigned long long)ws.epochs);
+    first = false;
+  }
+  out += "],";
+
+  append(out, "\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu}}",
+         tr.enabled() ? "true" : "false",
+         (unsigned long long)tr.total_events(),
+         (unsigned long long)tr.dropped());
+  return out;
+}
+
+}  // namespace armci

@@ -2,11 +2,14 @@
 
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace armci {
 
 using mpisim::Errc;
 using mpisim::LockType;
+using mpisim::TraceCat;
+using mpisim::TraceScope;
 
 QueueingMutexSet QueueingMutexSet::create(const mpisim::Comm& comm, int count,
                                           int tag_base) {
@@ -34,6 +37,8 @@ void QueueingMutexSet::destroy() {
 void QueueingMutexSet::lock(int m, int host) {
   if (m < 0 || m >= count_)
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
+  TraceScope ts(mpisim::tracer(), TraceCat::mutex, "qmutex.lock",
+                static_cast<std::uint64_t>(m));
   const int n = comm_.size();
   const int me = comm_.rank();
   const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
@@ -64,6 +69,8 @@ void QueueingMutexSet::lock(int m, int host) {
 void QueueingMutexSet::unlock(int m, int host) {
   if (m < 0 || m >= count_)
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
+  TraceScope ts(mpisim::tracer(), TraceCat::mutex, "qmutex.unlock",
+                static_cast<std::uint64_t>(m));
   const int n = comm_.size();
   const int me = comm_.rank();
   const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);

@@ -14,6 +14,7 @@
 #include "src/armci/backend.hpp"
 #include "src/armci/gmr.hpp"
 #include "src/armci/groups.hpp"
+#include "src/armci/metrics.hpp"
 #include "src/armci/stats.hpp"
 #include "src/armci/types.hpp"
 
@@ -51,6 +52,9 @@ struct ProcState {
 
   /// Operation counters (see stats.hpp).
   Stats stats;
+
+  /// Per-op latency histograms (see metrics.hpp), on when opts.metrics.
+  MetricsRegistry metrics;
 
   explicit ProcState(int world_size) : table(world_size) {}
 };

@@ -38,6 +38,14 @@ struct Stats {
   std::uint64_t fences = 0;
   std::uint64_t barriers = 0;
 
+  // Direct local access epochs (ARMCI_Access_begin/end pairs, paper §V-E).
+  std::uint64_t dla_epochs = 0;
+
+  // Staging copies of local buffers that themselves live in global space
+  // (paper §V-E1): each one is an extra exclusive self-epoch plus a memcpy,
+  // so this counter exposes a hidden cost of the MPI mapping.
+  std::uint64_t staged_local_copies = 0;
+
   // Memory management.
   std::uint64_t allocations = 0;
   std::uint64_t frees = 0;

@@ -128,7 +128,10 @@ SubarrayParams strided_to_subarray(std::span<const std::size_t> strides,
           strides[static_cast<std::size_t>(i) - 1];
     }
   }
-  sizes[0] = spec.count[nd - 1];
+  // count[nd - 1] is the outer segment count for sl > 0 but the byte length
+  // of the single contiguous run for sl == 0, where sizes[0] must be in
+  // elements to match subsizes[0].
+  sizes[0] = sl == 0 ? spec.count[0] / elem_size : spec.count[nd - 1];
   subsizes[nd - 1] = spec.count[0] / elem_size;
   for (std::size_t i = 1; i < nd; ++i) subsizes[nd - 1 - i] = spec.count[i];
   for (std::size_t d = 0; d < nd; ++d)

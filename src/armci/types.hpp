@@ -68,6 +68,14 @@ struct Options {
   /// coherent platforms whose MPI allows concurrent local access; provided
   /// because many MPI implementations extend the standard this way.
   bool no_local_copy = false;
+  /// Record per-op virtual-time latency histograms (metrics.hpp). Off, the
+  /// probes cost one branch per operation.
+  bool metrics = false;
+  /// Record begin/end trace events into a per-rank ring buffer, exportable
+  /// as Chrome trace_event JSON (mpisim/trace.hpp).
+  bool trace = false;
+  /// Ring capacity (events per rank) when trace is on.
+  std::size_t trace_capacity = 1 << 16;
 };
 
 /// Generalized I/O vector descriptor (armci_giov_t): ptr_array_len segment

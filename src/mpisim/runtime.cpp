@@ -171,6 +171,8 @@ Comm world() { return Comm(ctx().core().world_impl()); }
 
 SimClock& clock() { return ctx().clock(); }
 
+Tracer& tracer() { return ctx().tracer(); }
+
 const NetworkModel& model() { return ctx().core().model(); }
 
 }  // namespace mpisim

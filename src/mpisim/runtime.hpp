@@ -37,6 +37,7 @@
 #include "src/mpisim/netmodel.hpp"
 #include "src/mpisim/platform.hpp"
 #include "src/mpisim/registration.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace mpisim {
 
@@ -70,6 +71,9 @@ class RankContext {
   SimCore& core() noexcept { return *core_; }
   SimClock& clock() noexcept { return clock_; }
 
+  /// This rank's trace sink (disabled unless the layer above enables it).
+  Tracer& tracer() noexcept { return tracer_; }
+
   /// Registration cache of the MPI runtime on this rank.
   RegistrationCache& mpi_reg() noexcept { return mpi_reg_; }
   /// Registration cache of the native ARMCI runtime on this rank.
@@ -84,6 +88,7 @@ class RankContext {
   SimCore* core_;
   int rank_;
   SimClock clock_;
+  Tracer tracer_{clock_};
   RegistrationCache mpi_reg_;
   RegistrationCache native_reg_;
 };
@@ -190,6 +195,9 @@ Comm world();
 
 /// This rank's virtual clock.
 SimClock& clock();
+
+/// This rank's trace sink.
+Tracer& tracer();
 
 /// The active cost model.
 const NetworkModel& model();

@@ -1,0 +1,87 @@
+#include "src/mpisim/trace.hpp"
+
+#include <cstdio>
+
+namespace mpisim {
+
+const char* trace_cat_name(TraceCat cat) noexcept {
+  switch (cat) {
+    case TraceCat::api: return "api";
+    case TraceCat::backend: return "backend";
+    case TraceCat::window: return "window";
+    case TraceCat::mutex: return "mutex";
+  }
+  return "?";
+}
+
+void Tracer::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  enabled_ = true;
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  total_ = 0;
+  win_stats_.clear();
+}
+
+void Tracer::disable() {
+  enabled_ = false;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  capacity_ = 0;
+  total_ = 0;
+  win_stats_.clear();
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  total_ = 0;
+  win_stats_.clear();
+}
+
+void Tracer::push(TraceCat cat, const char* name, char phase,
+                  std::uint64_t arg) {
+  TraceEvent ev{name, cat, phase, clock_->now_ns(), arg};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[total_ % capacity_] = ev;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  if (total_ <= ring_.size()) return ring_;
+  // Ring wrapped: oldest surviving event sits at the next write slot.
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  const std::size_t start = total_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<RankTrace>& ranks) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const RankTrace& rt : ranks) {
+    for (const TraceEvent& ev : rt.events) {
+      // Chrome's "ts" field is in microseconds; virtual ns divide exactly.
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                    "\"ts\":%.6f,\"pid\":0,\"tid\":%d,"
+                    "\"args\":{\"arg\":%llu}}",
+                    first ? "" : ",", ev.name != nullptr ? ev.name : "?",
+                    trace_cat_name(ev.cat), ev.phase, ev.ts_ns * 1e-3,
+                    rt.rank, static_cast<unsigned long long>(ev.arg));
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mpisim

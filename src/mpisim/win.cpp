@@ -193,6 +193,9 @@ void Win::lock(LockType type, int target_rank) const {
           "origin already holds a lock on this window (target " +
               std::to_string(w.locked_target[static_cast<std::size_t>(myrank)]) +
               ")");
+  const char* trace_name =
+      type == LockType::exclusive ? "win.lock_excl" : "win.lock_shared";
+  me.tracer().begin(TraceCat::window, trace_name, w.id);
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   ts.waiters.emplace_back(myrank, type);
   detail::grant_locked(ts);
@@ -204,6 +207,14 @@ void Win::lock(LockType type, int target_rank) const {
   // behind the previous exclusive epoch's completion time.
   me.clock().advance(core.model().lock_ns());
   if (type == LockType::exclusive) me.clock().advance_to(ts.busy_until_ns);
+  if (me.tracer().enabled()) {
+    WinStats& ws = me.tracer().win(w.id);
+    if (type == LockType::exclusive)
+      ++ws.exclusive_locks;
+    else
+      ++ws.shared_locks;
+    me.tracer().end(TraceCat::window, trace_name, w.id);
+  }
 }
 
 void Win::unlock(int target_rank) const {
@@ -219,6 +230,7 @@ void Win::unlock(int target_rank) const {
       w.locked_target[static_cast<std::size_t>(myrank)] != target_rank)
     raise(Errc::not_locked, "unlock without a matching lock");
 
+  me.tracer().begin(TraceCat::window, "win.unlock", w.id);
   const bool was_exclusive = it->second.type == LockType::exclusive;
   ts.open.erase(it);
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
@@ -229,6 +241,10 @@ void Win::unlock(int target_rank) const {
 
   detail::grant_locked(ts);
   core.cv().notify_all();
+  if (me.tracer().enabled()) {
+    ++me.tracer().win(w.id).epochs;
+    me.tracer().end(TraceCat::window, "win.unlock", w.id);
+  }
 }
 
 void Win::lock_all() const {
@@ -241,6 +257,7 @@ void Win::lock_all() const {
   std::unique_lock lk(core.mu());
   if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
     raise(Errc::double_lock, "lock_all while holding a lock on this window");
+  me.tracer().begin(TraceCat::window, "win.lock_all", w.id);
   // Shared-mode epochs on every target; wait for each in turn (shared
   // requests only queue behind exclusive holders, so this cannot deadlock
   // against another lock_all).
@@ -254,6 +271,10 @@ void Win::lock_all() const {
   }
   w.locked_target[static_cast<std::size_t>(myrank)] = detail::kLockAll;
   me.clock().advance(core.model().lock_ns());
+  if (me.tracer().enabled()) {
+    ++me.tracer().win(w.id).lock_alls;
+    me.tracer().end(TraceCat::window, "win.lock_all", w.id);
+  }
 }
 
 void Win::unlock_all() const {
@@ -265,6 +286,7 @@ void Win::unlock_all() const {
   std::unique_lock lk(core.mu());
   if (w.locked_target[static_cast<std::size_t>(myrank)] != detail::kLockAll)
     raise(Errc::not_locked, "unlock_all without lock_all");
+  me.tracer().begin(TraceCat::window, "win.unlock_all", w.id);
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
     ts.open.erase(myrank);
@@ -273,6 +295,10 @@ void Win::unlock_all() const {
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
   me.clock().advance(core.model().unlock_ns());
   core.cv().notify_all();
+  if (me.tracer().enabled()) {
+    ++me.tracer().win(w.id).epochs;
+    me.tracer().end(TraceCat::window, "win.unlock_all", w.id);
+  }
 }
 
 void Win::flush(int target_rank) const {
@@ -286,12 +312,17 @@ void Win::flush(int target_rank) const {
   auto it = ts.open.find(myrank);
   if (it == ts.open.end())
     raise(Errc::no_epoch, "flush without an epoch on the target");
+  me.tracer().begin(TraceCat::window, "win.flush", w.id);
   // Remote completion of everything outstanding: one acknowledgement round
   // trip; afterwards the next operation pays wire latency again.
   if (it->second.ops_issued > 0) {
     it->second.ops_issued = 0;
     me.clock().advance(core.model().unlock_ns() +
                        core.model().p2p_ns(0));
+  }
+  if (me.tracer().enabled()) {
+    ++me.tracer().win(w.id).flushes;
+    me.tracer().end(TraceCat::window, "win.flush", w.id);
   }
 }
 
@@ -302,6 +333,7 @@ void Win::flush_all() const {
   const int myrank = w.comm.group().rank_of_world(me.rank());
 
   std::unique_lock lk(core.mu());
+  me.tracer().begin(TraceCat::window, "win.flush_all", w.id);
   bool any = false;
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
@@ -313,6 +345,10 @@ void Win::flush_all() const {
   }
   if (any)
     me.clock().advance(core.model().unlock_ns() + core.model().p2p_ns(0));
+  if (me.tracer().enabled()) {
+    ++me.tracer().win(w.id).flushes;
+    me.tracer().end(TraceCat::window, "win.flush_all", w.id);
+  }
 }
 
 void Win::put(const void* origin, std::size_t bytes, int target_rank,

@@ -298,6 +298,50 @@ TEST(ArmciIovAutoTest, OverlapFallsBackToConservative) {
   });
 }
 
+// Regression for the batched staging predicate: an accumulate with the
+// identity scale from private (non-global) buffers needs no temp copy --
+// the segments go to MPI_Accumulate directly and no staging epoch is taken.
+TEST(ArmciIovBatchedTest, IdentityScaleAccSkipsStaging) {
+  mpisim::run(2, Platform::ideal, [&] {
+    Options o;
+    o.backend = Backend::mpi;
+    o.iov_method = IovMethod::batched;
+    init(o);
+    std::vector<void*> bases = malloc_world(512);
+    barrier();
+    if (mpisim::rank() == 1) {
+      auto* mine = static_cast<double*>(bases[1]);
+      for (int i = 0; i < 64; ++i) mine[i] = 1.0;
+    }
+    barrier();
+    reset_stats();
+    if (mpisim::rank() == 0) {
+      std::vector<double> local(16);
+      std::iota(local.begin(), local.end(), 1.0);
+      const double one = 1.0;
+      Giov g;
+      g.bytes = 4 * sizeof(double);
+      for (int i = 0; i < 4; ++i) {
+        g.src.push_back(local.data() + i * 4);
+        g.dst.push_back(static_cast<double*>(bases[1]) + i * 8);
+      }
+      acc_iov(AccType::float64, &one, {&g, 1}, 1);
+      fence(1);
+      EXPECT_EQ(stats().staged_local_copies, 0u);
+    }
+    barrier();
+    if (mpisim::rank() == 1) {
+      const auto* mine = static_cast<const double*>(bases[1]);
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+          EXPECT_EQ(mine[i * 8 + j], 1.0 + (i * 4 + j + 1));
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
 TEST(ArmciIovDirectTest, OverlapUnderDirectIsErroneous) {
   EXPECT_THROW(
       mpisim::run(2, Platform::ideal,

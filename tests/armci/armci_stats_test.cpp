@@ -145,6 +145,53 @@ TEST(ArmciStatsTest, ResetZeroesEverything) {
   });
 }
 
+// Observability: direct-local-access epochs (paper §V-E) are counted.
+TEST(ArmciStatsTest, DlaEpochsCounted) {
+  mpisim::run(2, Platform::ideal, [] {
+    init({});
+    std::vector<void*> bases = malloc_world(64);
+    barrier();
+    reset_stats();
+    void* mine = bases[static_cast<std::size_t>(mpisim::rank())];
+    access_begin(mine);
+    static_cast<char*>(mine)[0] = 42;
+    access_end(mine);
+    EXPECT_EQ(stats().dla_epochs, 1u);
+    access_begin(mine);
+    access_end(mine);
+    EXPECT_EQ(stats().dla_epochs, 2u);
+    barrier();
+    free(mine);
+    finalize();
+  });
+}
+
+// Observability: a put whose local buffer lives inside the global space
+// must stage through a private copy (paper §V-E1), and says so.
+TEST(ArmciStatsTest, StagedLocalCopiesCounted) {
+  mpisim::run(2, Platform::ideal, [] {
+    init({});
+    std::vector<void*> bases = malloc_world(256);
+    barrier();
+    reset_stats();
+    if (mpisim::rank() == 0) {
+      // Source inside rank 0's own global segment: the backend cannot pass
+      // it to MPI while the window is locked, so it stages a copy.
+      put(bases[0], bases[1], 64, 1);
+      EXPECT_GE(stats().staged_local_copies, 1u);
+
+      // A plain private buffer needs no staging.
+      reset_stats();
+      char buf[64] = {};
+      put(buf, bases[1], 64, 1);
+      EXPECT_EQ(stats().staged_local_copies, 0u);
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
 // Observability: paper Fig. 2 -- one GA put spanning four owners issues
 // exactly four strided ARMCI operations.
 TEST(ArmciStatsTest, GaPatchDecompositionVisibleInCounters) {

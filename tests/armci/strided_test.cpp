@@ -136,6 +136,21 @@ TEST(SubarrayTranslationTest, ThreeDimensional) {
   EXPECT_EQ(p.subsizes, (std::vector<std::size_t>{2, 3, 8}));
 }
 
+// Regression: with stride_levels == 0 the outer size used to be taken from
+// count[0] directly -- a BYTE length -- while subsizes[0] is in ELEMENTS.
+// For 64 doubles that made the parent dimension 512 "elements", i.e. a
+// datatype whose extent is 8x the actual transfer.
+TEST(SubarrayTranslationTest, ContiguousDegenerateUsesElementUnits) {
+  StridedSpec s;
+  s.stride_levels = 0;
+  s.count = {512};  // 64 doubles, expressed in bytes per the ARMCI API
+  SubarrayParams p = strided_to_subarray(s.src_strides, s, sizeof(double));
+  ASSERT_TRUE(p.representable);
+  EXPECT_EQ(p.sizes, (std::vector<std::size_t>{64}));
+  EXPECT_EQ(p.subsizes, (std::vector<std::size_t>{64}));
+  EXPECT_EQ(p.starts, (std::vector<std::size_t>{0}));
+}
+
 TEST(SubarrayTranslationTest, IrregularStridesFallBack) {
   StridedSpec s;
   s.stride_levels = 2;
