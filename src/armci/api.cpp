@@ -49,25 +49,50 @@ void init(const Options& opts) {
   mpisim::world().barrier();
 }
 
-void finalize() {
-  ProcState& st = state();
-  // Free any remaining allocations (collective, in consistent order since
-  // the tables are replicated).
-  for (const auto& gmr : st.table.all()) {
-    st.backend->gmr_freeing(*gmr);
-    st.table.remove(*gmr);
-  }
-  if (st.mutexes_exist) {
-    st.backend->mutexes_destroy();
-    st.mutexes_exist = false;
-  }
-  mpisim::world().barrier();
+namespace {
+
+/// Process-local half of finalize(): everything that needs no cooperation
+/// from peers and is therefore safe after an aborted run.
+void release_local_state() {
   mpisim::RankContext& me = mpisim::ctx();
   // Capture traces before finalize(): the sink dies with the ARMCI instance.
   me.tracer().disable();
   delete static_cast<ProcState*>(me.user_state);
   me.user_state = nullptr;
   me.user_state_cleanup = nullptr;
+}
+
+}  // namespace
+
+void finalize() {
+  ProcState* stp = state_if_initialized();
+  if (stp == nullptr) return;  // idempotent: second finalize is a no-op
+  ProcState& st = *stp;
+  mpisim::SimCore& core = mpisim::ctx().core();
+  if (core.aborted()) {
+    // A peer already failed: every collective below would raise
+    // Errc::aborted (or worse, rendezvous with ranks that are gone).
+    // Release the local half only; Gmr ownership frees the slices.
+    release_local_state();
+    return;
+  }
+  try {
+    // Free any remaining allocations (collective, in consistent order since
+    // the tables are replicated).
+    for (const auto& gmr : st.table.all()) {
+      st.backend->gmr_freeing(*gmr);
+      st.table.remove(*gmr);
+    }
+    if (st.mutexes_exist) {
+      st.backend->mutexes_destroy();
+      st.mutexes_exist = false;
+    }
+    mpisim::world().barrier();
+  } catch (...) {
+    release_local_state();
+    throw;
+  }
+  release_local_state();
 }
 
 bool initialized() noexcept { return state_if_initialized() != nullptr; }
@@ -99,10 +124,11 @@ std::vector<void*> malloc_impl(std::size_t bytes, const PGroup& group) {
   gmr->bases.resize(static_cast<std::size_t>(n));
   gmr->sizes.resize(static_cast<std::size_t>(n));
 
-  // Allocate the local slice; its lifetime is owned by the GMR record on
-  // the owning process (freed collectively via armci::free).
-  void* base = nullptr;
-  if (bytes > 0) base = ::operator new(bytes);
+  // Allocate the local slice. The Gmr record owns it, so it is released
+  // both on the collective armci::free path and when an aborted run tears
+  // down ProcState with allocations still live.
+  if (bytes > 0) gmr->local_slice.reset(::operator new(bytes));
+  void* base = gmr->local_slice.get();
 
   // §V-B: all participants exchange their base addresses to build the base
   // address vector returned to the user; zero-size slices contribute NULL.
@@ -179,9 +205,7 @@ void free_group(void* ptr, const PGroup& group) {
   st.backend->gmr_freeing(*gmr);
   st.table.remove(*gmr);
   ++st.stats.frees;
-  const int me = gmr->group.rank();
-  void* mine = gmr->bases[static_cast<std::size_t>(me)];
-  if (mine != nullptr) ::operator delete(mine);
+  // The local slice is owned by the Gmr record and dies with it here.
 }
 
 void* malloc_local(std::size_t bytes) {
@@ -440,14 +464,23 @@ void put_notify(const void* src, void* dst, std::size_t bytes, int* flag,
 
 void wait_notify(const int* flag, int value) {
   ProcState& st = state();
+  mpisim::SimCore& core = mpisim::ctx().core();
   // The flag must be globally accessible local memory; poll it under
   // direct local access so the poll does not race the remote flag write.
   GmrLoc loc = st.table.require(mpisim::rank(), flag, sizeof(int));
+  const double deadline_ns = core.config().wait_deadline_ns;
+  const double t0 = mpisim::clock().now_ns();
   for (;;) {
+    if (core.aborted())
+      mpisim::raise(Errc::aborted, "wait_notify: peer failure");
     st.backend->access_begin(loc);
     const int v = *flag;
     st.backend->access_end(loc);
     if (v == value) return;
+    if (deadline_ns > 0.0 && mpisim::clock().now_ns() - t0 > deadline_ns)
+      mpisim::raise(Errc::wait_timeout,
+                    "wait_notify exceeded the virtual-time wait deadline of " +
+                        std::to_string(deadline_ns) + " ns");
     // Yield the host thread so the producer can make progress, and charge
     // a poll interval to the virtual clock.
     mpisim::clock().advance(100.0);

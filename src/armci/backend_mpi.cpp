@@ -5,7 +5,9 @@
 #include <map>
 
 #include "src/armci/accops.hpp"
+#include "src/armci/epoch_guard.hpp"
 #include "src/armci/iov.hpp"
+#include "src/armci/retry.hpp"
 #include "src/armci/state.hpp"
 #include "src/armci/strided.hpp"
 #include "src/mpisim/error.hpp"
@@ -71,10 +73,12 @@ void MpiBackend::staged_local_copy(void* dst, const void* src,
   TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.staged_copy",
                 bytes);
   GmrLoc l = st_->table.require(mpisim::rank(), global_side, bytes);
-  l.gmr->win.lock(LockType::exclusive, l.target_rank);
-  std::memcpy(dst, src, bytes);
-  mpisim::clock().advance(mpisim::model().pack_ns(bytes));
-  l.gmr->win.unlock(l.target_rank);
+  with_retry(*st_, "mpi.staged_copy", [&] {
+    EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+    std::memcpy(dst, src, bytes);
+    mpisim::clock().advance(mpisim::model().pack_ns(bytes));
+    eg.release();
+  });
 }
 
 void MpiBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
@@ -99,23 +103,25 @@ void MpiBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
     buf = temp.data();
   }
 
-  gmr.win.lock(lt, loc.target_rank);
-  switch (kind) {
-    case OneSided::put:
-      gmr.win.put(buf, bytes, loc.target_rank, loc.offset);
-      break;
-    case OneSided::get:
-      gmr.win.get(buf, bytes, loc.target_rank, loc.offset);
-      break;
-    case OneSided::acc: {
-      const std::size_t esz = acc_type_size(at);
-      const Datatype d = Datatype::basic(basic_type_of_acc(at));
-      gmr.win.accumulate(buf, bytes / esz, d, loc.target_rank, loc.offset,
-                         bytes / esz, d, mpisim::Op::sum);
-      break;
+  with_retry(*st_, "mpi.contig", [&] {
+    EpochGuard eg(gmr.win, lt, loc.target_rank);
+    switch (kind) {
+      case OneSided::put:
+        gmr.win.put(buf, bytes, loc.target_rank, loc.offset);
+        break;
+      case OneSided::get:
+        gmr.win.get(buf, bytes, loc.target_rank, loc.offset);
+        break;
+      case OneSided::acc: {
+        const std::size_t esz = acc_type_size(at);
+        const Datatype d = Datatype::basic(basic_type_of_acc(at));
+        gmr.win.accumulate(buf, bytes / esz, d, loc.target_rank, loc.offset,
+                           bytes / esz, d, mpisim::Op::sum);
+        break;
+      }
     }
-  }
-  gmr.win.unlock(loc.target_rank);
+    eg.release();
+  });
 
   if (kind == OneSided::get && staged)
     staged_local_copy(local, temp.data(), bytes, local);
@@ -245,33 +251,34 @@ void MpiBackend::iov_batched(OneSided kind, const Giov& giov, int proc,
     const Gmr& gmr = *locs[idxs.front()].gmr;
     const int grank = locs[idxs.front()].target_rank;
     const LockType lt = epoch_lock(gmr, kind);
-    gmr.win.lock(lt, grank);
-    std::size_t issued = 0;
-    for (std::size_t i : idxs) {
-      if (limit != 0 && issued == limit) {
-        gmr.win.unlock(grank);
-        gmr.win.lock(lt, grank);
-        issued = 0;
+    with_retry(*st_, "mpi.iov_batched", [&] {
+      EpochGuard eg(gmr.win, lt, grank);
+      std::size_t issued = 0;
+      for (std::size_t i : idxs) {
+        if (limit != 0 && issued == limit) {
+          eg.cycle();
+          issued = 0;
+        }
+        void* local = use_temp
+                          ? static_cast<void*>(temp.data() + i * bytes)
+                          : (is_get ? giov.dst[i]
+                                    : const_cast<void*>(giov.src[i]));
+        switch (kind) {
+          case OneSided::put:
+            gmr.win.put(local, bytes, grank, locs[i].offset);
+            break;
+          case OneSided::get:
+            gmr.win.get(local, bytes, grank, locs[i].offset);
+            break;
+          case OneSided::acc:
+            gmr.win.accumulate(local, bytes / esz, d, grank, locs[i].offset,
+                               bytes / esz, d, mpisim::Op::sum);
+            break;
+        }
+        ++issued;
       }
-      void* local = use_temp
-                        ? static_cast<void*>(temp.data() + i * bytes)
-                        : (is_get ? giov.dst[i]
-                                  : const_cast<void*>(giov.src[i]));
-      switch (kind) {
-        case OneSided::put:
-          gmr.win.put(local, bytes, grank, locs[i].offset);
-          break;
-        case OneSided::get:
-          gmr.win.get(local, bytes, grank, locs[i].offset);
-          break;
-        case OneSided::acc:
-          gmr.win.accumulate(local, bytes / esz, d, grank, locs[i].offset,
-                             bytes / esz, d, mpisim::Op::sum);
-          break;
-      }
-      ++issued;
-    }
-    gmr.win.unlock(grank);
+      eg.release();
+    });
   }
 
   if (is_get && use_temp) {
@@ -348,20 +355,22 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
     }
     const Datatype ltype =
         Datatype::contiguous(n * bytes / esz, Datatype::basic(elem));
-    gmr.win.lock(lt, grank);
-    switch (kind) {
-      case OneSided::put:
-        gmr.win.put(temp.data(), 1, ltype, grank, 0, 1, rtype);
-        break;
-      case OneSided::get:
-        gmr.win.get(temp.data(), 1, ltype, grank, 0, 1, rtype);
-        break;
-      case OneSided::acc:
-        gmr.win.accumulate(temp.data(), 1, ltype, grank, 0, 1, rtype,
-                           mpisim::Op::sum);
-        break;
-    }
-    gmr.win.unlock(grank);
+    with_retry(*st_, "mpi.iov_direct", [&] {
+      EpochGuard eg(gmr.win, lt, grank);
+      switch (kind) {
+        case OneSided::put:
+          gmr.win.put(temp.data(), 1, ltype, grank, 0, 1, rtype);
+          break;
+        case OneSided::get:
+          gmr.win.get(temp.data(), 1, ltype, grank, 0, 1, rtype);
+          break;
+        case OneSided::acc:
+          gmr.win.accumulate(temp.data(), 1, ltype, grank, 0, 1, rtype,
+                             mpisim::Op::sum);
+          break;
+      }
+      eg.release();
+    });
     if (is_get) {
       for (std::size_t i = 0; i < n; ++i) {
         if (local_is_global(giov.dst[i], bytes))
@@ -390,20 +399,22 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
       Datatype::hindexed(blocklens, ldispls, Datatype::basic(elem));
 
   auto* origin = const_cast<std::uint8_t*>(lbase);
-  gmr.win.lock(lt, grank);
-  switch (kind) {
-    case OneSided::put:
-      gmr.win.put(origin, 1, ltype, grank, 0, 1, rtype);
-      break;
-    case OneSided::get:
-      gmr.win.get(origin, 1, ltype, grank, 0, 1, rtype);
-      break;
-    case OneSided::acc:
-      gmr.win.accumulate(origin, 1, ltype, grank, 0, 1, rtype,
-                         mpisim::Op::sum);
-      break;
-  }
-  gmr.win.unlock(grank);
+  with_retry(*st_, "mpi.iov_direct", [&] {
+    EpochGuard eg(gmr.win, lt, grank);
+    switch (kind) {
+      case OneSided::put:
+        gmr.win.put(origin, 1, ltype, grank, 0, 1, rtype);
+        break;
+      case OneSided::get:
+        gmr.win.get(origin, 1, ltype, grank, 0, 1, rtype);
+        break;
+      case OneSided::acc:
+        gmr.win.accumulate(origin, 1, ltype, grank, 0, 1, rtype,
+                           mpisim::Op::sum);
+        break;
+    }
+    eg.release();
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -456,9 +467,11 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
       if (local_global) {
         ++st_->stats.staged_local_copies;
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
-        l.gmr->win.lock(LockType::exclusive, l.target_rank);
-        ltype.pack(local, 1, temp.data());
-        l.gmr->win.unlock(l.target_rank);
+        with_retry(*st_, "mpi.strided_pack", [&] {
+          EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+          ltype.pack(local, 1, temp.data());
+          eg.release();
+        });
       } else {
         ltype.pack(local, 1, temp.data());
       }
@@ -471,29 +484,33 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
     const std::size_t esz = mpisim::basic_type_size(elem);
     const Datatype ctype =
         Datatype::contiguous(total / esz, Datatype::basic(elem));
-    gmr.win.lock(lt, loc.target_rank);
-    switch (kind) {
-      case OneSided::put:
-        gmr.win.put(temp.data(), 1, ctype, loc.target_rank, loc.offset, 1,
-                    rtype);
-        break;
-      case OneSided::get:
-        gmr.win.get(temp.data(), 1, ctype, loc.target_rank, loc.offset, 1,
-                    rtype);
-        break;
-      case OneSided::acc:
-        gmr.win.accumulate(temp.data(), 1, ctype, loc.target_rank, loc.offset,
-                           1, rtype, mpisim::Op::sum);
-        break;
-    }
-    gmr.win.unlock(loc.target_rank);
+    with_retry(*st_, "mpi.strided", [&] {
+      EpochGuard eg(gmr.win, lt, loc.target_rank);
+      switch (kind) {
+        case OneSided::put:
+          gmr.win.put(temp.data(), 1, ctype, loc.target_rank, loc.offset, 1,
+                      rtype);
+          break;
+        case OneSided::get:
+          gmr.win.get(temp.data(), 1, ctype, loc.target_rank, loc.offset, 1,
+                      rtype);
+          break;
+        case OneSided::acc:
+          gmr.win.accumulate(temp.data(), 1, ctype, loc.target_rank,
+                             loc.offset, 1, rtype, mpisim::Op::sum);
+          break;
+      }
+      eg.release();
+    });
     if (is_get) {
       if (local_global) {
         ++st_->stats.staged_local_copies;
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
-        l.gmr->win.lock(LockType::exclusive, l.target_rank);
-        ltype.unpack(temp.data(), local, 1);
-        l.gmr->win.unlock(l.target_rank);
+        with_retry(*st_, "mpi.strided_unpack", [&] {
+          EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+          ltype.unpack(temp.data(), local, 1);
+          eg.release();
+        });
       } else {
         ltype.unpack(temp.data(), local, 1);
       }
@@ -502,20 +519,22 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
     return;
   }
 
-  gmr.win.lock(lt, loc.target_rank);
-  switch (kind) {
-    case OneSided::put:
-      gmr.win.put(local, 1, ltype, loc.target_rank, loc.offset, 1, rtype);
-      break;
-    case OneSided::get:
-      gmr.win.get(local, 1, ltype, loc.target_rank, loc.offset, 1, rtype);
-      break;
-    case OneSided::acc:
-      gmr.win.accumulate(local, 1, ltype, loc.target_rank, loc.offset, 1,
-                         rtype, mpisim::Op::sum);
-      break;
-  }
-  gmr.win.unlock(loc.target_rank);
+  with_retry(*st_, "mpi.strided", [&] {
+    EpochGuard eg(gmr.win, lt, loc.target_rank);
+    switch (kind) {
+      case OneSided::put:
+        gmr.win.put(local, 1, ltype, loc.target_rank, loc.offset, 1, rtype);
+        break;
+      case OneSided::get:
+        gmr.win.get(local, 1, ltype, loc.target_rank, loc.offset, 1, rtype);
+        break;
+      case OneSided::acc:
+        gmr.win.accumulate(local, 1, ltype, loc.target_rank, loc.offset, 1,
+                           rtype, mpisim::Op::sum);
+        break;
+    }
+    eg.release();
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -543,35 +562,51 @@ void MpiBackend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
   QueueingMutexSet& mset = *loc.gmr->rmw_mutex;
   mset.lock(0, loc.target_rank);
 
-  std::int64_t old64 = 0;
-  std::int32_t old32 = 0;
-  void* oldp = is_long ? static_cast<void*>(&old64) : static_cast<void*>(&old32);
-  loc.gmr->win.lock(LockType::exclusive, loc.target_rank);
-  loc.gmr->win.get(oldp, width, loc.target_rank, loc.offset);
-  loc.gmr->win.unlock(loc.target_rank);
+  std::int64_t oldv = 0;
+  try {
+    std::int64_t old64 = 0;
+    std::int32_t old32 = 0;
+    void* oldp =
+        is_long ? static_cast<void*>(&old64) : static_cast<void*>(&old32);
+    with_retry(*st_, "mpi.rmw_get", [&] {
+      EpochGuard eg(loc.gmr->win, LockType::exclusive, loc.target_rank);
+      loc.gmr->win.get(oldp, width, loc.target_rank, loc.offset);
+      eg.release();
+    });
 
-  std::int64_t oldv = is_long ? old64 : old32;
-  std::int64_t newv = 0;
-  switch (op) {
-    case RmwOp::fetch_and_add:
-    case RmwOp::fetch_and_add_long:
-      newv = oldv + extra;
-      break;
-    case RmwOp::swap:
-      newv = *static_cast<std::int32_t*>(ploc);
-      break;
-    case RmwOp::swap_long:
-      newv = *static_cast<std::int64_t*>(ploc);
-      break;
+    oldv = is_long ? old64 : old32;
+    std::int64_t newv = 0;
+    switch (op) {
+      case RmwOp::fetch_and_add:
+      case RmwOp::fetch_and_add_long:
+        newv = oldv + extra;
+        break;
+      case RmwOp::swap:
+        newv = *static_cast<std::int32_t*>(ploc);
+        break;
+      case RmwOp::swap_long:
+        newv = *static_cast<std::int64_t*>(ploc);
+        break;
+    }
+
+    std::int64_t new64 = newv;
+    std::int32_t new32 = static_cast<std::int32_t>(newv);
+    const void* newp = is_long ? static_cast<const void*>(&new64)
+                               : static_cast<const void*>(&new32);
+    with_retry(*st_, "mpi.rmw_put", [&] {
+      EpochGuard eg(loc.gmr->win, LockType::exclusive, loc.target_rank);
+      loc.gmr->win.put(newp, width, loc.target_rank, loc.offset);
+      eg.release();
+    });
+  } catch (...) {
+    // Do not leave the GMR's RMW mutex held: peers would queue forever on
+    // a token this rank can no longer pass.
+    try {
+      mset.unlock(0, loc.target_rank);
+    } catch (...) {
+    }
+    throw;
   }
-
-  std::int64_t new64 = newv;
-  std::int32_t new32 = static_cast<std::int32_t>(newv);
-  const void* newp =
-      is_long ? static_cast<const void*>(&new64) : static_cast<const void*>(&new32);
-  loc.gmr->win.lock(LockType::exclusive, loc.target_rank);
-  loc.gmr->win.put(newp, width, loc.target_rank, loc.offset);
-  loc.gmr->win.unlock(loc.target_rank);
 
   mset.unlock(0, loc.target_rank);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/armci/accops.hpp"
+#include "src/armci/retry.hpp"
 #include "src/armci/state.hpp"
 #include "src/armci/strided.hpp"
 #include "src/mpisim/error.hpp"
@@ -40,36 +41,41 @@ void Mpi3Backend::issue(OneSided kind, const Gmr& gmr, int grank,
                         std::size_t disp, void* local, std::size_t count,
                         const Datatype& ltype, const Datatype& rtype,
                         AccType at, const void* scale) const {
-  switch (kind) {
-    case OneSided::put:
-      // Put as accumulate(REPLACE): element-atomic, so concurrent updates
-      // under the shared lock_all epoch are defined (§VIII-B item 1).
-      gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
-                         mpisim::Op::replace);
-      return;
-    case OneSided::get:
-      gmr.win.get(local, count, ltype, grank, disp, count, rtype);
-      gmr.win.flush(grank);  // blocking-get semantics
-      return;
-    case OneSided::acc: {
-      if (!scale_is_identity(at, scale)) {
-        const std::size_t bytes = count * ltype.size();
-        std::vector<std::uint8_t> temp(bytes);
-        ltype.pack(local, count, temp.data());
-        scale_buffer(at, scale, temp.data(), temp.data(), bytes);
-        mpisim::clock().advance(2.0 * mpisim::model().pack_ns(bytes));
-        const std::size_t esz = acc_type_size(at);
-        const Datatype ct = Datatype::contiguous(
-            bytes / esz, Datatype::basic(basic_type_of_acc(at)));
-        gmr.win.accumulate(temp.data(), 1, ct, grank, disp, count, rtype,
+  // The standing lock_all epoch survives a transient fault, so a retry
+  // simply reissues the operation (the injector fires before anything is
+  // applied; see retry.hpp).
+  with_retry(*st_, "mpi3.issue", [&] {
+    switch (kind) {
+      case OneSided::put:
+        // Put as accumulate(REPLACE): element-atomic, so concurrent updates
+        // under the shared lock_all epoch are defined (§VIII-B item 1).
+        gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
+                           mpisim::Op::replace);
+        return;
+      case OneSided::get:
+        gmr.win.get(local, count, ltype, grank, disp, count, rtype);
+        gmr.win.flush(grank);  // blocking-get semantics
+        return;
+      case OneSided::acc: {
+        if (!scale_is_identity(at, scale)) {
+          const std::size_t bytes = count * ltype.size();
+          std::vector<std::uint8_t> temp(bytes);
+          ltype.pack(local, count, temp.data());
+          scale_buffer(at, scale, temp.data(), temp.data(), bytes);
+          mpisim::clock().advance(2.0 * mpisim::model().pack_ns(bytes));
+          const std::size_t esz = acc_type_size(at);
+          const Datatype ct = Datatype::contiguous(
+              bytes / esz, Datatype::basic(basic_type_of_acc(at)));
+          gmr.win.accumulate(temp.data(), 1, ct, grank, disp, count, rtype,
+                             mpisim::Op::sum);
+          return;
+        }
+        gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
                            mpisim::Op::sum);
         return;
       }
-      gmr.win.accumulate(local, count, ltype, grank, disp, count, rtype,
-                         mpisim::Op::sum);
-      return;
     }
-  }
+  });
 }
 
 void Mpi3Backend::contig(OneSided kind, const GmrLoc& loc, void* local,
@@ -205,8 +211,10 @@ void Mpi3Backend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
   std::int32_t old32 = 0;
   void* result = is_long ? static_cast<void*>(&old64)
                          : static_cast<void*>(&old32);
-  loc.gmr->win.fetch_and_op(operand, result, t, loc.target_rank, loc.offset,
-                            mop);
+  with_retry(*st_, "mpi3.rmw", [&] {
+    loc.gmr->win.fetch_and_op(operand, result, t, loc.target_rank, loc.offset,
+                              mop);
+  });
   if (is_long)
     *static_cast<std::int64_t*>(ploc) = old64;
   else

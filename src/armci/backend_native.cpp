@@ -52,6 +52,7 @@ void NativeBackend::move_segment(OneSided kind, void* remote, void* local,
   // Direct access; the simulator's global lock stands in for the target
   // NIC/CHT applying the operation atomically with respect to other ops.
   std::lock_guard lk(mpisim::ctx().core().mu());
+  mpisim::ctx().core().check_failed_locked();
   switch (kind) {
     case OneSided::put:
       std::memcpy(remote, local, bytes);
@@ -177,6 +178,7 @@ void NativeBackend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
   // Host-side atomic (CHT service): one critical section, one round trip.
   {
     std::lock_guard lk(mpisim::ctx().core().mu());
+    mpisim::ctx().core().check_failed_locked();
     switch (op) {
       case RmwOp::fetch_and_add: {
         auto* r = static_cast<std::int32_t*>(prem);
@@ -232,7 +234,7 @@ void NativeBackend::mutex_lock(int m, int proc) {
   mx.queue.push_back(me.rank());
   core.wait(lk, [&] {
     return mx.holder == -1 && !mx.queue.empty() && mx.queue.front() == me.rank();
-  });
+  }, "native.mutex");
   mx.queue.pop_front();
   mx.holder = me.rank();
   lk.unlock();
@@ -252,7 +254,7 @@ void NativeBackend::mutex_unlock(int m, int proc) {
   if (mx.holder != me.rank())
     mpisim::raise(Errc::invalid_argument, "unlock of a mutex not held");
   mx.holder = -1;
-  core.cv().notify_all();
+  core.poke();
   lk.unlock();
   mpisim::clock().advance(mpisim::model().p2p_ns(0));
 }

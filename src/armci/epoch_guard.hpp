@@ -1,0 +1,62 @@
+#ifndef ARMCI_EPOCH_GUARD_HPP
+#define ARMCI_EPOCH_GUARD_HPP
+
+/// \file epoch_guard.hpp
+/// RAII ownership of a passive-target lock epoch.
+///
+/// The MPI backends open dozens of lock/.../unlock epochs; before fault
+/// injection existed a throw between lock and unlock was impossible, but a
+/// transient fault or peer crash can now surface mid-epoch. EpochGuard makes
+/// every epoch exception-safe: the destructor closes a still-open epoch and
+/// swallows any error doing so (the original exception is already in
+/// flight, and after an abort the unlock itself may raise Errc::aborted).
+
+#include "src/mpisim/win.hpp"
+
+namespace armci {
+
+class EpochGuard {
+ public:
+  /// Open an exclusive or shared epoch on \p target of \p win.
+  EpochGuard(const mpisim::Win& win, mpisim::LockType type, int target)
+      : win_(win), type_(type), target_(target) {
+    win_.lock(type_, target_);
+    held_ = true;
+  }
+
+  ~EpochGuard() {
+    if (!held_) return;
+    try {
+      win_.unlock(target_);
+    } catch (...) {
+      // Unwinding already; the epoch state dies with the aborted run.
+    }
+  }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  /// Normal-path close: unlock now, propagating any error.
+  void release() {
+    held_ = false;
+    win_.unlock(target_);
+  }
+
+  /// Close and immediately reopen the epoch (batched-IOV epoch splitting).
+  void cycle() {
+    held_ = false;
+    win_.unlock(target_);
+    win_.lock(type_, target_);
+    held_ = true;
+  }
+
+ private:
+  const mpisim::Win& win_;
+  mpisim::LockType type_;
+  int target_;
+  bool held_ = false;
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_EPOCH_GUARD_HPP

@@ -25,11 +25,23 @@
 
 namespace armci {
 
+/// Deleter for raw max-aligned storage from ::operator new.
+struct OpDelete {
+  void operator()(void* p) const noexcept { ::operator delete(p); }
+};
+
 /// One global allocation. Instances are replicated per process; the mpisim
 /// handles inside (Win, Comm) refer to shared state.
 struct Gmr {
   std::uint64_t id = 0;
   PGroup group;  ///< allocation group (absolute-id member list)
+
+  /// Owning handle for *this* process's slice. bases[group.rank()] aliases
+  /// it. Ownership lives here (not in the translation table) so the slice
+  /// is released even when a fault aborts the run before the collective
+  /// free -- ~ProcState tears down the table, which drops the last Gmr
+  /// reference, which frees the memory.
+  std::unique_ptr<void, OpDelete> local_slice;
 
   /// Base address and size of each member's slice, indexed by group rank;
   /// zero-size slices have null bases (paper §V-B).

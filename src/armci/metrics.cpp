@@ -121,7 +121,9 @@ std::string metrics_json() {
          "\"iov_ops\":%llu,\"iov_bytes\":%llu,\"iov_segments\":%llu,"
          "\"rmws\":%llu,\"mutex_locks\":%llu,\"fences\":%llu,"
          "\"barriers\":%llu,\"allocations\":%llu,\"frees\":%llu,"
-         "\"dla_epochs\":%llu,\"staged_local_copies\":%llu},",
+         "\"dla_epochs\":%llu,\"staged_local_copies\":%llu,"
+         "\"transient_faults\":%llu,\"retries\":%llu,"
+         "\"retry_exhausted\":%llu},",
          (unsigned long long)s.puts, (unsigned long long)s.gets,
          (unsigned long long)s.accs, (unsigned long long)s.put_bytes,
          (unsigned long long)s.get_bytes, (unsigned long long)s.acc_bytes,
@@ -132,7 +134,9 @@ std::string metrics_json() {
          (unsigned long long)s.fences, (unsigned long long)s.barriers,
          (unsigned long long)s.allocations, (unsigned long long)s.frees,
          (unsigned long long)s.dla_epochs,
-         (unsigned long long)s.staged_local_copies);
+         (unsigned long long)s.staged_local_copies,
+         (unsigned long long)s.transient_faults, (unsigned long long)s.retries,
+         (unsigned long long)s.retry_exhausted);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";

@@ -1,5 +1,6 @@
 #include "src/armci/mutex.hpp"
 
+#include "src/armci/epoch_guard.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
 #include "src/mpisim/trace.hpp"
@@ -47,13 +48,16 @@ void QueueingMutexSet::lock(int m, int host) {
   // put and the two gets touch disjoint bytes, so this is a legal epoch.
   std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
   const std::uint8_t one = 1;
-  win_.lock(LockType::exclusive, host);
-  win_.put(&one, 1, host, row + static_cast<std::size_t>(me));
-  if (me > 0) win_.get(others.data(), static_cast<std::size_t>(me), host, row);
-  if (me < n - 1)
-    win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
-             host, row + static_cast<std::size_t>(me) + 1);
-  win_.unlock(host);
+  {
+    EpochGuard eg(win_, LockType::exclusive, host);
+    win_.put(&one, 1, host, row + static_cast<std::size_t>(me));
+    if (me > 0)
+      win_.get(others.data(), static_cast<std::size_t>(me), host, row);
+    if (me < n - 1)
+      win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
+               host, row + static_cast<std::size_t>(me) + 1);
+    eg.release();
+  }
 
   for (int i = 0; i < n; ++i) {
     if (i != me && others[static_cast<std::size_t>(i)] != 0) {
@@ -77,13 +81,16 @@ void QueueingMutexSet::unlock(int m, int host) {
 
   std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
   const std::uint8_t zero = 0;
-  win_.lock(LockType::exclusive, host);
-  win_.put(&zero, 1, host, row + static_cast<std::size_t>(me));
-  if (me > 0) win_.get(others.data(), static_cast<std::size_t>(me), host, row);
-  if (me < n - 1)
-    win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
-             host, row + static_cast<std::size_t>(me) + 1);
-  win_.unlock(host);
+  {
+    EpochGuard eg(win_, LockType::exclusive, host);
+    win_.put(&zero, 1, host, row + static_cast<std::size_t>(me));
+    if (me > 0)
+      win_.get(others.data(), static_cast<std::size_t>(me), host, row);
+    if (me < n - 1)
+      win_.get(others.data() + me + 1, static_cast<std::size_t>(n - 1 - me),
+               host, row + static_cast<std::size_t>(me) + 1);
+    eg.release();
+  }
 
   // Fair handoff: scan circularly starting at me+1 and forward the lock to
   // the first enqueued requester, if any.

@@ -1,0 +1,51 @@
+#ifndef ARMCI_RETRY_HPP
+#define ARMCI_RETRY_HPP
+
+/// \file retry.hpp
+/// Bounded retry with exponential virtual-time backoff around transient-
+/// faultable operations.
+///
+/// A FaultPlan (mpisim/fault.hpp) can make an operation fail N times before
+/// succeeding (Errc::transient). The MPI backends wrap each self-contained
+/// epoch in with_retry(): the injector is consulted *before* the body runs,
+/// so a retried body never re-applies a partially executed epoch -- either
+/// the fault fires and nothing happened, or the body runs to completion.
+/// Every other error class (crashes, aborts, semantic errors) propagates
+/// unchanged on the first throw.
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/armci/state.hpp"
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+/// Run \p body, retrying up to st.opts.transient_max_retries times on
+/// Errc::transient with exponential backoff charged to virtual time.
+/// \p site names the operation for the fault injector's diagnostics.
+template <typename Body>
+auto with_retry(ProcState& st, const char* site, Body&& body) {
+  mpisim::RankContext& me = mpisim::ctx();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      me.fault().maybe_transient(me.clock(), site);
+      return body();
+    } catch (const mpisim::MpiError& e) {
+      if (e.code() != mpisim::Errc::transient) throw;
+      ++st.stats.transient_faults;
+      if (attempt >= st.opts.transient_max_retries) {
+        ++st.stats.retry_exhausted;
+        throw;
+      }
+      ++st.stats.retries;
+      me.clock().advance(
+          std::ldexp(st.opts.retry_backoff_ns, std::min(attempt, 10)));
+    }
+  }
+}
+
+}  // namespace armci
+
+#endif  // ARMCI_RETRY_HPP

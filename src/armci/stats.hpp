@@ -50,6 +50,13 @@ struct Stats {
   std::uint64_t allocations = 0;
   std::uint64_t frees = 0;
 
+  // Fault handling (mpisim::FaultPlan injection): transient faults hit,
+  // epochs retried after one, and operations that exhausted their retry
+  // budget and surfaced the error.
+  std::uint64_t transient_faults = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_exhausted = 0;
+
   /// Total one-sided data volume (all op classes).
   std::uint64_t total_bytes() const noexcept {
     return put_bytes + get_bytes + acc_bytes + strided_bytes + iov_bytes;

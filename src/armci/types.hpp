@@ -76,6 +76,12 @@ struct Options {
   bool trace = false;
   /// Ring capacity (events per rank) when trace is on.
   std::size_t trace_capacity = 1 << 16;
+  /// Max retries of an epoch that failed with a transient fault (injected
+  /// via mpisim::FaultPlan) before the error propagates to the caller.
+  int transient_max_retries = 5;
+  /// Virtual-time backoff charged before the first retry; doubles per
+  /// attempt (capped at 2^10 times this base).
+  double retry_backoff_ns = 500.0;
 };
 
 /// Generalized I/O vector descriptor (armci_giov_t): ptr_array_len segment

@@ -31,23 +31,27 @@ std::vector<std::int64_t> decode_ints(std::span<const std::uint8_t> bytes) {
 void system_send(SimCore& core, int dest_world, int tag,
                  std::vector<std::uint8_t> payload) {
   RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
   Message m;
   m.comm_id = kSystemChannel;
   m.src_comm_rank = me.rank();  // world rank on the system channel
   m.tag = tag;
   m.payload = std::move(payload);
-  m.send_ts_ns = me.clock().now_ns();
+  m.send_ts_ns = me.clock().now_ns() + me.fault().draw_delivery_delay_ns();
   me.clock().advance(core.model().p2p_ns(0));
   std::unique_lock lk(core.mu());
+  core.note_time_locked(me.clock().now_ns());
   core.mailbox(dest_world).push(std::move(m));
-  core.cv().notify_all();
+  core.poke();
 }
 
 std::vector<std::uint8_t> system_recv(SimCore& core, int src_world, int tag) {
   RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
   std::unique_lock lk(core.mu());
   Mailbox& mb = core.mailbox(me.rank());
-  core.wait(lk, [&] { return mb.has_match(kSystemChannel, src_world, tag); });
+  core.wait(lk, [&] { return mb.has_match(kSystemChannel, src_world, tag); },
+            "comm.system_recv");
   Message m = mb.pop_match(kSystemChannel, src_world, tag);
   me.clock().advance_to(m.send_ts_ns +
                         core.model().p2p_ns(m.payload.size()));
@@ -101,23 +105,26 @@ void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) const {
   m.payload.assign(static_cast<const std::uint8_t*>(buf),
                    static_cast<const std::uint8_t*>(buf) + bytes);
   RankContext& me = ctx();
-  m.send_ts_ns = me.clock().now_ns();
+  me.fault().fault_point(me.clock());
+  m.send_ts_ns = me.clock().now_ns() + me.fault().draw_delivery_delay_ns();
   // Eager protocol: the sender pays injection overhead only.
   me.clock().advance(core.model().p2p_ns(0));
 
   std::unique_lock lk(core.mu());
+  core.note_time_locked(me.clock().now_ns());
   core.mailbox(dest_world).push(std::move(m));
-  core.cv().notify_all();
+  core.poke();
 }
 
 Status Comm::recv(void* buf, std::size_t capacity, int src, int tag) const {
   CommImpl& c = *impl_;
   SimCore& core = *c.core;
   RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
   Mailbox& mb = core.mailbox(me.rank());
-  core.wait(lk, [&] { return mb.has_match(c.id, src, tag); });
+  core.wait(lk, [&] { return mb.has_match(c.id, src, tag); }, "comm.recv");
   Message m = mb.pop_match(c.id, src, tag);
   lk.unlock();
 
@@ -213,6 +220,7 @@ void Comm::collective_round(
   CommImpl& c = *impl_;
   SimCore& core = *c.core;
   RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
   const int n = c.group.size();
   const int myrank = rank();
 
@@ -223,6 +231,7 @@ void Comm::collective_round(
   cc.outbufs[static_cast<std::size_t>(myrank)] = out;
   cc.incounts[static_cast<std::size_t>(myrank)] = count;
   cc.max_clock_ns = std::max(cc.max_clock_ns, me.clock().now_ns());
+  core.note_time_locked(me.clock().now_ns());
 
   if (++cc.arrived == n) {
     if (leader_fn) leader_fn(cc, c.group);
@@ -230,9 +239,9 @@ void Comm::collective_round(
     cc.arrived = 0;
     cc.max_clock_ns = 0.0;
     ++cc.gen;
-    core.cv().notify_all();
+    core.poke();
   } else {
-    core.wait(lk, [&] { return cc.gen != my_gen; });
+    core.wait(lk, [&] { return cc.gen != my_gen; }, "comm.collective");
   }
   me.clock().advance_to(cc.result_clock_ns);
 }
@@ -531,7 +540,7 @@ Comm Comm::intercomm_create(int local_leader, int remote_leader_world,
     impl->remote_group = Group(std::move(rm));
     std::unique_lock lk(core.mu());
     core.publish_comm_locked(key, impl);
-    core.cv().notify_all();
+    core.poke();
   } else {
     impl = core.fetch_published_comm(key);
   }
@@ -590,7 +599,7 @@ Comm Comm::merge(bool high) const {
                           Group(std::move(members)));
     std::unique_lock lk(core.mu());
     core.publish_comm_locked(key, impl);
-    core.cv().notify_all();
+    core.poke();
   } else {
     impl = core.fetch_published_comm(key);
   }

@@ -16,15 +16,19 @@ const char* errc_name(Errc e) noexcept {
     case Errc::conflicting_access: return "conflicting_access";
     case Errc::comm_mismatch: return "comm_mismatch";
     case Errc::aborted: return "aborted";
+    case Errc::wait_timeout: return "wait_timeout";
+    case Errc::transient: return "transient";
+    case Errc::crashed: return "crashed";
   }
   return "unknown";
 }
 
 MpiError::MpiError(Errc code, const std::string& what)
-    : std::runtime_error(what), code_(code) {}
+    : std::runtime_error(std::string("[") + errc_name(code) + "] " + what),
+      code_(code) {}
 
 void raise(Errc code, const std::string& detail) {
-  throw MpiError(code, std::string("mpisim: ") + errc_name(code) + ": " + detail);
+  throw MpiError(code, "mpisim: " + detail);
 }
 
 void require_internal(bool cond, const char* what) {

@@ -29,12 +29,17 @@ enum class Errc {
   conflicting_access,  ///< conflicting RMA accesses within/between epochs
   comm_mismatch,       ///< operation on the wrong communicator kind
   aborted,             ///< another rank failed; collective shutdown
+  wait_timeout,        ///< blocking wait hit its deadline or a deadlock
+  transient,           ///< injected retryable fault (fault.hpp)
+  crashed,             ///< this rank was killed by the fault plan
 };
 
 /// Human-readable name of an error class.
 const char* errc_name(Errc e) noexcept;
 
-/// Exception thrown for all simulated-MPI errors.
+/// Exception thrown for all simulated-MPI errors. what() is prefixed with
+/// "[<errc_name>] " so ctest logs identify the error class without a
+/// debugger.
 class MpiError : public std::runtime_error {
  public:
   MpiError(Errc code, const std::string& what);

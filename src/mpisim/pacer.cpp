@@ -30,19 +30,24 @@ Pacer::Pacer(std::shared_ptr<PacerImpl> impl) : impl_(std::move(impl)) {}
 
 Pacer Pacer::create(const Comm& comm) {
   SimCore& core = ctx().core();
-  std::shared_ptr<PacerImpl>* slot = nullptr;
+  std::uint64_t key = 0;
   if (comm.rank() == 0) {
-    auto impl = std::make_shared<PacerImpl>();
-    impl->comm = comm;
-    impl->clocks.assign(static_cast<std::size_t>(comm.size()), 0.0);
-    impl->active.assign(static_cast<std::size_t>(comm.size()), false);
-    slot = new std::shared_ptr<PacerImpl>(std::move(impl));
+    auto mk = std::make_shared<PacerImpl>();
+    mk->comm = comm;
+    mk->clocks.assign(static_cast<std::size_t>(comm.size()), 0.0);
+    mk->active.assign(static_cast<std::size_t>(comm.size()), false);
+    std::lock_guard lk(core.mu());
+    key = SimCore::kPacerPublishTag | core.alloc_obj_key_locked();
+    // Core-owned rendezvous slot: survives an abort mid-create without
+    // leaking and without freeing under a peer still copying.
+    core.publish_obj_locked(key, std::move(mk));
+    core.poke();
   }
-  comm.bcast(&slot, sizeof slot, 0);
-  std::shared_ptr<PacerImpl> impl = *slot;
+  comm.bcast(&key, sizeof key, 0);
+  std::shared_ptr<PacerImpl> impl =
+      std::static_pointer_cast<PacerImpl>(core.fetch_published_obj(key));
   comm.barrier();
-  if (comm.rank() == 0) delete slot;
-  (void)core;
+  if (comm.rank() == 0) core.retire_published_obj(key);
   return Pacer(std::move(impl));
 }
 
@@ -59,9 +64,9 @@ void Pacer::enter() {
   if (++p.arrived == p.comm.size()) {
     p.arrived = 0;
     ++p.generation;
-    core.cv().notify_all();
+    core.poke();
   } else {
-    core.wait(lk, [&] { return p.generation != my_gen; });
+    core.wait(lk, [&] { return p.generation != my_gen; }, "pacer.enter");
   }
 }
 
@@ -74,13 +79,14 @@ void Pacer::pace(double window_ns) {
   std::unique_lock lk(core.mu());
   require_internal(p.active[me], "Pacer::pace outside enter/leave");
   p.clocks[me] = rc.clock().now_ns();
-  core.cv().notify_all();
+  core.note_time_locked(rc.clock().now_ns());
+  core.poke();
   core.wait(lk, [&] {
     double min_clock = std::numeric_limits<double>::infinity();
     for (std::size_t r = 0; r < p.clocks.size(); ++r)
       if (p.active[r]) min_clock = std::min(min_clock, p.clocks[r]);
     return p.clocks[me] <= min_clock + window_ns;
-  });
+  }, "pacer.pace");
 }
 
 void Pacer::leave() {
@@ -89,7 +95,7 @@ void Pacer::leave() {
   const auto me = static_cast<std::size_t>(p.comm.rank());
   std::lock_guard lk(core.mu());
   p.active[me] = false;
-  core.cv().notify_all();
+  core.poke();
 }
 
 }  // namespace mpisim

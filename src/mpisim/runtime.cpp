@@ -28,7 +28,9 @@ std::shared_ptr<CommImpl> make_world_impl(SimCore& core, int nranks,
 
 }  // namespace
 
-RankContext::RankContext(SimCore& core, int rank) : core_(&core), rank_(rank) {}
+RankContext::RankContext(SimCore& core, int rank) : core_(&core), rank_(rank) {
+  fault_.configure(core.config().fault, rank);
+}
 
 RankContext::~RankContext() = default;
 
@@ -38,6 +40,9 @@ SimCore::SimCore(const Config& cfg)
       model_(prof_),
       mailboxes_(static_cast<std::size_t>(cfg.nranks)) {
   if (cfg.nranks < 1) raise(Errc::invalid_argument, "nranks < 1");
+  running_ = cfg.nranks;
+  in_wait_.assign(static_cast<std::size_t>(cfg.nranks), 0);
+  pred_seen_gen_.assign(static_cast<std::size_t>(cfg.nranks), 0);
   ranks_.reserve(static_cast<std::size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r)
     ranks_.push_back(std::make_unique<RankContext>(*this, r));
@@ -53,6 +58,71 @@ void SimCore::abort(std::exception_ptr err) noexcept {
     aborted_ = true;
     first_error_ = err;
   }
+  cv_.notify_all();
+}
+
+double SimCore::wait_enter_locked() noexcept {
+  ++blocked_;
+  if (t_ctx != nullptr) {
+    in_wait_[static_cast<std::size_t>(t_ctx->rank())] = 1;
+  } else {
+    // A waiter outside any rank thread cannot be generation-tracked;
+    // quiescent_locked() refuses to declare deadlock while one exists.
+    ++anon_waiters_;
+  }
+  const double now = t_ctx != nullptr ? t_ctx->clock().now_ns() : latest_ns_;
+  note_time_locked(now);
+  return now;
+}
+
+void SimCore::wait_exit_locked() noexcept {
+  --blocked_;
+  if (t_ctx != nullptr)
+    in_wait_[static_cast<std::size_t>(t_ctx->rank())] = 0;
+  else
+    --anon_waiters_;
+}
+
+void SimCore::mark_pred_unsatisfied_locked() noexcept {
+  if (t_ctx != nullptr)
+    pred_seen_gen_[static_cast<std::size_t>(t_ctx->rank())] = progress_gen_;
+}
+
+bool SimCore::quiescent_locked() const noexcept {
+  if (running_ <= 0 || blocked_ != running_ || anon_waiters_ > 0) return false;
+  for (std::size_t r = 0; r < in_wait_.size(); ++r)
+    if (in_wait_[r] != 0 && pred_seen_gen_[r] != progress_gen_) return false;
+  return true;
+}
+
+void SimCore::throw_aborted() {
+  throw MpiError(Errc::aborted, "mpisim: aborted by peer failure");
+}
+
+void SimCore::throw_wait_timeout(const char* site, bool deadlock,
+                                 double t0_ns) const {
+  if (deadlock)
+    throw MpiError(Errc::wait_timeout,
+                   std::string("mpisim: deadlock detected: every live rank "
+                               "is blocked and no progress is possible "
+                               "(site: ") +
+                       site + ")");
+  throw MpiError(
+      Errc::wait_timeout,
+      std::string("mpisim: ") + site +
+          " exceeded the virtual-time wait deadline of " +
+          std::to_string(cfg_.wait_deadline_ns) + " ns (entered at " +
+          std::to_string(t0_ns) + " ns, virtual time now " +
+          std::to_string(latest_ns_) + " ns)");
+}
+
+void SimCore::rank_exited() noexcept {
+  std::lock_guard lk(mu_);
+  --running_;
+  // Wake blocked peers without bumping the progress generation: an exit is
+  // not progress toward any predicate, but survivors must re-evaluate
+  // quiescence (a rank leaving a rendezvous unmatched is how deadlocks
+  // from early exits arise).
   cv_.notify_all();
 }
 
@@ -77,8 +147,25 @@ void SimCore::publish_comm_locked(std::uint64_t key,
 
 std::shared_ptr<CommImpl> SimCore::fetch_published_comm(std::uint64_t key) {
   std::unique_lock lk(mu_);
-  wait(lk, [&] { return published_.contains(key); });
+  wait(lk, [&] { return published_.contains(key); }, "comm.publish");
   return published_.at(key);
+}
+
+void SimCore::publish_obj_locked(std::uint64_t key, std::shared_ptr<void> obj) {
+  auto [it, inserted] = published_objs_.emplace(key, std::move(obj));
+  (void)it;
+  require_internal(inserted, "duplicate object publication key");
+}
+
+std::shared_ptr<void> SimCore::fetch_published_obj(std::uint64_t key) {
+  std::unique_lock lk(mu_);
+  wait(lk, [&] { return published_objs_.contains(key); }, "obj.publish");
+  return published_objs_.at(key);
+}
+
+void SimCore::retire_published_obj(std::uint64_t key) {
+  std::lock_guard lk(mu_);
+  published_objs_.erase(key);
 }
 
 namespace {
@@ -91,22 +178,33 @@ struct ThreadArg {
 
 void* rank_thread_main(void* p) {
   auto* arg = static_cast<ThreadArg*>(p);
-  RankContext& me = arg->core->rank_ctx(arg->rank);
+  SimCore& core = *arg->core;
+  RankContext& me = core.rank_ctx(arg->rank);
   t_ctx = &me;
   try {
     (*arg->fn)();
   } catch (...) {
-    arg->core->abort(std::current_exception());
+    core.abort(std::current_exception());
   }
   if (me.user_state_cleanup) {
-    try {
-      me.user_state_cleanup();
-    } catch (...) {
-      // Cleanup failures after an abort are expected; keep the first error.
-      arg->core->abort(std::current_exception());
+    // Run the layer-above cleanup under the global lock: after a peer
+    // failure other ranks can still be mid-RMA, and holding mu() orders
+    // their aborted check (check_failed_locked) before this rank releases
+    // the global memory they would copy into.
+    std::exception_ptr cleanup_err;
+    {
+      std::lock_guard lk(core.mu());
+      try {
+        me.user_state_cleanup();
+      } catch (...) {
+        // Cleanup failures after an abort are expected; keep the first error.
+        cleanup_err = std::current_exception();
+      }
+      me.user_state_cleanup = nullptr;
     }
-    me.user_state_cleanup = nullptr;
+    if (cleanup_err) core.abort(cleanup_err);
   }
+  core.rank_exited();
   t_ctx = nullptr;
   return nullptr;
 }

@@ -22,6 +22,8 @@
 /// trivially deadlock- and race-free and lets an aborting rank wake every
 /// blocked peer.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -33,6 +35,7 @@
 
 #include "src/mpisim/clock.hpp"
 #include "src/mpisim/error.hpp"
+#include "src/mpisim/fault.hpp"
 #include "src/mpisim/mailbox.hpp"
 #include "src/mpisim/netmodel.hpp"
 #include "src/mpisim/platform.hpp"
@@ -55,6 +58,15 @@ struct Config {
   /// Per-rank thread stack size in bytes (large rank counts need small
   /// stacks; user code must keep big arrays on the heap).
   std::size_t stack_bytes = 1 << 20;
+  /// Deterministic fault schedule (fault.hpp). Disabled by default.
+  FaultPlan fault;
+  /// Virtual-time deadline for any single blocking wait: when global
+  /// virtual time advances this far past a wait's entry while its predicate
+  /// stays false, the wait raises Errc::wait_timeout instead of hanging
+  /// silently. 0 disables the deadline. Independently, a wait whose every
+  /// live peer is also blocked is detected as a deadlock and raises
+  /// Errc::wait_timeout regardless of this setting.
+  double wait_deadline_ns = 0.0;
 };
 
 /// Per-rank state. One instance per simulated process, owned by SimCore and
@@ -79,6 +91,9 @@ class RankContext {
   /// Registration cache of the native ARMCI runtime on this rank.
   RegistrationCache& native_reg() noexcept { return native_reg_; }
 
+  /// This rank's fault stream (configured from Config::fault).
+  FaultInjector& fault() noexcept { return fault_; }
+
   /// Slot for the layer above (ARMCI keeps its per-process state here).
   void* user_state = nullptr;
   /// Cleanup hook invoked when the rank thread finishes (even on error).
@@ -91,6 +106,7 @@ class RankContext {
   Tracer tracer_{clock_};
   RegistrationCache mpi_reg_;
   RegistrationCache native_reg_;
+  FaultInjector fault_;
 };
 
 /// Shared simulation state for one run().
@@ -112,19 +128,90 @@ class SimCore {
   /// Notified on every state change; all blocking waits use wait().
   std::condition_variable& cv() noexcept { return cv_; }
 
-  /// Block until \p pred() holds, waking on any state change. Throws
-  /// Errc::aborted if another rank failed meanwhile. \p lk must hold mu().
+  /// Announce a state change that can satisfy a blocked rank's predicate:
+  /// bumps the progress generation (so the deadlock detector knows work
+  /// happened) and wakes every waiter. Caller must hold mu(). All mutation
+  /// sites (mailbox push, lock grant, collective completion, ...) must use
+  /// this instead of cv().notify_all(), or quiescence detection would
+  /// miscount them as deadlock.
+  void poke() noexcept {
+    ++progress_gen_;
+    cv_.notify_all();
+  }
+
+  /// Block until \p pred() holds, waking on any state change. Raises
+  /// Errc::aborted if another rank failed meanwhile, and Errc::wait_timeout
+  /// when every live rank is blocked (deadlock) or when the virtual-time
+  /// deadline (Config::wait_deadline_ns) expires first. \p lk must hold
+  /// mu(); \p site names the wait in diagnostics.
   template <typename Pred>
-  void wait(std::unique_lock<std::mutex>& lk, Pred pred) {
-    cv_.wait(lk, [&] { return aborted_ || pred(); });
-    if (aborted_) throw MpiError(Errc::aborted, "mpisim: aborted by peer failure");
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred,
+            const char* site = "blocking wait") {
+    if (aborted_) throw_aborted();
+    if (pred()) return;
+    const double t0 = wait_enter_locked();
+    for (;;) {
+      if (aborted_) {
+        wait_exit_locked();
+        throw_aborted();
+      }
+      if (pred()) {
+        wait_exit_locked();
+        return;
+      }
+      if (deadlocked_) {
+        wait_exit_locked();
+        throw_wait_timeout(site, /*deadlock=*/true, t0);
+      }
+      if (cfg_.wait_deadline_ns > 0.0 &&
+          latest_ns_ - t0 > cfg_.wait_deadline_ns) {
+        wait_exit_locked();
+        throw_wait_timeout(site, /*deadlock=*/false, t0);
+      }
+      // We just evaluated our predicate as false against the current state;
+      // stamp that with the progress generation. Quiescence is certain --
+      // not merely suspected -- once every live rank is blocked AND has
+      // re-evaluated its predicate since the last poke(): all state
+      // mutations run under mu() on a live rank and announce themselves via
+      // poke(), so no predicate can ever become true again. A peer that was
+      // poked but has not rescheduled yet still carries a stale stamp,
+      // which defers the verdict until it actually re-evaluates; detection
+      // is therefore immune to host-scheduling stalls (and needs no
+      // heuristic grace period).
+      mark_pred_unsatisfied_locked();
+      if (quiescent_locked()) {
+        deadlocked_ = true;
+        cv_.notify_all();
+        wait_exit_locked();
+        throw_wait_timeout(site, /*deadlock=*/true, t0);
+      }
+      // The timeout is only a safety net: every relevant transition
+      // (poke, abort, rank exit, deadlock verdict) notifies cv_.
+      cv_.wait_for(lk, std::chrono::seconds(1));
+    }
   }
 
   /// Record the first failure and wake all blocked ranks.
   void abort(std::exception_ptr err) noexcept;
 
-  /// True once any rank failed.
+  /// True once any rank failed. Safe to poll without holding mu().
   bool aborted() const noexcept { return aborted_; }
+
+  /// Raise Errc::aborted if a peer already failed; caller must hold mu().
+  /// RMA data movement calls this so no operation copies into memory a
+  /// crashed rank's cleanup hook may have released.
+  void check_failed_locked() const {
+    if (aborted_) throw_aborted();
+  }
+
+  /// Fold \p now_ns into the global high-water virtual time that wait
+  /// deadlines measure against. Caller must hold mu().
+  void note_time_locked(double now_ns) noexcept {
+    if (now_ns > latest_ns_) latest_ns_ = now_ns;
+  }
+
+  /// A rank's thread is exiting (normally or after a failure).
+  void rank_exited() noexcept;
 
   /// Mailbox of world rank \p r (access under mu()).
   Mailbox& mailbox(int r);
@@ -137,6 +224,9 @@ class SimCore {
 
   /// Fresh window id; caller must hold mu().
   std::uint64_t alloc_win_id_locked() noexcept { return next_win_id_++; }
+
+  /// Fresh object-publication key suffix; caller must hold mu().
+  std::uint64_t alloc_obj_key_locked() noexcept { return next_obj_key_++; }
 
   /// The world communicator's shared state.
   const std::shared_ptr<CommImpl>& world_impl() const noexcept {
@@ -151,8 +241,43 @@ class SimCore {
   /// Block until a peer publishes \p key, then return the shared impl.
   std::shared_ptr<CommImpl> fetch_published_comm(std::uint64_t key);
 
+  /// Key namespaces for publish_obj_locked: window and pacer ids come from
+  /// independent counters, so tag the high bits to keep keys unique.
+  static constexpr std::uint64_t kWinPublishTag = 1ull << 62;
+  static constexpr std::uint64_t kPacerPublishTag = 2ull << 62;
+
+  /// Publish an arbitrary shared object under \p key for peers to fetch
+  /// (windows, pacers: one leader builds the shared state, peers copy it).
+  /// The core holds a strong reference until retire_published_obj(), so an
+  /// abort mid-rendezvous can neither leak the object nor free it under a
+  /// peer still copying. Caller must hold mu() and poke() afterwards.
+  void publish_obj_locked(std::uint64_t key, std::shared_ptr<void> obj);
+
+  /// Block until a peer publishes \p key, then return the shared object.
+  std::shared_ptr<void> fetch_published_obj(std::uint64_t key);
+
+  /// Drop the core's reference to a published object (after every peer has
+  /// copied it). Skipping this on an error path is safe: the entry is
+  /// released when the core is destroyed.
+  void retire_published_obj(std::uint64_t key);
+
  private:
   friend void run(const Config&, const std::function<void()>&);
+
+  /// Publish the caller's clock and count it as blocked; returns the wait's
+  /// entry time (deadline reference point). Caller must hold mu().
+  double wait_enter_locked() noexcept;
+  void wait_exit_locked() noexcept;
+  /// Record that the calling rank evaluated its wait predicate as false at
+  /// the current progress generation. Caller must hold mu().
+  void mark_pred_unsatisfied_locked() noexcept;
+  /// True when every live rank is blocked and has evaluated its predicate
+  /// as false at the current progress generation: a certain deadlock.
+  /// Caller must hold mu().
+  bool quiescent_locked() const noexcept;
+  [[noreturn]] static void throw_aborted();
+  [[noreturn]] void throw_wait_timeout(const char* site, bool deadlock,
+                                       double t0_ns) const;
 
   Config cfg_;
   const PlatformProfile& prof_;
@@ -160,15 +285,28 @@ class SimCore {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  bool aborted_ = false;
+  std::atomic<bool> aborted_{false};
   std::exception_ptr first_error_;
+
+  // Liveness accounting (all under mu_ except the atomic aborted_ above).
+  int running_ = 0;            ///< rank threads not yet exited
+  int blocked_ = 0;            ///< ranks currently inside wait()
+  int anon_waiters_ = 0;       ///< waiters with no rank context (untrackable)
+  bool deadlocked_ = false;    ///< sticky: quiescence was detected
+  std::uint64_t progress_gen_ = 0;  ///< bumped by every poke()
+  double latest_ns_ = 0.0;     ///< high-water published virtual time
+  std::vector<std::uint8_t> in_wait_;  ///< per rank: inside wait()?
+  /// Per rank: progress generation at its last false predicate evaluation.
+  std::vector<std::uint64_t> pred_seen_gen_;
 
   std::vector<std::unique_ptr<RankContext>> ranks_;
   std::vector<Mailbox> mailboxes_;
   std::uint64_t next_comm_id_ = 1;
   std::uint64_t next_win_id_ = 1;
+  std::uint64_t next_obj_key_ = 1;
   std::shared_ptr<CommImpl> world_impl_;
   std::map<std::uint64_t, std::shared_ptr<CommImpl>> published_;
+  std::map<std::uint64_t, std::shared_ptr<void>> published_objs_;
 };
 
 /// Run \p rank_main on cfg.nranks simulated processes. Blocks until all

@@ -136,28 +136,33 @@ Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
   comm.allgather(&mine, all.data(), sizeof(Info));
 
   SimCore& core = ctx().core();
-  std::shared_ptr<WinImpl>* slot = nullptr;
+  std::uint64_t id = 0;
   if (comm.rank() == 0) {
-    auto impl = std::make_shared<WinImpl>();
-    impl->comm = comm;
-    impl->bases.reserve(static_cast<std::size_t>(n));
-    impl->sizes.reserve(static_cast<std::size_t>(n));
+    auto mk = std::make_shared<WinImpl>();
+    mk->comm = comm;
+    mk->bases.reserve(static_cast<std::size_t>(n));
+    mk->sizes.reserve(static_cast<std::size_t>(n));
     for (const Info& i : all) {
-      impl->bases.push_back(reinterpret_cast<void*>(i.base));
-      impl->sizes.push_back(i.size);
+      mk->bases.push_back(reinterpret_cast<void*>(i.base));
+      mk->sizes.push_back(i.size);
     }
-    impl->targets.resize(static_cast<std::size_t>(n));
-    impl->locked_target.assign(static_cast<std::size_t>(n), -1);
+    mk->targets.resize(static_cast<std::size_t>(n));
+    mk->locked_target.assign(static_cast<std::size_t>(n), -1);
     {
       std::lock_guard lk(core.mu());
-      impl->id = core.alloc_win_id_locked();
+      mk->id = core.alloc_win_id_locked();
+      id = mk->id;
+      // Core-owned rendezvous slot: survives an abort mid-create without
+      // leaking and without freeing under a peer still copying.
+      core.publish_obj_locked(SimCore::kWinPublishTag | id, std::move(mk));
+      core.poke();
     }
-    slot = new std::shared_ptr<WinImpl>(std::move(impl));
   }
-  comm.bcast(&slot, sizeof slot, 0);
-  std::shared_ptr<WinImpl> impl = *slot;
+  comm.bcast(&id, sizeof id, 0);
+  std::shared_ptr<WinImpl> impl = std::static_pointer_cast<WinImpl>(
+      core.fetch_published_obj(SimCore::kWinPublishTag | id));
   comm.barrier();
-  if (comm.rank() == 0) delete slot;
+  if (comm.rank() == 0) core.retire_published_obj(SimCore::kWinPublishTag | id);
 
   // Window memory is registered at creation time (MPI_Alloc_mem-style);
   // Figure 5's on-demand costs concern *local* buffers used as RMA origins.
@@ -186,6 +191,7 @@ void Win::lock(LockType type, int target_rank) const {
   if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
   if (target_rank < 0 || target_rank >= w.comm.size())
     raise(Errc::rank_out_of_range, "lock target " + std::to_string(target_rank));
+  me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
   if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
@@ -199,13 +205,15 @@ void Win::lock(LockType type, int target_rank) const {
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   ts.waiters.emplace_back(myrank, type);
   detail::grant_locked(ts);
-  core.cv().notify_all();
-  core.wait(lk, [&] { return ts.open.contains(myrank); });
+  core.poke();
+  core.wait(lk, [&] { return ts.open.contains(myrank); }, "win.lock");
   w.locked_target[static_cast<std::size_t>(myrank)] = target_rank;
 
   // Virtual time: a lock round trip; exclusive epochs additionally serialize
-  // behind the previous exclusive epoch's completion time.
-  me.clock().advance(core.model().lock_ns());
+  // behind the previous exclusive epoch's completion time. A fault plan may
+  // charge an extra lock-grant stall here.
+  me.clock().advance(core.model().lock_ns() +
+                     me.fault().draw_lock_stall_ns());
   if (type == LockType::exclusive) me.clock().advance_to(ts.busy_until_ns);
   if (me.tracer().enabled()) {
     WinStats& ws = me.tracer().win(w.id);
@@ -222,6 +230,7 @@ void Win::unlock(int target_rank) const {
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
   const int myrank = w.comm.group().rank_of_world(me.rank());
+  me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
@@ -238,9 +247,10 @@ void Win::unlock(int target_rank) const {
   me.clock().advance(core.model().unlock_ns());
   if (was_exclusive)
     ts.busy_until_ns = std::max(ts.busy_until_ns, me.clock().now_ns());
+  core.note_time_locked(me.clock().now_ns());
 
   detail::grant_locked(ts);
-  core.cv().notify_all();
+  core.poke();
   if (me.tracer().enabled()) {
     ++me.tracer().win(w.id).epochs;
     me.tracer().end(TraceCat::window, "win.unlock", w.id);
@@ -253,6 +263,7 @@ void Win::lock_all() const {
   RankContext& me = ctx();
   const int myrank = w.comm.group().rank_of_world(me.rank());
   if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
+  me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
   if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
@@ -265,12 +276,13 @@ void Win::lock_all() const {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
     ts.waiters.emplace_back(myrank, LockType::shared);
     detail::grant_locked(ts);
-    core.cv().notify_all();
-    core.wait(lk, [&] { return ts.open.contains(myrank); });
+    core.poke();
+    core.wait(lk, [&] { return ts.open.contains(myrank); }, "win.lock_all");
     ts.open.at(myrank).mpi3 = true;
   }
   w.locked_target[static_cast<std::size_t>(myrank)] = detail::kLockAll;
-  me.clock().advance(core.model().lock_ns());
+  me.clock().advance(core.model().lock_ns() +
+                     me.fault().draw_lock_stall_ns());
   if (me.tracer().enabled()) {
     ++me.tracer().win(w.id).lock_alls;
     me.tracer().end(TraceCat::window, "win.lock_all", w.id);
@@ -294,7 +306,8 @@ void Win::unlock_all() const {
   }
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
   me.clock().advance(core.model().unlock_ns());
-  core.cv().notify_all();
+  core.note_time_locked(me.clock().now_ns());
+  core.poke();
   if (me.tracer().enabled()) {
     ++me.tracer().win(w.id).epochs;
     me.tracer().end(TraceCat::window, "win.unlock_all", w.id);
@@ -411,6 +424,7 @@ void Win::get_accumulate(const void* origin, void* result, std::size_t count,
                target_disp;
 
   std::unique_lock lk(core.mu());
+  core.check_failed_locked();
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())
@@ -472,6 +486,7 @@ void Win::compare_and_swap(const void* origin, const void* compare,
                target_disp;
 
   std::unique_lock lk(core.mu());
+  core.check_failed_locked();
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())
@@ -502,6 +517,7 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
   if (bytes != target_count * target_type.size())
     raise(Errc::type_mismatch, "origin/target transfer sizes differ");
   if (bytes == 0) return;
+  me.fault().fault_point(me.clock());
   if (kind == OpKind::acc &&
       origin_type.element_type() != target_type.element_type())
     raise(Errc::type_mismatch, "accumulate element types differ");
@@ -522,6 +538,7 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
                 target_disp;
 
   std::unique_lock lk(core.mu());
+  core.check_failed_locked();
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())

@@ -50,6 +50,11 @@ TEST_P(ArmciStridedTest, PutGetPatch2D) {
     init(opts());
     // Remote: 16 rows x 64 bytes. Local: 8 rows x 48 bytes.
     std::vector<void*> bases = malloc_world(16 * 64);
+    // Global memory is not zero-initialized (real ARMCI_Malloc isn't
+    // either): zero the target slice so the untouched-byte checks below
+    // have a defined baseline.
+    if (mpisim::rank() == 1)
+      std::memset(bases[1], 0, 16 * 64);
     barrier();
     if (mpisim::rank() == 0) {
       std::vector<char> local(8 * 48);
@@ -223,6 +228,10 @@ TEST_P(ArmciStridedTest, AllMethodsProduceIdenticalResults) {
     init(opts());
     const std::size_t rows = 16, pitch = 96, seg = 24;
     std::vector<void*> bases = malloc_world(rows * pitch);
+    // Zero the target slice: the reference image assumes the gap bytes
+    // between segments are zero, which uninitialized global memory is not.
+    if (mpisim::rank() == 1)
+      std::memset(bases[1], 0, rows * pitch);
     barrier();
     if (mpisim::rank() == 0) {
       std::vector<char> local(rows * seg);
