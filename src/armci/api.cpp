@@ -1,6 +1,7 @@
 #include "src/armci/armci.hpp"
 
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "src/armci/accops.hpp"
@@ -99,12 +100,22 @@ bool initialized() noexcept { return state_if_initialized() != nullptr; }
 
 const Options& options() { return state().opts; }
 
-const Stats& stats() { return state().stats; }
+const Stats& stats() {
+  ProcState& st = state();
+  // The checker counts violations per world rank for the whole run; the
+  // Stats view is relative to the last reset_stats().
+  st.stats.rma_conflicts =
+      mpisim::ctx().core().checker().counts(mpisim::rank()).total() -
+      st.rma_conflicts_baseline;
+  return st.stats;
+}
 
 const MetricsRegistry& metrics() { return state().metrics; }
 
 void reset_stats() {
   ProcState& st = state();
+  st.rma_conflicts_baseline =
+      mpisim::ctx().core().checker().counts(mpisim::rank()).total();
   st.stats = Stats{};
   st.metrics.reset();
 }
@@ -474,7 +485,15 @@ void wait_notify(const int* flag, int value) {
     if (core.aborted())
       mpisim::raise(Errc::aborted, "wait_notify: peer failure");
     st.backend->access_begin(loc);
-    const int v = *flag;
+    int v;
+    {
+      // The remote flag write lands as a memcpy under the simulator's
+      // global lock (the stand-in for the target NIC); polling under the
+      // same lock gives data-then-flag delivery a real happens-before
+      // edge, so the payload the flag guards is visible too.
+      std::lock_guard lk(core.mu());
+      v = *flag;
+    }
     st.backend->access_end(loc);
     if (v == value) return;
     if (deadline_ns > 0.0 && mpisim::clock().now_ns() - t0 > deadline_ns)
@@ -550,6 +569,12 @@ void access_begin(void* ptr) {
                   "access_begin: region already open");
   ++st.stats.dla_epochs;
   st.backend->access_begin(loc);
+  // Declare the direct access to the RMA checker. The backend call above
+  // establishes the covering epoch (exclusive self-lock on the MPI backend,
+  // standing lock_all on mpi3), so the declaration is an audit record; the
+  // native backend has no window and the hook is skipped.
+  if (loc.gmr->win.valid())
+    loc.gmr->win.local_access_begin(ptr, 0, /*write=*/true);
   st.open_accesses.emplace(ptr, loc);
 }
 
@@ -559,6 +584,8 @@ void access_end(void* ptr) {
   if (it == st.open_accesses.end())
     mpisim::raise(Errc::invalid_argument,
                   "access_end without matching access_begin");
+  if (it->second.gmr->win.valid())
+    it->second.gmr->win.local_access_end(ptr);
   st.backend->access_end(it->second);
   st.open_accesses.erase(it);
 }

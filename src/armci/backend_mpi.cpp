@@ -75,8 +75,11 @@ void MpiBackend::staged_local_copy(void* dst, const void* src,
   GmrLoc l = st_->table.require(mpisim::rank(), global_side, bytes);
   with_retry(*st_, "mpi.staged_copy", [&] {
     EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+    LocalAccessGuard la(l.gmr->win, global_side, bytes,
+                        /*write=*/dst == global_side);
     std::memcpy(dst, src, bytes);
     mpisim::clock().advance(mpisim::model().pack_ns(bytes));
+    la.release();
     eg.release();
   });
 }
@@ -469,7 +472,9 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
         with_retry(*st_, "mpi.strided_pack", [&] {
           EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+          LocalAccessGuard la(l.gmr->win, local, lextent, /*write=*/false);
           ltype.pack(local, 1, temp.data());
+          la.release();
           eg.release();
         });
       } else {
@@ -508,7 +513,9 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
         GmrLoc l = st_->table.require(mpisim::rank(), local, lextent);
         with_retry(*st_, "mpi.strided_unpack", [&] {
           EpochGuard eg(l.gmr->win, LockType::exclusive, l.target_rank);
+          LocalAccessGuard la(l.gmr->win, local, lextent, /*write=*/true);
           ltype.unpack(temp.data(), local, 1);
+          la.release();
           eg.release();
         });
       } else {

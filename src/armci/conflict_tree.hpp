@@ -2,72 +2,18 @@
 #define ARMCI_CONFLICT_TREE_HPP
 
 /// \file conflict_tree.hpp
-/// O(N log N) IOV overlap detection (paper §VI-B).
+/// Forwarding alias for the AVL conflict tree (paper §VI-B).
 ///
-/// The batched and datatype (direct) IOV transfer methods are erroneous if
-/// any two segments overlap; detecting that with a naive pairwise scan is
-/// O(N^2), and NWChem IOV descriptors reach tens to hundreds of thousands of
-/// segments. The paper's "auto" method instead inserts each segment's byte
-/// range [lo..hi] into a self-balancing binary tree ordered such that every
-/// node's left subtree lies entirely below lo and right subtree entirely
-/// above hi; an overlap is detected during the (merged) check-and-insert
-/// descent. Unlike an interval tree, the structure never *stores* an
-/// overlapping range -- insertion simply fails, which is exactly the signal
-/// the auto method needs to fall back to the conservative transfer method.
-///
-/// This implementation uses an AVL tree (Adelson-Velskii & Landis), as the
-/// paper does, with the check and insert steps merged into one descent plus
-/// the usual rebalancing on the way back up.
+/// The tree itself now lives in src/mpisim/conflict_tree.hpp so the RMA
+/// validity checker (mpisim/checker.hpp) can reuse it for epoch-interval
+/// bookkeeping; the armci IOV auto-method keeps using it under its
+/// historical name through this alias.
 
-#include <cstddef>
-#include <cstdint>
-#include <memory>
+#include "src/mpisim/conflict_tree.hpp"
 
 namespace armci {
 
-namespace detail {
-struct CtNode;
-}
-
-/// Self-balancing tree of disjoint address ranges with overlap-rejecting
-/// insertion. Addresses are arbitrary uintptr_t values; ranges are
-/// *inclusive* [lo, hi] to match the paper's formulation.
-class ConflictTree {
- public:
-  ConflictTree() = default;
-  ~ConflictTree();
-
-  ConflictTree(ConflictTree&&) noexcept;
-  ConflictTree& operator=(ConflictTree&&) noexcept;
-  ConflictTree(const ConflictTree&) = delete;
-  ConflictTree& operator=(const ConflictTree&) = delete;
-
-  /// Insert [lo, hi] (inclusive; lo <= hi required). Returns true on
-  /// success; returns false -- leaving the tree unchanged -- if the range
-  /// overlaps any stored range. Single O(log N) descent.
-  bool insert(std::uintptr_t lo, std::uintptr_t hi);
-
-  /// True if [lo, hi] overlaps a stored range (no insertion).
-  bool conflicts(std::uintptr_t lo, std::uintptr_t hi) const;
-
-  /// Number of stored ranges.
-  std::size_t size() const noexcept { return size_; }
-
-  bool empty() const noexcept { return size_ == 0; }
-
-  /// Remove all ranges.
-  void clear() noexcept;
-
-  /// Tree height (diagnostics; AVL guarantees O(log N)).
-  int height() const noexcept;
-
-  /// Internal invariant check for tests: AVL balance and ordering hold.
-  bool check_invariants() const;
-
- private:
-  detail::CtNode* root_ = nullptr;
-  std::size_t size_ = 0;
-};
+using ConflictTree = mpisim::ConflictTree;
 
 }  // namespace armci
 

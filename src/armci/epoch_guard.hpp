@@ -57,6 +57,48 @@ class EpochGuard {
   bool held_ = false;
 };
 
+/// RAII declaration of a direct load/store of window memory
+/// (Win::local_access_begin/end). Wraps every place the MPI backend touches
+/// global-space memory with host instructions instead of RMA -- staged
+/// copies, strided pack/unpack, ARMCI direct-local-access epochs -- so the
+/// RMA validity checker sees the access. Taken *inside* the exclusive
+/// self-epoch that makes the access legal, the declaration is a no-cost
+/// audit record; without such an epoch the checker reports conflicts with
+/// concurrent RMA epochs at end time.
+class LocalAccessGuard {
+ public:
+  LocalAccessGuard(const mpisim::Win& win, const void* ptr, std::size_t bytes,
+                   bool write)
+      : win_(win), ptr_(ptr) {
+    win_.local_access_begin(ptr_, bytes, write);
+    held_ = true;
+  }
+
+  ~LocalAccessGuard() {
+    if (!held_) return;
+    try {
+      win_.local_access_end(ptr_);
+    } catch (...) {
+      // Unwinding already; the deferred report dies with the aborted run.
+    }
+  }
+
+  LocalAccessGuard(const LocalAccessGuard&) = delete;
+  LocalAccessGuard& operator=(const LocalAccessGuard&) = delete;
+
+  /// Normal-path close: end the access now, propagating any violation
+  /// report (Errc::rma_conflict in abort mode).
+  void release() {
+    held_ = false;
+    win_.local_access_end(ptr_);
+  }
+
+ private:
+  const mpisim::Win& win_;
+  const void* ptr_;
+  bool held_ = false;
+};
+
 }  // namespace armci
 
 #endif  // ARMCI_EPOCH_GUARD_HPP

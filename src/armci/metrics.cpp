@@ -106,7 +106,8 @@ void append(std::string& out, const char* fmt, ...) {
 
 std::string metrics_json() {
   ProcState& st = state();
-  const Stats& s = st.stats;
+  const Stats& s = stats();  // syncs rma_conflicts from the checker
+  (void)st;
   const mpisim::Tracer& tr = mpisim::tracer();
 
   std::string out;
@@ -123,7 +124,7 @@ std::string metrics_json() {
          "\"barriers\":%llu,\"allocations\":%llu,\"frees\":%llu,"
          "\"dla_epochs\":%llu,\"staged_local_copies\":%llu,"
          "\"transient_faults\":%llu,\"retries\":%llu,"
-         "\"retry_exhausted\":%llu},",
+         "\"retry_exhausted\":%llu,\"rma_conflicts\":%llu},",
          (unsigned long long)s.puts, (unsigned long long)s.gets,
          (unsigned long long)s.accs, (unsigned long long)s.put_bytes,
          (unsigned long long)s.get_bytes, (unsigned long long)s.acc_bytes,
@@ -136,7 +137,8 @@ std::string metrics_json() {
          (unsigned long long)s.dla_epochs,
          (unsigned long long)s.staged_local_copies,
          (unsigned long long)s.transient_faults, (unsigned long long)s.retries,
-         (unsigned long long)s.retry_exhausted);
+         (unsigned long long)s.retry_exhausted,
+         (unsigned long long)s.rma_conflicts);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";
@@ -180,6 +182,21 @@ std::string metrics_json() {
     first = false;
   }
   out += "],";
+
+  // RMA validity checker (mpisim checker.hpp): mode and this rank's
+  // violation counters by class. All zero on a correct run.
+  {
+    const mpisim::RmaChecker& chk = mpisim::ctx().core().checker();
+    const mpisim::RmaCheckCounts c = chk.counts(mpisim::rank());
+    append(out,
+           "\"rma_check\":{\"mode\":\"%s\",\"same_origin\":%llu,"
+           "\"concurrent\":%llu,\"acc_mix\":%llu,\"local\":%llu,"
+           "\"discipline\":%llu},",
+           mpisim::rma_check_name(chk.mode()),
+           (unsigned long long)c.same_origin, (unsigned long long)c.concurrent,
+           (unsigned long long)c.acc_mix, (unsigned long long)c.local,
+           (unsigned long long)c.discipline);
+  }
 
   append(out, "\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu}}",
          tr.enabled() ? "true" : "false",

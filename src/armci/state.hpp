@@ -53,6 +53,10 @@ struct ProcState {
   /// Operation counters (see stats.hpp).
   Stats stats;
 
+  /// RMA-checker violation total at the last reset_stats(): the checker's
+  /// counters are cumulative per run, Stats::rma_conflicts is relative.
+  std::uint64_t rma_conflicts_baseline = 0;
+
   /// Per-op latency histograms (see metrics.hpp), on when opts.metrics.
   MetricsRegistry metrics;
 

@@ -50,6 +50,12 @@ struct Stats {
   std::uint64_t allocations = 0;
   std::uint64_t frees = 0;
 
+  // RMA validity violations attributed to this process since the last
+  // reset_stats() (mpisim checker, Config::rma_check): conflicting access
+  // pairs, undisciplined direct local accesses, and lock-state misuse. Zero
+  // on every correct run; synced from the checker's counters by stats().
+  std::uint64_t rma_conflicts = 0;
+
   // Fault handling (mpisim::FaultPlan injection): transient faults hit,
   // epochs retried after one, and operations that exhausted their retry
   // budget and surfaced the error.

@@ -1,0 +1,412 @@
+#include "src/mpisim/checker.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/mpisim/error.hpp"
+
+namespace mpisim {
+
+namespace {
+
+std::string byte_range(std::ptrdiff_t lo, std::ptrdiff_t hi) {
+  return "bytes [" + std::to_string(lo) + ", " + std::to_string(hi) + ")";
+}
+
+/// Inclusive tree range back to the half-open form diagnostics use.
+std::string byte_range_incl(std::uintptr_t lo, std::uintptr_t hi) {
+  return byte_range(static_cast<std::ptrdiff_t>(lo),
+                    static_cast<std::ptrdiff_t>(hi) + 1);
+}
+
+std::string scope_suffix(const char* scope) {
+  return scope != nullptr ? std::string(", in ") + scope : std::string();
+}
+
+}  // namespace
+
+const char* rma_check_name(RmaCheck m) noexcept {
+  switch (m) {
+    case RmaCheck::off: return "off";
+    case RmaCheck::warn: return "warn";
+    case RmaCheck::abort: return "abort";
+  }
+  return "?";
+}
+
+const char* rma_violation_name(RmaViolation v) noexcept {
+  switch (v) {
+    case RmaViolation::same_origin: return "same_origin";
+    case RmaViolation::concurrent: return "concurrent";
+    case RmaViolation::acc_mix: return "acc_mix";
+    case RmaViolation::local: return "local";
+    case RmaViolation::discipline: return "discipline";
+  }
+  return "?";
+}
+
+RmaChecker::RmaChecker(RmaCheck mode, bool immediate, int nranks)
+    : mode_(mode),
+      immediate_(immediate),
+      per_rank_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)) {}
+
+bool RmaChecker::Sets::empty() const noexcept {
+  if (!reads.empty() || !writes.empty()) return false;
+  for (const auto& [op, tree] : accs)
+    if (!tree.empty()) return false;
+  return true;
+}
+
+void RmaChecker::Sets::clear() noexcept {
+  reads.clear();
+  writes.clear();
+  accs.clear();
+}
+
+void RmaChecker::epoch_opened(std::uint64_t win, int target, int origin,
+                              bool exclusive) {
+  if (!enabled()) return;
+  EpochRec ep;
+  ep.id = next_epoch_id_++;
+  ep.origin = origin;
+  ep.exclusive = exclusive;
+  wins_[win].targets[target].open.insert_or_assign(origin, std::move(ep));
+}
+
+void RmaChecker::epoch_set_mpi3(std::uint64_t win, int target, int origin) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(target);
+  if (tit == wit->second.targets.end()) return;
+  auto eit = tit->second.open.find(origin);
+  if (eit != tit->second.open.end()) eit->second.mpi3 = true;
+}
+
+void RmaChecker::epoch_closing(std::uint64_t win, int target, int origin) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(target);
+  if (tit == wit->second.targets.end()) return;
+  auto eit = tit->second.open.find(origin);
+  if (eit == tit->second.open.end()) return;
+
+  EpochRec ep = std::move(eit->second);
+  tit->second.open.erase(eit);
+
+  // Hand this epoch's access summary to every epoch still open on the
+  // target: those epochs were concurrent with it, and MPI-2 makes the
+  // conflicting pair erroneous no matter which side's accesses landed
+  // first. Epochs opened later never see this ghost, which is what keeps
+  // properly serialized (lock-ordered) reuse of the same bytes legal.
+  if (!ep.mpi3 && !ep.sets.empty()) {
+    std::shared_ptr<Ghost> g;
+    for (auto& [orank, oe] : tit->second.open) {
+      if (oe.mpi3) continue;
+      if (g == nullptr) {
+        g = std::make_shared<Ghost>();
+        g->epoch_id = ep.id;
+        g->origin = ep.origin;
+        g->exclusive = ep.exclusive;
+        g->scope = ep.scope;
+        g->sets = std::move(ep.sets);
+      }
+      oe.ghosts.push_back(g);
+    }
+  }
+  report(ep.pending);
+}
+
+void RmaChecker::epoch_flushed(std::uint64_t win, int target, int origin) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(target);
+  if (tit == wit->second.targets.end()) return;
+  auto eit = tit->second.open.find(origin);
+  if (eit == tit->second.open.end()) return;
+  // A flush remotely completes everything outstanding: operations on the
+  // two sides of it are ordered, so they no longer form a conflicting pair.
+  // The epoch's tracking unit restarts empty (ghosts included -- the closed
+  // epochs they summarize are now also ordered before the later accesses).
+  EpochRec& ep = eit->second;
+  ep.sets.clear();
+  ep.ghosts.clear();
+  report(ep.pending);
+}
+
+void RmaChecker::window_freed(std::uint64_t win) { wins_.erase(win); }
+
+bool RmaChecker::conflict_with(const Sets& s, OpKind kind, Op op,
+                               std::uintptr_t lo, std::uintptr_t hi,
+                               Hit* hit) {
+  std::uintptr_t olo = 0;
+  std::uintptr_t ohi = 0;
+  // MPI-2 access rules: get conflicts with writes and accumulates; put with
+  // everything; accumulates conflict with reads, writes, and accumulates
+  // using a *different* operator (same-op overlap is the one concurrency the
+  // model blesses). get_accumulate follows MPI's same_op_no_op rule: no_op
+  // mixes with any accumulate operator.
+  if (kind != OpKind::get && s.reads.overlapping(lo, hi, &olo, &ohi)) {
+    *hit = Hit{Hit::Kind::read, Op::sum, olo, ohi};
+    return true;
+  }
+  if (s.writes.overlapping(lo, hi, &olo, &ohi)) {
+    *hit = Hit{Hit::Kind::write, Op::sum, olo, ohi};
+    return true;
+  }
+  for (const auto& [o, tree] : s.accs) {
+    bool mixes = false;
+    switch (kind) {
+      case OpKind::put:
+      case OpKind::get:
+        mixes = true;
+        break;
+      case OpKind::acc:
+        mixes = o != op;
+        break;
+      case OpKind::get_acc:
+        mixes = o != op && o != Op::no_op && op != Op::no_op;
+        break;
+    }
+    if (mixes && tree.overlapping(lo, hi, &olo, &ohi)) {
+      *hit = Hit{Hit::Kind::acc, o, olo, ohi};
+      return true;
+    }
+  }
+  return false;
+}
+
+RmaViolation RmaChecker::classify(OpKind kind, const Hit& hit,
+                                  bool same_origin, bool local) {
+  if (local) return RmaViolation::local;
+  if (hit.kind == Hit::Kind::acc || kind == OpKind::acc ||
+      kind == OpKind::get_acc)
+    return RmaViolation::acc_mix;
+  return same_origin ? RmaViolation::same_origin : RmaViolation::concurrent;
+}
+
+std::string RmaChecker::describe_hit(const Hit& hit) {
+  switch (hit.kind) {
+    case Hit::Kind::read:
+      return "a get of " + byte_range_incl(hit.lo, hit.hi);
+    case Hit::Kind::write:
+      return "a put to " + byte_range_incl(hit.lo, hit.hi);
+    case Hit::Kind::acc:
+      return std::string("an accumulate(") + op_name(hit.op) + ") on " +
+             byte_range_incl(hit.lo, hit.hi);
+    case Hit::Kind::none:
+      break;
+  }
+  return "an access";
+}
+
+void RmaChecker::flag(std::vector<Violation>& pending, RmaViolation cls,
+                      int world_rank, std::string msg) {
+  if (world_rank >= 0 &&
+      world_rank < static_cast<int>(per_rank_.size()))
+    per_rank_[static_cast<std::size_t>(world_rank)]
+        .v[static_cast<int>(cls)]
+        .fetch_add(1, std::memory_order_relaxed);
+  // Legacy issue-time path (Config::check_conflicts): the operation itself
+  // is the error site. Deferral is the rma_check refinement.
+  if (immediate_) raise(Errc::conflicting_access, msg);
+  if (mode_ != RmaCheck::off) pending.push_back({cls, std::move(msg)});
+}
+
+void RmaChecker::report(std::vector<Violation>& pending) {
+  if (pending.empty()) return;
+  std::vector<Violation> v;
+  v.swap(pending);
+  if (mode_ == RmaCheck::warn) {
+    for (const Violation& x : v)
+      std::fprintf(stderr, "mpisim rma_check [%s]: %s\n",
+                   rma_violation_name(x.cls), x.msg.c_str());
+    return;
+  }
+  if (mode_ == RmaCheck::abort) {
+    std::string msg = v.front().msg;
+    if (v.size() > 1)
+      msg += " (+" + std::to_string(v.size() - 1) + " more violations)";
+    raise(Errc::rma_conflict, msg);
+  }
+}
+
+void RmaChecker::record_op(std::uint64_t win, int target, int origin,
+                           int world_origin, OpKind kind, Op op,
+                           std::ptrdiff_t lo, std::ptrdiff_t hi,
+                           const char* scope) {
+  if (!enabled() || lo >= hi) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  TargetRec& tr = wit->second.targets[target];
+  auto eit = tr.open.find(origin);
+  if (eit == tr.open.end()) return;  // win.cpp raises no_epoch before this
+  EpochRec& ep = eit->second;
+  if (ep.mpi3) return;  // MPI-3 semantics: conflicts undefined, not erroneous
+  ep.scope = scope;
+
+  const char* kind_str = kind == OpKind::put   ? "put"
+                         : kind == OpKind::get ? "get"
+                         : kind == OpKind::acc ? "accumulate"
+                                               : "get_accumulate";
+  const auto ulo = static_cast<std::uintptr_t>(lo);
+  const auto uhi = static_cast<std::uintptr_t>(hi) - 1;
+  const std::string what = std::string(kind_str) + " on " +
+                           byte_range(lo, hi) + " of rank " +
+                           std::to_string(target) + " (win " +
+                           std::to_string(win) + ", epoch #" +
+                           std::to_string(ep.id) + " by origin " +
+                           std::to_string(origin) + scope_suffix(scope) + ")";
+
+  Hit hit;
+  if (conflict_with(ep.sets, kind, op, ulo, uhi, &hit))
+    flag(ep.pending, classify(kind, hit, /*same_origin=*/true, false),
+         world_origin,
+         what + " conflicts with " + describe_hit(hit) +
+             " recorded earlier in the same epoch");
+
+  for (auto& [orank, oe] : tr.open) {
+    if (orank == origin || oe.mpi3) continue;
+    if (conflict_with(oe.sets, kind, op, ulo, uhi, &hit))
+      flag(ep.pending, classify(kind, hit, false, false), world_origin,
+           what + " conflicts with " + describe_hit(hit) +
+               " by concurrent epoch #" + std::to_string(oe.id) +
+               " of origin " + std::to_string(orank) +
+               scope_suffix(oe.scope));
+  }
+
+  for (const auto& g : ep.ghosts) {
+    if (conflict_with(g->sets, kind, op, ulo, uhi, &hit))
+      flag(ep.pending, classify(kind, hit, false, false), world_origin,
+           what + " conflicts with " + describe_hit(hit) +
+               " by closed concurrent epoch #" + std::to_string(g->epoch_id) +
+               " of origin " + std::to_string(g->origin) +
+               scope_suffix(g->scope));
+  }
+
+  // Direct local accesses to the target's exposed memory. A get conflicts
+  // only with a local store; put/accumulate write the bytes, so a local
+  // load conflicts too (get_accumulate with no_op is a pure fetch).
+  const bool writes_target =
+      kind == OpKind::put || kind == OpKind::acc ||
+      (kind == OpKind::get_acc && op != Op::no_op);
+  for (auto& [llo, lrec] : tr.locals) {
+    if (lrec.covered) continue;
+    if (lrec.hi <= lo || hi <= lrec.lo) continue;
+    if (!lrec.write && !writes_target) continue;
+    flag(ep.pending, RmaViolation::local, world_origin,
+         what + " conflicts with a direct local " +
+             (lrec.write ? "store to " : "load of ") +
+             byte_range(lrec.lo, lrec.hi) + " on rank " +
+             std::to_string(target) + scope_suffix(lrec.scope));
+  }
+
+  switch (kind) {
+    case OpKind::get:
+      ep.sets.reads.insert_merge(ulo, uhi);
+      break;
+    case OpKind::put:
+      ep.sets.writes.insert_merge(ulo, uhi);
+      break;
+    case OpKind::acc:
+    case OpKind::get_acc:
+      ep.sets.accs[op].insert_merge(ulo, uhi);
+      break;
+  }
+}
+
+void RmaChecker::local_begin(std::uint64_t win, int rank, int world_rank,
+                             std::ptrdiff_t lo, std::ptrdiff_t hi, bool write,
+                             bool covered, const char* scope) {
+  if (!enabled() || lo >= hi) return;
+  TargetRec& tr = wins_[win].targets[rank];
+  LocalRec lrec;
+  lrec.lo = lo;
+  lrec.hi = hi;
+  lrec.write = write;
+  lrec.covered = covered;
+  lrec.scope = scope;
+
+  if (!covered) {
+    // An undisciplined direct access: check it against every access epoch
+    // currently open on this rank's memory, exactly as if it were a
+    // same-address RMA op (a local store behaves like a put, a local load
+    // like a get).
+    const auto ulo = static_cast<std::uintptr_t>(lo);
+    const auto uhi = static_cast<std::uintptr_t>(hi) - 1;
+    const OpKind as_kind = write ? OpKind::put : OpKind::get;
+    const std::string what =
+        std::string("direct local ") + (write ? "store to " : "load of ") +
+        byte_range(lo, hi) + " on rank " + std::to_string(rank) + " (win " +
+        std::to_string(win) + ", no exclusive self-epoch" +
+        scope_suffix(scope) + ")";
+    Hit hit;
+    for (auto& [orank, oe] : tr.open) {
+      if (oe.mpi3) continue;
+      if (conflict_with(oe.sets, as_kind, Op::replace, ulo, uhi, &hit))
+        flag(lrec.pending, RmaViolation::local, world_rank,
+             what + " conflicts with " + describe_hit(hit) +
+                 " by open epoch #" + std::to_string(oe.id) + " of origin " +
+                 std::to_string(orank) + scope_suffix(oe.scope));
+      for (const auto& g : oe.ghosts) {
+        if (conflict_with(g->sets, as_kind, Op::replace, ulo, uhi, &hit))
+          flag(lrec.pending, RmaViolation::local, world_rank,
+               what + " conflicts with " + describe_hit(hit) +
+                   " by closed concurrent epoch #" +
+                   std::to_string(g->epoch_id) + " of origin " +
+                   std::to_string(g->origin) + scope_suffix(g->scope));
+      }
+    }
+  }
+  tr.locals.insert_or_assign(lo, std::move(lrec));
+}
+
+void RmaChecker::local_end(std::uint64_t win, int rank, std::ptrdiff_t lo) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(rank);
+  if (tit == wit->second.targets.end()) return;
+  auto lit = tit->second.locals.find(lo);
+  if (lit == tit->second.locals.end()) return;
+  std::vector<Violation> pending = std::move(lit->second.pending);
+  tit->second.locals.erase(lit);
+  report(pending);
+}
+
+void RmaChecker::note_discipline(int world_rank) noexcept {
+  if (world_rank >= 0 && world_rank < static_cast<int>(per_rank_.size()))
+    per_rank_[static_cast<std::size_t>(world_rank)]
+        .v[static_cast<int>(RmaViolation::discipline)]
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+RmaCheckCounts RmaChecker::counts(int world_rank) const noexcept {
+  RmaCheckCounts c;
+  if (world_rank < 0 || world_rank >= static_cast<int>(per_rank_.size()))
+    return c;
+  const PerRankCounts& p = per_rank_[static_cast<std::size_t>(world_rank)];
+  c.same_origin = p.v[0].load(std::memory_order_relaxed);
+  c.concurrent = p.v[1].load(std::memory_order_relaxed);
+  c.acc_mix = p.v[2].load(std::memory_order_relaxed);
+  c.local = p.v[3].load(std::memory_order_relaxed);
+  c.discipline = p.v[4].load(std::memory_order_relaxed);
+  return c;
+}
+
+RmaCheckCounts RmaChecker::total_counts() const noexcept {
+  RmaCheckCounts t;
+  for (std::size_t r = 0; r < per_rank_.size(); ++r) {
+    const RmaCheckCounts c = counts(static_cast<int>(r));
+    t.same_origin += c.same_origin;
+    t.concurrent += c.concurrent;
+    t.acc_mix += c.acc_mix;
+    t.local += c.local;
+    t.discipline += c.discipline;
+  }
+  return t;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,265 @@
+#ifndef MPISIM_CHECKER_HPP
+#define MPISIM_CHECKER_HPP
+
+/// \file checker.hpp
+/// RMA validity checker: a conflict/epoch race detector for mpisim windows.
+///
+/// The paper's central contribution is bridging ARMCI's conflict-tolerant,
+/// location-consistent model onto MPI-2 RMA, where *concurrent conflicting
+/// accesses are erroneous*. A backend bug that violates those access rules
+/// (an overlapping put/put under a shared lock, a direct store to window
+/// memory during another origin's exposure) produces wrong answers only for
+/// schedules that happen to interleave badly -- it passes tests
+/// nondeterministically. The checker turns every run into a semantics audit:
+/// it records the byte interval of every put/get/accumulate/fetch-op and
+/// every declared direct load/store (Win::local_access_begin/end), tagged
+/// with <window, target, epoch, lock type, origin>, and detects the MPI-2
+/// conflict rules:
+///
+///  - overlapping put/put and put/get from different origins inside
+///    concurrent shared-lock epochs (including epochs that already closed:
+///    a closing epoch hands its access summary to the epochs it was
+///    concurrent with, so ordering within the overlap window cannot hide a
+///    conflict);
+///  - accumulate mixed with non-accumulate (or a different accumulate
+///    operator) on overlapping bytes;
+///  - same-origin overlapping conflicting operations within one epoch;
+///  - direct local access to exposed window memory without the DLA
+///    discipline (an exclusive self-epoch, as ARMCI_Access_begin takes);
+///  - lock-discipline misuse (counted here; the window layer raises the
+///    classified Errc).
+///
+/// Interval bookkeeping reuses the AVL conflict tree of paper §VI-B
+/// (conflict_tree.hpp) via its union-building insert_merge().
+///
+/// Reporting has two paths sharing one recorded state:
+///  - Config::check_conflicts (legacy, default on): a conflict raises
+///    Errc::conflicting_access immediately at the issuing operation;
+///  - Config::rma_check = warn | abort: conflicts become structured
+///    diagnostics reported when the access epoch completes -- at unlock /
+///    flush / local_access_end -- as MPI-2 prescribes for erroneous-access
+///    detection. warn prints to stderr and counts; abort raises
+///    Errc::rma_conflict.
+///
+/// Epochs opened by lock_all() follow MPI-3 semantics (conflicting accesses
+/// have undefined *values* but are not erroneous) and are not tracked.
+///
+/// Thread-safety: every method except counts()/total_counts()/
+/// note_discipline() must be called with SimCore::mu() held (they mutate
+/// shared per-window state). Counters are atomics so the metrics exporters
+/// can read them from any rank thread without the lock.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mpisim/conflict_tree.hpp"
+#include "src/mpisim/op.hpp"
+
+namespace mpisim {
+
+/// Checker reporting mode (Config::rma_check).
+enum class RmaCheck {
+  off,   ///< record nothing (unless check_conflicts is on)
+  warn,  ///< print each violation to stderr at epoch completion and count it
+  abort  ///< raise Errc::rma_conflict at epoch completion
+};
+
+const char* rma_check_name(RmaCheck m) noexcept;
+
+/// Violation classes (counter buckets; also named in diagnostics).
+enum class RmaViolation {
+  same_origin,  ///< overlapping conflicting ops by one origin in one epoch
+  concurrent,   ///< put/put or put/get overlap across concurrent epochs
+  acc_mix,      ///< accumulate vs non-accumulate or different-op accumulate
+  local,        ///< direct local access conflicting with an RMA access
+  discipline,   ///< lock-state misuse (unlock mismatch, double lock, ...)
+};
+
+inline constexpr int kRmaViolationCount = 5;
+
+const char* rma_violation_name(RmaViolation v) noexcept;
+
+/// Snapshot of violation counters (per rank or totalled).
+struct RmaCheckCounts {
+  std::uint64_t same_origin = 0;
+  std::uint64_t concurrent = 0;
+  std::uint64_t acc_mix = 0;
+  std::uint64_t local = 0;
+  std::uint64_t discipline = 0;
+
+  std::uint64_t total() const noexcept {
+    return same_origin + concurrent + acc_mix + local + discipline;
+  }
+};
+
+/// The detector. One instance per SimCore; all window state flows through
+/// it when enabled().
+class RmaChecker {
+ public:
+  /// \p immediate is Config::check_conflicts: raise Errc::conflicting_access
+  /// at the issuing operation instead of deferring to epoch completion.
+  RmaChecker(RmaCheck mode, bool immediate, int nranks);
+
+  RmaChecker(const RmaChecker&) = delete;
+  RmaChecker& operator=(const RmaChecker&) = delete;
+
+  bool enabled() const noexcept {
+    return immediate_ || mode_ != RmaCheck::off;
+  }
+  RmaCheck mode() const noexcept { return mode_; }
+
+  /// Operation kinds recorded by the window layer. get_acc is
+  /// accumulate-class but follows MPI's same_op_no_op mixing rule.
+  enum class OpKind { put, get, acc, get_acc };
+
+  // ---- epoch lifecycle (caller holds SimCore::mu()) ----
+
+  /// A lock was granted: open epoch <win, target, origin>.
+  void epoch_opened(std::uint64_t win, int target, int origin,
+                    bool exclusive);
+
+  /// Mark an epoch as opened by lock_all (MPI-3 semantics: untracked).
+  void epoch_set_mpi3(std::uint64_t win, int target, int origin);
+
+  /// The epoch is closing (unlock/unlock_all): report its pending
+  /// violations (raising Errc::rma_conflict in abort mode), hand its access
+  /// summary to the still-open epochs it was concurrent with, and drop it.
+  void epoch_closing(std::uint64_t win, int target, int origin);
+
+  /// flush/flush_all: report pending violations and reset the epoch's
+  /// tracking unit (operations separated by a flush no longer conflict).
+  void epoch_flushed(std::uint64_t win, int target, int origin);
+
+  /// Window destroyed: drop all its state.
+  void window_freed(std::uint64_t win);
+
+  // ---- access recording (caller holds SimCore::mu()) ----
+
+  /// Record one target-side byte interval [lo, hi) of an RMA operation and
+  /// check it against the origin's own epoch, concurrent epochs, closed
+  /// concurrent epochs' summaries, and open local accesses. \p origin is
+  /// the window-communicator rank, \p world_origin the world rank (counter
+  /// attribution), \p scope the origin's innermost open trace scope (may be
+  /// null when tracing is off).
+  void record_op(std::uint64_t win, int target, int origin, int world_origin,
+                 OpKind kind, Op op, std::ptrdiff_t lo, std::ptrdiff_t hi,
+                 const char* scope);
+
+  /// A direct local load/store of [lo, hi) in \p rank's window slice was
+  /// declared (Win::local_access_begin). \p covered means the caller holds
+  /// an exclusive (or lock_all) self-epoch -- the DLA discipline -- making
+  /// the access safe and unrecorded.
+  void local_begin(std::uint64_t win, int rank, int world_rank,
+                   std::ptrdiff_t lo, std::ptrdiff_t hi, bool write,
+                   bool covered, const char* scope);
+
+  /// End of the local access that began at \p lo: report its pending
+  /// violations and drop the record.
+  void local_end(std::uint64_t win, int rank, std::ptrdiff_t lo);
+
+  /// Lock-discipline misuse detected by the window layer (which raises the
+  /// classified Errc itself); the checker only counts it. Lock-free.
+  void note_discipline(int world_rank) noexcept;
+
+  // ---- counters (lock-free reads) ----
+
+  RmaCheckCounts counts(int world_rank) const noexcept;
+  RmaCheckCounts total_counts() const noexcept;
+
+ private:
+  /// Per-epoch (or per-ghost) recorded coverage.
+  struct Sets {
+    ConflictTree reads;
+    ConflictTree writes;
+    std::map<Op, ConflictTree> accs;
+
+    bool empty() const noexcept;
+    void clear() noexcept;
+  };
+
+  /// Summary of a closed epoch, shared by every epoch it was concurrent
+  /// with (conflicts across the overlap window are erroneous regardless of
+  /// the order the accesses actually happened in).
+  struct Ghost {
+    std::uint64_t epoch_id = 0;
+    int origin = -1;
+    bool exclusive = false;
+    const char* scope = nullptr;
+    Sets sets;
+  };
+
+  struct Violation {
+    RmaViolation cls = RmaViolation::concurrent;
+    std::string msg;
+  };
+
+  struct EpochRec {
+    std::uint64_t id = 0;
+    int origin = -1;
+    bool exclusive = false;
+    bool mpi3 = false;
+    const char* scope = nullptr;  ///< innermost trace scope of the last op
+    Sets sets;
+    std::vector<std::shared_ptr<const Ghost>> ghosts;
+    std::vector<Violation> pending;
+  };
+
+  struct LocalRec {
+    std::ptrdiff_t lo = 0;
+    std::ptrdiff_t hi = 0;
+    bool write = false;
+    bool covered = false;
+    const char* scope = nullptr;
+    std::vector<Violation> pending;
+  };
+
+  struct TargetRec {
+    std::map<int, EpochRec> open;               ///< origin rank -> epoch
+    std::map<std::ptrdiff_t, LocalRec> locals;  ///< region offset -> access
+  };
+
+  struct WinRec {
+    std::map<int, TargetRec> targets;
+  };
+
+  struct PerRankCounts {
+    std::atomic<std::uint64_t> v[kRmaViolationCount] = {};
+  };
+
+  /// What a conflict query matched: which set, and for accumulates which op.
+  struct Hit {
+    enum class Kind { none, read, write, acc } kind = Kind::none;
+    Op op = Op::sum;
+    std::uintptr_t lo = 0;  ///< the previously recorded interval (inclusive)
+    std::uintptr_t hi = 0;
+  };
+
+  static bool conflict_with(const Sets& s, OpKind kind, Op op,
+                            std::uintptr_t lo, std::uintptr_t hi, Hit* hit);
+  static RmaViolation classify(OpKind kind, const Hit& hit, bool same_origin,
+                               bool local);
+  static std::string describe_hit(const Hit& hit);
+
+  /// Count, then either raise Errc::conflicting_access (immediate mode) or
+  /// defer the message into \p pending.
+  void flag(std::vector<Violation>& pending, RmaViolation cls, int world_rank,
+            std::string msg);
+
+  /// warn: print and clear; abort: print, clear and raise Errc::rma_conflict.
+  void report(std::vector<Violation>& pending);
+
+  RmaCheck mode_;
+  bool immediate_;
+  std::uint64_t next_epoch_id_ = 1;
+  std::map<std::uint64_t, WinRec> wins_;
+  std::vector<PerRankCounts> per_rank_;
+};
+
+}  // namespace mpisim
+
+#endif  // MPISIM_CHECKER_HPP

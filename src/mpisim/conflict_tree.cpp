@@ -1,8 +1,8 @@
-#include "src/armci/conflict_tree.hpp"
+#include "src/mpisim/conflict_tree.hpp"
 
 #include <algorithm>
 
-namespace armci {
+namespace mpisim {
 
 namespace detail {
 struct CtNode {
@@ -80,16 +80,46 @@ Node* insert_node(Node* n, std::uintptr_t lo, std::uintptr_t hi, bool& ok) {
   return ok ? rebalance(n) : n;
 }
 
-bool conflicts_node(const Node* n, std::uintptr_t lo, std::uintptr_t hi) {
+const Node* find_overlap_node(const Node* n, std::uintptr_t lo,
+                              std::uintptr_t hi) {
   while (n != nullptr) {
     if (hi < n->lo)
       n = n->left;
     else if (lo > n->hi)
       n = n->right;
     else
-      return true;
+      return n;
   }
-  return false;
+  return nullptr;
+}
+
+Node* min_node(Node* n) noexcept {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+/// Standard AVL removal by key. Stored ranges are pairwise disjoint, so
+/// ordering by lo alone identifies the node.
+Node* erase_node(Node* n, std::uintptr_t lo, bool& removed) {
+  if (n == nullptr) return nullptr;
+  if (lo < n->lo) {
+    n->left = erase_node(n->left, lo, removed);
+  } else if (lo > n->lo) {
+    n->right = erase_node(n->right, lo, removed);
+  } else {
+    removed = true;
+    if (n->left == nullptr || n->right == nullptr) {
+      Node* child = n->left != nullptr ? n->left : n->right;
+      delete n;
+      return child;
+    }
+    Node* s = min_node(n->right);
+    n->lo = s->lo;
+    n->hi = s->hi;
+    bool inner = false;
+    n->right = erase_node(n->right, s->lo, inner);
+  }
+  return rebalance(n);
 }
 
 void destroy(Node* n) noexcept {
@@ -141,9 +171,38 @@ bool ConflictTree::insert(std::uintptr_t lo, std::uintptr_t hi) {
   return ok;
 }
 
+void ConflictTree::insert_merge(std::uintptr_t lo, std::uintptr_t hi) {
+  if (lo > hi) return;
+  // Absorb every stored range the new one touches, extending the new range
+  // to their union, then insert the (now conflict-free) union.
+  for (;;) {
+    const Node* o = find_overlap_node(root_, lo, hi);
+    if (o == nullptr) break;
+    lo = std::min(lo, o->lo);
+    hi = std::max(hi, o->hi);
+    bool removed = false;
+    root_ = erase_node(root_, o->lo, removed);
+    if (removed) --size_;
+  }
+  bool ok = false;
+  root_ = insert_node(root_, lo, hi, ok);
+  if (ok) ++size_;
+}
+
 bool ConflictTree::conflicts(std::uintptr_t lo, std::uintptr_t hi) const {
   if (lo > hi) return false;
-  return conflicts_node(root_, lo, hi);
+  return find_overlap_node(root_, lo, hi) != nullptr;
+}
+
+bool ConflictTree::overlapping(std::uintptr_t lo, std::uintptr_t hi,
+                               std::uintptr_t* out_lo,
+                               std::uintptr_t* out_hi) const {
+  if (lo > hi) return false;
+  const Node* n = find_overlap_node(root_, lo, hi);
+  if (n == nullptr) return false;
+  *out_lo = n->lo;
+  *out_hi = n->hi;
+  return true;
 }
 
 void ConflictTree::clear() noexcept {
@@ -158,4 +217,4 @@ bool ConflictTree::check_invariants() const {
   return check_node(root_, 0, 0, false, false);
 }
 
-}  // namespace armci
+}  // namespace mpisim

@@ -27,6 +27,8 @@ enum class Errc {
   double_lock,         ///< origin already holds a lock on this window
   not_locked,          ///< unlock without a matching lock
   conflicting_access,  ///< conflicting RMA accesses within/between epochs
+  rma_conflict,        ///< deferred rma_check violation reported at
+                       ///< unlock/flush/local-access-end (checker.hpp)
   comm_mismatch,       ///< operation on the wrong communicator kind
   aborted,             ///< another rank failed; collective shutdown
   wait_timeout,        ///< blocking wait hit its deadline or a deadlock

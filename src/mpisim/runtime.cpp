@@ -4,6 +4,8 @@
 #include <pthread.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/mpisim/comm.hpp"
 
@@ -12,6 +14,19 @@ namespace mpisim {
 namespace {
 
 thread_local RankContext* t_ctx = nullptr;
+
+/// Config::rma_check, unless MPISIM_RMA_CHECK overrides it (off|warn|abort;
+/// anything else is ignored). The env hook lets CI rerun the whole suite in
+/// abort mode with no code changes.
+RmaCheck effective_rma_check(const Config& cfg) {
+  const char* env = std::getenv("MPISIM_RMA_CHECK");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0) return RmaCheck::off;
+    if (std::strcmp(env, "warn") == 0) return RmaCheck::warn;
+    if (std::strcmp(env, "abort") == 0) return RmaCheck::abort;
+  }
+  return cfg.rma_check;
+}
 
 std::shared_ptr<CommImpl> make_world_impl(SimCore& core, int nranks,
                                           std::uint64_t id) {
@@ -38,6 +53,7 @@ SimCore::SimCore(const Config& cfg)
     : cfg_(cfg),
       prof_(platform_profile(cfg.platform)),
       model_(prof_),
+      checker_(effective_rma_check(cfg), cfg.check_conflicts, cfg.nranks),
       mailboxes_(static_cast<std::size_t>(cfg.nranks)) {
   if (cfg.nranks < 1) raise(Errc::invalid_argument, "nranks < 1");
   running_ = cfg.nranks;

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/mpisim/checker.hpp"
 #include "src/mpisim/clock.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/fault.hpp"
@@ -55,6 +56,12 @@ struct Config {
   /// Track access ranges inside window epochs and raise
   /// Errc::conflicting_access on MPI-2-erroneous overlap.
   bool check_conflicts = true;
+  /// RMA validity checker mode (checker.hpp): record every RMA byte
+  /// interval and declared direct local access, and report MPI-2 conflict
+  /// violations when the access epoch completes. warn (the default) prints
+  /// to stderr and counts; abort raises Errc::rma_conflict. Overridable at
+  /// run time by the MPISIM_RMA_CHECK environment variable (off|warn|abort).
+  RmaCheck rma_check = RmaCheck::warn;
   /// Per-rank thread stack size in bytes (large rank counts need small
   /// stacks; user code must keep big arrays on the heap).
   std::size_t stack_bytes = 1 << 20;
@@ -122,6 +129,10 @@ class SimCore {
   int nranks() const noexcept { return cfg_.nranks; }
   const PlatformProfile& profile() const noexcept { return prof_; }
   const NetworkModel& model() const noexcept { return model_; }
+
+  /// The RMA validity checker (checker.hpp). Stateful methods require mu();
+  /// counter reads and note_discipline() are lock-free.
+  RmaChecker& checker() noexcept { return checker_; }
 
   /// The global lock guarding all shared simulator state.
   std::mutex& mu() noexcept { return mu_; }
@@ -282,6 +293,7 @@ class SimCore {
   Config cfg_;
   const PlatformProfile& prof_;
   NetworkModel model_;
+  RmaChecker checker_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -31,6 +31,7 @@ void Tracer::disable() {
   capacity_ = 0;
   total_ = 0;
   win_stats_.clear();
+  open_.clear();
 }
 
 void Tracer::clear() {
@@ -41,6 +42,11 @@ void Tracer::clear() {
 
 void Tracer::push(TraceCat cat, const char* name, char phase,
                   std::uint64_t arg) {
+  if (phase == 'B') {
+    open_.push_back(name);
+  } else if (!open_.empty()) {
+    open_.pop_back();
+  }
   TraceEvent ev{name, cat, phase, clock_->now_ns(), arg};
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);

@@ -96,6 +96,14 @@ class Tracer {
   /// Drop buffered events and counters, keep recording.
   void clear();
 
+  /// Name of the innermost still-open 'B' event, or null when none (or when
+  /// tracing is disabled). The RMA checker stamps recorded accesses with
+  /// this so a violation report can say which traced operation issued each
+  /// side of the conflicting pair.
+  const char* current_scope() const noexcept {
+    return open_.empty() ? nullptr : open_.back();
+  }
+
  private:
   void push(TraceCat cat, const char* name, char phase, std::uint64_t arg);
 
@@ -105,6 +113,7 @@ class Tracer {
   std::size_t capacity_ = 0;
   std::uint64_t total_ = 0;
   std::map<std::uint64_t, WinStats> win_stats_;
+  std::vector<const char*> open_;  ///< stack of unmatched 'B' event names
 };
 
 /// RAII begin/end pair around one traced operation.

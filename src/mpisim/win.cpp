@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/mpisim/checker.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
 
@@ -10,56 +11,12 @@ namespace mpisim {
 
 namespace detail {
 
-namespace {
-
-/// Ordered set of half-open byte intervals with overlap queries. Used for
-/// MPI-2 conflicting-access detection inside and across epochs.
-class IntervalSet {
- public:
-  bool overlaps(std::ptrdiff_t lo, std::ptrdiff_t hi) const {
-    if (m_.empty() || lo >= hi) return false;
-    auto it = m_.upper_bound(lo);
-    if (it != m_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > lo) return true;
-    }
-    return it != m_.end() && it->first < hi;
-  }
-
-  /// Insert, merging with any overlapping/adjacent intervals.
-  void insert_merge(std::ptrdiff_t lo, std::ptrdiff_t hi) {
-    auto it = m_.upper_bound(lo);
-    if (it != m_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= lo) it = prev;
-    }
-    while (it != m_.end() && it->first <= hi) {
-      lo = std::min(lo, it->first);
-      hi = std::max(hi, it->second);
-      it = m_.erase(it);
-    }
-    m_[lo] = hi;
-  }
-
-  bool empty() const noexcept { return m_.empty(); }
-  void clear() noexcept { m_.clear(); }
-
- private:
-  std::map<std::ptrdiff_t, std::ptrdiff_t> m_;
-};
-
-}  // namespace
-
-/// One origin's open access epoch on one target.
+/// One origin's open access epoch on one target. Access-interval tracking
+/// lives in the RMA checker (checker.hpp), keyed by <window, target,
+/// origin>; the window only keeps what the lock protocol itself needs.
 struct Epoch {
   LockType type = LockType::exclusive;
-  bool mpi3 = false;  ///< opened by lock_all: MPI-3 semantics, where
-                      ///< conflicting accesses are undefined rather than
-                      ///< erroneous, so the checker does not track them
   std::size_t ops_issued = 0;
-  IntervalSet reads;
-  IntervalSet writes;
-  std::map<Op, IntervalSet> accs;
 };
 
 /// locked_target sentinel: the origin holds a lock_all epoch.
@@ -85,7 +42,11 @@ struct WinImpl {
 namespace {
 
 /// Grant as many queued lock requests as compatibility allows (FIFO).
-void grant_locked(TargetState& ts) {
+/// Registers each granted epoch with the RMA checker here -- not after the
+/// waiter's wait() returns -- so a ghost handoff by an epoch closing in
+/// between already sees the new epoch as concurrent.
+void grant_locked(SimCore& core, WinImpl& w, int target) {
+  TargetState& ts = w.targets[static_cast<std::size_t>(target)];
   while (!ts.waiters.empty()) {
     auto [origin, type] = ts.waiters.front();
     const bool has_exclusive =
@@ -99,17 +60,32 @@ void grant_locked(TargetState& ts) {
     }
     Epoch ep;
     ep.type = type;
-    ts.open.emplace(origin, std::move(ep));
+    ts.open.emplace(origin, ep);
+    core.checker().epoch_opened(w.id, target, origin,
+                                type == LockType::exclusive);
     ts.waiters.pop_front();
   }
 }
 
-const char* kind_name(int k) {
-  switch (k) {
-    case 0: return "put";
-    case 1: return "get";
-    default: return "accumulate";
-  }
+/// Validate a target rank before indexing per-target window state.
+void require_target(const WinImpl& w, int target_rank, const char* site) {
+  if (target_rank < 0 || target_rank >= w.comm.size())
+    raise(Errc::rank_out_of_range, std::string(site) + " target " +
+                                       std::to_string(target_rank));
+}
+
+/// Window-group rank of the caller; raises if the caller is not in the
+/// window's group (every passive-target entry point needs this before
+/// indexing locked_target).
+int require_member(const WinImpl& w, RankContext& me) {
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
+  return myrank;
+}
+
+/// The caller's innermost traced operation, for checker diagnostics.
+const char* trace_scope(RankContext& me) {
+  return me.tracer().enabled() ? me.tracer().current_scope() : nullptr;
 }
 
 }  // namespace
@@ -172,13 +148,20 @@ Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
 
 void Win::free() {
   WinImpl& w = *impl_;
+  SimCore& core = ctx().core();
   {
-    std::lock_guard lk(ctx().core().mu());
-    if (w.locked_target[static_cast<std::size_t>(w.comm.rank())] != -1)
+    std::lock_guard lk(core.mu());
+    if (w.locked_target[static_cast<std::size_t>(w.comm.rank())] != -1) {
+      core.checker().note_discipline(ctx().rank());
       raise(Errc::not_locked, "Win::free with an open epoch");
+    }
   }
   w.comm.barrier();
-  if (w.comm.rank() == 0) w.freed = true;
+  if (w.comm.rank() == 0) {
+    std::lock_guard lk(core.mu());
+    w.freed = true;
+    core.checker().window_freed(w.id);
+  }
   w.comm.barrier();
   impl_.reset();
 }
@@ -187,24 +170,24 @@ void Win::lock(LockType type, int target_rank) const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
-  if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
-  if (target_rank < 0 || target_rank >= w.comm.size())
-    raise(Errc::rank_out_of_range, "lock target " + std::to_string(target_rank));
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "lock");
   me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
-  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1) {
+    core.checker().note_discipline(me.rank());
     raise(Errc::double_lock,
           "origin already holds a lock on this window (target " +
               std::to_string(w.locked_target[static_cast<std::size_t>(myrank)]) +
               ")");
+  }
   const char* trace_name =
       type == LockType::exclusive ? "win.lock_excl" : "win.lock_shared";
   me.tracer().begin(TraceCat::window, trace_name, w.id);
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   ts.waiters.emplace_back(myrank, type);
-  detail::grant_locked(ts);
+  detail::grant_locked(core, w, target_rank);
   core.poke();
   core.wait(lk, [&] { return ts.open.contains(myrank); }, "win.lock");
   w.locked_target[static_cast<std::size_t>(myrank)] = target_rank;
@@ -229,15 +212,23 @@ void Win::unlock(int target_rank) const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "unlock");
   me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto it = ts.open.find(myrank);
   if (it == ts.open.end() ||
-      w.locked_target[static_cast<std::size_t>(myrank)] != target_rank)
+      w.locked_target[static_cast<std::size_t>(myrank)] != target_rank) {
+    core.checker().note_discipline(me.rank());
     raise(Errc::not_locked, "unlock without a matching lock");
+  }
+
+  // Epoch completion is the MPI-2 reporting point for erroneous accesses:
+  // may raise Errc::rma_conflict in abort mode (before the trace 'B' event,
+  // so an aborting unlock leaves the trace balanced).
+  core.checker().epoch_closing(w.id, target_rank, myrank);
 
   me.tracer().begin(TraceCat::window, "win.unlock", w.id);
   const bool was_exclusive = it->second.type == LockType::exclusive;
@@ -249,7 +240,7 @@ void Win::unlock(int target_rank) const {
     ts.busy_until_ns = std::max(ts.busy_until_ns, me.clock().now_ns());
   core.note_time_locked(me.clock().now_ns());
 
-  detail::grant_locked(ts);
+  detail::grant_locked(core, w, target_rank);
   core.poke();
   if (me.tracer().enabled()) {
     ++me.tracer().win(w.id).epochs;
@@ -261,13 +252,14 @@ void Win::lock_all() const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
-  if (myrank < 0) raise(Errc::rank_out_of_range, "caller not in window group");
+  const int myrank = detail::require_member(w, me);
   me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
-  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1)
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != -1) {
+    core.checker().note_discipline(me.rank());
     raise(Errc::double_lock, "lock_all while holding a lock on this window");
+  }
   me.tracer().begin(TraceCat::window, "win.lock_all", w.id);
   // Shared-mode epochs on every target; wait for each in turn (shared
   // requests only queue behind exclusive holders, so this cannot deadlock
@@ -275,10 +267,12 @@ void Win::lock_all() const {
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
     ts.waiters.emplace_back(myrank, LockType::shared);
-    detail::grant_locked(ts);
+    detail::grant_locked(core, w, t);
     core.poke();
     core.wait(lk, [&] { return ts.open.contains(myrank); }, "win.lock_all");
-    ts.open.at(myrank).mpi3 = true;
+    // lock_all epochs follow MPI-3 semantics: conflicting accesses have
+    // undefined values but are not erroneous, so the checker skips them.
+    core.checker().epoch_set_mpi3(w.id, t, myrank);
   }
   w.locked_target[static_cast<std::size_t>(myrank)] = detail::kLockAll;
   me.clock().advance(core.model().lock_ns() +
@@ -293,16 +287,19 @@ void Win::unlock_all() const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
 
   std::unique_lock lk(core.mu());
-  if (w.locked_target[static_cast<std::size_t>(myrank)] != detail::kLockAll)
+  if (w.locked_target[static_cast<std::size_t>(myrank)] != detail::kLockAll) {
+    core.checker().note_discipline(me.rank());
     raise(Errc::not_locked, "unlock_all without lock_all");
+  }
   me.tracer().begin(TraceCat::window, "win.unlock_all", w.id);
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
+    core.checker().epoch_closing(w.id, t, myrank);
     ts.open.erase(myrank);
-    detail::grant_locked(ts);
+    detail::grant_locked(core, w, t);
   }
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
   me.clock().advance(core.model().unlock_ns());
@@ -318,13 +315,17 @@ void Win::flush(int target_rank) const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "flush");
 
   std::unique_lock lk(core.mu());
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto it = ts.open.find(myrank);
   if (it == ts.open.end())
     raise(Errc::no_epoch, "flush without an epoch on the target");
+  // Remote completion orders accesses across the flush: report pending
+  // violations and restart the epoch's conflict-tracking unit.
+  core.checker().epoch_flushed(w.id, target_rank, myrank);
   me.tracer().begin(TraceCat::window, "win.flush", w.id);
   // Remote completion of everything outstanding: one acknowledgement round
   // trip; afterwards the next operation pays wire latency again.
@@ -343,7 +344,7 @@ void Win::flush_all() const {
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
 
   std::unique_lock lk(core.mu());
   me.tracer().begin(TraceCat::window, "win.flush_all", w.id);
@@ -351,9 +352,12 @@ void Win::flush_all() const {
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
     auto it = ts.open.find(myrank);
-    if (it != ts.open.end() && it->second.ops_issued > 0) {
-      it->second.ops_issued = 0;
-      any = true;
+    if (it != ts.open.end()) {
+      core.checker().epoch_flushed(w.id, t, myrank);
+      if (it->second.ops_issued > 0) {
+        it->second.ops_issued = 0;
+        any = true;
+      }
     }
   }
   if (any)
@@ -408,7 +412,8 @@ void Win::get_accumulate(const void* origin, void* result, std::size_t count,
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "get_accumulate");
   const std::size_t bytes = count * type.size();
   if (bytes == 0) return;
   if (!type.contiguous_layout())
@@ -431,25 +436,18 @@ void Win::get_accumulate(const void* origin, void* result, std::size_t count,
     raise(Errc::no_epoch, "RMA operation outside a passive-target epoch");
   Epoch& ep = eit->second;
 
-  // Accumulate-class atomicity: fetch, then combine, in one critical
-  // section. MPI-2 epochs still record the access (no_op mixes with any
-  // accumulate operator; MPI's same_op_no_op rule).
-  if (core.config().check_conflicts && !ep.mpi3) {
+  // Accumulate-class access: recorded under MPI's same_op_no_op mixing rule
+  // (no_op combines with any accumulate operator).
+  if (core.checker().enabled()) {
     const auto lo = static_cast<std::ptrdiff_t>(target_disp);
-    const auto hi = lo + static_cast<std::ptrdiff_t>(bytes);
-    for (auto& [orank, oe] : ts.open) {
-      bool conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
-      for (auto& [o, set] : oe.accs)
-        if (o != op && o != Op::no_op && op != Op::no_op)
-          conflict = conflict || set.overlaps(lo, hi);
-      if (conflict)
-        raise(Errc::conflicting_access,
-              "get_accumulate conflicts with an access by origin " +
-                  std::to_string(orank));
-    }
-    ep.accs[op].insert_merge(lo, hi);
+    core.checker().record_op(w.id, target_rank, myrank, me.rank(),
+                             RmaChecker::OpKind::get_acc, op, lo,
+                             lo + static_cast<std::ptrdiff_t>(bytes),
+                             detail::trace_scope(me));
   }
 
+  // Accumulate-class atomicity: fetch, then combine, in one critical
+  // section.
   std::memcpy(result, tptr, bytes);
   if (op != Op::no_op)
     apply_op(op, type.element_type(), tptr, origin, count);
@@ -476,7 +474,8 @@ void Win::compare_and_swap(const void* origin, const void* compare,
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "compare_and_swap");
   const std::size_t bytes = basic_type_size(type);
   if (target_disp + bytes > w.sizes[static_cast<std::size_t>(target_rank)])
     raise(Errc::window_bounds, "compare_and_swap outside the window");
@@ -511,7 +510,8 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
   WinImpl& w = *impl_;
   SimCore& core = *w.comm.impl()->core;
   RankContext& me = ctx();
-  const int myrank = w.comm.group().rank_of_world(me.rank());
+  const int myrank = detail::require_member(w, me);
+  detail::require_target(w, target_rank, "rma_op");
   const std::size_t bytes = origin_count * origin_type.size();
 
   if (bytes != target_count * target_type.size())
@@ -548,49 +548,24 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
   const std::vector<Segment> osegs = origin_type.flatten(origin_count);
   const std::vector<Segment> tsegs = target_type.flatten(target_count);
 
-  // ---- MPI-2 conflicting-access detection (within and across epochs) ----
-  // Check-and-insert per segment, so conflicts *within* one operation
+  // ---- MPI-2 conflicting-access detection (checker.hpp) ----
+  // Record-and-check per segment, so conflicts *within* one operation
   // (e.g. a put datatype that writes the same bytes twice) are caught too:
-  // earlier segments of this op are already recorded in `ep` when later
-  // segments are checked. Epochs opened by lock_all() follow MPI-3
-  // semantics (conflicts undefined, not erroneous) and are not tracked.
-  if (core.config().check_conflicts && !ep.mpi3) {
+  // earlier segments of this op are already recorded when later segments
+  // are checked. With Config::check_conflicts a conflict raises
+  // Errc::conflicting_access here; in rma_check warn/abort mode it is
+  // reported when the epoch completes.
+  if (core.checker().enabled()) {
+    const auto chk_kind = kind == OpKind::put   ? RmaChecker::OpKind::put
+                          : kind == OpKind::get ? RmaChecker::OpKind::get
+                                                : RmaChecker::OpKind::acc;
+    const char* scope = detail::trace_scope(me);
     for (const Segment& s : tsegs) {
-      const std::ptrdiff_t lo = static_cast<std::ptrdiff_t>(target_disp) + s.offset;
-      const std::ptrdiff_t hi = lo + static_cast<std::ptrdiff_t>(s.length);
-      for (auto& [orank, oe] : ts.open) {
-        bool conflict = false;
-        switch (kind) {
-          case OpKind::get:
-            conflict = oe.writes.overlaps(lo, hi);
-            for (auto& [o, set] : oe.accs)
-              conflict = conflict || set.overlaps(lo, hi);
-            break;
-          case OpKind::put:
-            conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
-            for (auto& [o, set] : oe.accs)
-              conflict = conflict || set.overlaps(lo, hi);
-            break;
-          case OpKind::acc:
-            conflict = oe.reads.overlaps(lo, hi) || oe.writes.overlaps(lo, hi);
-            for (auto& [o, set] : oe.accs)
-              if (o != op) conflict = conflict || set.overlaps(lo, hi);
-            break;
-        }
-        if (conflict)
-          raise(Errc::conflicting_access,
-                std::string(detail::kind_name(static_cast<int>(kind))) +
-                    " on bytes [" + std::to_string(lo) + ", " +
-                    std::to_string(hi) + ") of rank " +
-                    std::to_string(target_rank) +
-                    " conflicts with an access by origin " +
-                    std::to_string(orank));
-      }
-      switch (kind) {
-        case OpKind::get: ep.reads.insert_merge(lo, hi); break;
-        case OpKind::put: ep.writes.insert_merge(lo, hi); break;
-        case OpKind::acc: ep.accs[op].insert_merge(lo, hi); break;
-      }
+      const std::ptrdiff_t lo =
+          static_cast<std::ptrdiff_t>(target_disp) + s.offset;
+      core.checker().record_op(w.id, target_rank, myrank, me.rank(), chk_kind,
+                               op, lo, lo + static_cast<std::ptrdiff_t>(s.length),
+                               scope);
     }
   }
 
@@ -651,6 +626,76 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
   }
   me.clock().advance(cost);
   ++ep.ops_issued;
+}
+
+namespace {
+
+/// Locate \p ptr inside one rank's window slice. Returns the slice's rank
+/// and the byte interval [lo, hi) the access covers (bytes == 0 extends to
+/// the end of the slice), or rank -1 when ptr is not window memory.
+struct LocalSlice {
+  int rank = -1;
+  std::ptrdiff_t lo = 0;
+  std::ptrdiff_t hi = 0;
+};
+
+LocalSlice find_slice(const WinImpl& w, const void* ptr, std::size_t bytes) {
+  LocalSlice out;
+  const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+  for (int r = 0; r < w.comm.size(); ++r) {
+    const auto b =
+        reinterpret_cast<std::uintptr_t>(w.bases[static_cast<std::size_t>(r)]);
+    const std::size_t sz = w.sizes[static_cast<std::size_t>(r)];
+    if (sz == 0 || p < b || p >= b + sz) continue;
+    out.rank = r;
+    out.lo = static_cast<std::ptrdiff_t>(p - b);
+    out.hi = bytes == 0
+                 ? static_cast<std::ptrdiff_t>(sz)
+                 : std::min(out.lo + static_cast<std::ptrdiff_t>(bytes),
+                            static_cast<std::ptrdiff_t>(sz));
+    return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Win::local_access_begin(const void* ptr, std::size_t bytes,
+                             bool write) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  if (!core.checker().enabled()) return;
+  RankContext& me = ctx();
+  const int myrank = w.comm.group().rank_of_world(me.rank());
+  if (myrank < 0) return;
+  const LocalSlice s = find_slice(w, ptr, bytes);
+  if (s.rank < 0 || s.lo >= s.hi) return;  // not exposed through this window
+
+  std::lock_guard lk(core.mu());
+  // The DLA discipline (ARMCI_Access_begin): holding an exclusive self-lock
+  // -- or a lock_all epoch, whose MPI-3 unified-model semantics permit
+  // direct access -- makes the load/store safe; anything else is checked
+  // against the epochs currently exposing this memory.
+  const TargetState& ts = w.targets[static_cast<std::size_t>(s.rank)];
+  auto it = ts.open.find(myrank);
+  const bool covered =
+      it != ts.open.end() &&
+      (it->second.type == LockType::exclusive ||
+       w.locked_target[static_cast<std::size_t>(myrank)] == detail::kLockAll);
+  core.checker().local_begin(w.id, s.rank, me.rank(), s.lo, s.hi, write,
+                             covered, detail::trace_scope(me));
+}
+
+void Win::local_access_end(const void* ptr) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  if (!core.checker().enabled()) return;
+  const LocalSlice s = find_slice(w, ptr, 1);
+  if (s.rank < 0) return;
+
+  std::lock_guard lk(core.mu());
+  // Reports the access's pending violations: may raise Errc::rma_conflict.
+  core.checker().local_end(w.id, s.rank, s.lo);
 }
 
 void* Win::base(int rank) const {

@@ -131,6 +131,22 @@ class Win {
                         BasicType type, int target_rank,
                         std::size_t target_disp) const;
 
+  // ---- direct local access declaration (RMA validity checking) ----
+
+  /// Declare that the caller is about to load/store [ptr, ptr+bytes) of its
+  /// window memory directly (bytes == 0 extends to the end of the slice).
+  /// With an exclusive self-epoch held -- the ARMCI DLA discipline -- the
+  /// access is safe; otherwise the RMA checker (Config::rma_check) records
+  /// it and reports conflicts with concurrent RMA epochs at
+  /// local_access_end(). No-op when ptr is not window memory or checking is
+  /// off.
+  void local_access_begin(const void* ptr, std::size_t bytes,
+                          bool write) const;
+
+  /// End the direct access declared at \p ptr; reports its pending
+  /// violations (Errc::rma_conflict in abort mode).
+  void local_access_end(const void* ptr) const;
+
   /// Local base address exposed by \p rank (window-group rank). The caller
   /// must hold an appropriate epoch to actually dereference remote memory.
   void* base(int rank) const;

@@ -1,0 +1,466 @@
+// Negative-path suite for the RMA validity checker (src/mpisim/checker.hpp):
+// each MPI-2 conflict class must be detected and classified, abort mode must
+// raise Errc::rma_conflict at the epoch boundary, warn mode must count and
+// complete, and the lock-state fixes must raise classified errors instead of
+// indexing out of range. Config::check_conflicts is off throughout so the
+// deferred reporting path (rather than the legacy issue-time raise) is what
+// the assertions exercise.
+
+#include "src/mpisim/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/mpisim/win.hpp"
+
+namespace mpisim {
+namespace {
+
+Config abort_cfg(int nranks) {
+  Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = Platform::ideal;
+  cfg.check_conflicts = false;
+  cfg.rma_check = RmaCheck::abort;
+  return cfg;
+}
+
+RmaCheckCounts my_counts() { return ctx().core().checker().counts(rank()); }
+
+/// Expects \p fn to raise Errc::rma_conflict and returns the message.
+template <typename Fn>
+std::string expect_conflict(Fn&& fn) {
+  try {
+    fn();
+  } catch (const MpiError& e) {
+    EXPECT_EQ(e.code(), Errc::rma_conflict) << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "expected Errc::rma_conflict";
+  return {};
+}
+
+TEST(CheckerTest, SharedLockPutPutOverlapAborts) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();
+    if (rank() == 0) win.put(src, sizeof src, 0, 0);
+    world().barrier();
+    if (rank() == 1) {
+      win.put(src, sizeof src, 0, sizeof(double));  // overlaps [8, 16)
+      expect_conflict([&] { win.unlock(0); });
+      win.unlock(0);  // epoch record already retired; releases the lock
+      EXPECT_EQ(my_counts().concurrent, 1u);
+    } else {
+      win.unlock(0);
+      EXPECT_EQ(my_counts().total(), 0u);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, SharedLockPutGetOverlapAborts) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    double buf[2] = {0.0, 0.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();
+    if (rank() == 0) win.put(buf, sizeof buf, 0, 0);
+    world().barrier();
+    if (rank() == 1) {
+      win.get(buf, sizeof buf, 0, 0);
+      expect_conflict([&] { win.unlock(0); });
+      win.unlock(0);
+      EXPECT_EQ(my_counts().concurrent, 1u);
+    } else {
+      win.unlock(0);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, AccumulateMixedWithPutAborts) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();
+    if (rank() == 0) win.put(src, sizeof src, 0, 0);
+    world().barrier();
+    if (rank() == 1) {
+      win.accumulate(src, 2, double_type(), 0, 0, 2, double_type(), Op::sum);
+      expect_conflict([&] { win.unlock(0); });
+      win.unlock(0);
+      EXPECT_EQ(my_counts().acc_mix, 1u);
+    } else {
+      win.unlock(0);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, DifferentOpAccumulatesAbort) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 1.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();
+    if (rank() == 0)
+      win.accumulate(src, 2, double_type(), 0, 0, 2, double_type(), Op::sum);
+    world().barrier();
+    if (rank() == 1) {
+      win.accumulate(src, 2, double_type(), 0, 0, 2, double_type(), Op::prod);
+      expect_conflict([&] { win.unlock(0); });
+      win.unlock(0);
+      EXPECT_EQ(my_counts().acc_mix, 1u);
+    } else {
+      win.unlock(0);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, SameOpAccumulatesAreClean) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();
+    win.accumulate(src, 2, double_type(), 0, 0, 2, double_type(), Op::sum);
+    world().barrier();
+    win.unlock(0);
+    EXPECT_EQ(my_counts().total(), 0u);
+    world().barrier();
+    if (rank() == 0) {
+      EXPECT_DOUBLE_EQ(mem[0], 2.0);
+      EXPECT_DOUBLE_EQ(mem[1], 4.0);
+    }
+    win.free();
+  });
+}
+
+TEST(CheckerTest, SameOriginOverlappingPutsAbort) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    if (rank() == 0) {
+      const double src[2] = {1.0, 2.0};
+      win.lock(LockType::exclusive, 1);
+      win.put(src, sizeof src, 1, 0);
+      win.put(src, sizeof src, 1, sizeof(double));
+      expect_conflict([&] { win.unlock(1); });
+      win.unlock(1);
+      EXPECT_EQ(my_counts().same_origin, 1u);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+// A conflicting access must be reported even when the other epoch has
+// already closed: the closing epoch leaves its access summary ("ghost")
+// with every epoch it was concurrent with.
+TEST(CheckerTest, ClosedConcurrentEpochStillConflicts) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock(LockType::shared, 0);
+    world().barrier();  // both shared epochs are open and thus concurrent
+    if (rank() == 0) {
+      win.put(src, sizeof src, 0, 0);
+      win.unlock(0);
+    }
+    world().barrier();
+    if (rank() == 1) {
+      win.put(src, sizeof src, 0, 0);
+      const std::string msg = expect_conflict([&] { win.unlock(0); });
+      EXPECT_NE(msg.find("closed concurrent epoch"), std::string::npos) << msg;
+      win.unlock(0);
+      EXPECT_EQ(my_counts().concurrent, 1u);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+// Serialized reuse stays legal: once an epoch closes, epochs opened *later*
+// on the same bytes never see its ghost.
+TEST(CheckerTest, SerializedEpochsOnSameBytesAreClean) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    world().barrier();
+    if (rank() == 0) {
+      win.lock(LockType::shared, 0);
+      win.put(src, sizeof src, 0, 0);
+      win.unlock(0);
+    }
+    world().barrier();
+    if (rank() == 1) {
+      win.lock(LockType::shared, 0);
+      win.put(src, sizeof src, 0, 0);
+      win.unlock(0);
+      EXPECT_EQ(my_counts().total(), 0u);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, LocalStoreDuringExposureAborts) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    if (rank() == 1) {
+      win.lock(LockType::shared, 0);
+      win.put(src, sizeof src, 0, 0);
+    }
+    world().barrier();
+    if (rank() == 0) {
+      // Direct store into our exposed slice without an exclusive self-epoch.
+      win.local_access_begin(mem.data(), 2 * sizeof(double), /*write=*/true);
+      mem[0] = 42.0;
+      const std::string msg =
+          expect_conflict([&] { win.local_access_end(mem.data()); });
+      EXPECT_NE(msg.find("direct local store"), std::string::npos) << msg;
+      EXPECT_EQ(my_counts().local, 1u);
+    }
+    world().barrier();
+    if (rank() == 1) win.unlock(0);
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, CoveredLocalAccessIsClean) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    // The ARMCI direct-local-access discipline: take an exclusive self-epoch
+    // first, then touch the memory with host instructions.
+    win.lock(LockType::exclusive, rank());
+    win.local_access_begin(mem.data(), 0, /*write=*/true);
+    mem[3] = 7.0;
+    win.local_access_end(mem.data());
+    win.unlock(rank());
+    EXPECT_EQ(my_counts().total(), 0u);
+    world().barrier();
+    win.free();
+  });
+}
+
+// MPI-3 lock_all epochs follow the MPI-3 memory model: conflicting accesses
+// yield undefined values but are not erroneous, so the checker stays silent.
+TEST(CheckerTest, LockAllConflictsAreNotFlagged) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    win.lock_all();
+    world().barrier();
+    win.put(src, sizeof src, 0, 0);  // both ranks write the same bytes
+    world().barrier();
+    win.unlock_all();
+    EXPECT_EQ(my_counts().total(), 0u);
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, FlushResetsTrackingUnit) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    if (rank() == 0) {
+      double buf[2] = {1.0, 2.0};
+      win.lock(LockType::exclusive, 1);
+      win.put(buf, sizeof buf, 1, 0);
+      win.flush(1);  // orders the put before everything after it
+      win.get(buf, sizeof buf, 1, 0);
+      win.unlock(1);
+      EXPECT_EQ(my_counts().total(), 0u);
+      EXPECT_DOUBLE_EQ(buf[0], 1.0);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, WarnModeCountsAndCompletes) {
+  Config cfg = abort_cfg(2);
+  cfg.rma_check = RmaCheck::warn;
+  run(cfg, [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    if (rank() == 0) {
+      const double src[2] = {1.0, 2.0};
+      win.lock(LockType::exclusive, 1);
+      win.put(src, sizeof src, 1, 0);
+      win.put(src, sizeof src, 1, 0);
+      win.unlock(1);  // warn mode: prints to stderr, does not raise
+      EXPECT_EQ(my_counts().same_origin, 1u);
+      EXPECT_EQ(my_counts().total(), 1u);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, DiagnosticNamesOpsAndEpochs) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    if (rank() == 0) {
+      const double src[2] = {1.0, 2.0};
+      win.lock(LockType::exclusive, 1);
+      win.put(src, sizeof src, 1, 0);
+      win.put(src, sizeof src, 1, 0);
+      const std::string msg = expect_conflict([&] { win.unlock(1); });
+      EXPECT_NE(msg.find("put"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("bytes ["), std::string::npos) << msg;
+      EXPECT_NE(msg.find("epoch #"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("origin"), std::string::npos) << msg;
+      win.unlock(1);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, CleanExclusiveEpochsZeroCounters) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    if (rank() == 0) {
+      double buf[4] = {1.0, 2.0, 3.0, 4.0};
+      win.lock(LockType::exclusive, 1);
+      win.put(buf, sizeof buf, 1, 0);
+      win.unlock(1);
+      win.lock(LockType::exclusive, 1);
+      win.get(buf, sizeof buf, 1, 0);
+      win.unlock(1);
+    }
+    world().barrier();
+    EXPECT_EQ(ctx().core().checker().total_counts().total(), 0u);
+    win.free();
+  });
+}
+
+// ---- Lock-state accounting fixes (previously unchecked index/UB holes) ----
+
+TEST(CheckerTest, UnlockWithoutLockRaisesNotLocked) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(4, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    try {
+      win.unlock(0);
+      ADD_FAILURE() << "expected Errc::not_locked";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::not_locked) << e.what();
+    }
+    EXPECT_EQ(my_counts().discipline, 1u);
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, UnlockOutOfRangeTargetRaisesRankOutOfRange) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(4, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    try {
+      win.unlock(5);
+      ADD_FAILURE() << "expected Errc::rank_out_of_range";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::rank_out_of_range) << e.what();
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, FlushOutOfRangeTargetRaises) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(4, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    world().barrier();
+    try {
+      win.flush(-3);
+      ADD_FAILURE() << "expected Errc::rank_out_of_range";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::rank_out_of_range) << e.what();
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(CheckerTest, LockAllThenLockRaisesDoubleLock) {
+  run(abort_cfg(2), [] {
+    std::vector<double> mem(4, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    win.lock_all();
+    try {
+      win.lock(LockType::exclusive, 0);
+      ADD_FAILURE() << "expected Errc::double_lock";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::double_lock) << e.what();
+    }
+    EXPECT_EQ(my_counts().discipline, 1u);
+    win.unlock_all();
+    world().barrier();
+    win.free();
+  });
+}
+
+// The MPISIM_RMA_CHECK environment variable overrides Config::rma_check at
+// SimCore construction (the hook the abort-mode CI job uses).
+TEST(CheckerTest, EnvVarOverridesConfiguredMode) {
+  ASSERT_EQ(setenv("MPISIM_RMA_CHECK", "off", 1), 0);
+  Config cfg = abort_cfg(2);
+  run(cfg, [] {
+    EXPECT_EQ(ctx().core().checker().mode(), RmaCheck::off);
+  });
+  unsetenv("MPISIM_RMA_CHECK");
+}
+
+TEST(CheckerTest, ViolationAndModeNamesAreStable) {
+  EXPECT_STREQ(rma_check_name(RmaCheck::off), "off");
+  EXPECT_STREQ(rma_check_name(RmaCheck::warn), "warn");
+  EXPECT_STREQ(rma_check_name(RmaCheck::abort), "abort");
+  EXPECT_STREQ(rma_violation_name(RmaViolation::same_origin), "same_origin");
+  EXPECT_STREQ(rma_violation_name(RmaViolation::concurrent), "concurrent");
+  EXPECT_STREQ(rma_violation_name(RmaViolation::acc_mix), "acc_mix");
+  EXPECT_STREQ(rma_violation_name(RmaViolation::local), "local");
+  EXPECT_STREQ(rma_violation_name(RmaViolation::discipline), "discipline");
+}
+
+}  // namespace
+}  // namespace mpisim
