@@ -1,0 +1,125 @@
+// Nonblocking-op aggregation ablation: queue depth x message size, blocking
+// one-epoch-per-op versus deferred nb_* ops coalesced into one epoch per
+// (allocation, target) queue at wait_all. On the MPI-2 backend each blocking
+// put pays a full exclusive lock/unlock round trip, so at depth d the
+// coalesced path opens d times fewer epochs; the MPI-3 backend batches the
+// queue under its standing lock_all and saves per-op flushes instead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "bench/common.hpp"
+#include "src/mpisim/trace.hpp"
+
+namespace {
+
+/// Lock/unlock synchronization epochs rank 0 opened, over every window.
+std::uint64_t lock_epoch_total() {
+  std::uint64_t n = 0;
+  for (const auto& [id, ws] : mpisim::tracer().win_stats())
+    n += ws.exclusive_locks + ws.shared_locks;
+  return n;
+}
+
+struct NbPoint {
+  double us = 0.0;           // virtual time per round of `depth` transfers
+  std::uint64_t epochs = 0;  // lock epochs per round
+};
+
+/// Rank 0 moves `depth` buffers of `bytes` each to disjoint slots on rank 1,
+/// either with blocking puts or with deferred nb_puts completed by one
+/// wait_all; returns per-round virtual time and epoch count.
+NbPoint nb_sweep(mpisim::Platform plat, armci::Backend backend,
+                 std::size_t depth, std::size_t bytes, bool coalesced,
+                 int reps = 8) {
+  NbPoint res;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = plat;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    o.metrics = true;
+    o.trace = true;
+    armci::init(o);
+    std::vector<void*> bases = armci::malloc_world(depth * bytes);
+    auto* local =
+        static_cast<std::uint8_t*>(armci::malloc_local(depth * bytes));
+    std::memset(local, 5, depth * bytes);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      char* rbase = static_cast<char*>(bases[1]);
+      auto round = [&] {
+        if (coalesced) {
+          for (std::size_t i = 0; i < depth; ++i)
+            armci::nb_put(local + i * bytes, rbase + i * bytes, bytes, 1);
+          armci::wait_all();
+        } else {
+          for (std::size_t i = 0; i < depth; ++i)
+            armci::put(local + i * bytes, rbase + i * bytes, bytes, 1);
+        }
+      };
+      round();  // warm-up (registration, allocation effects)
+      const std::uint64_t epochs0 = lock_epoch_total();
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) round();
+      res.us = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+      res.epochs = (lock_epoch_total() - epochs0) / static_cast<unsigned>(reps);
+    }
+    armci::barrier();
+    bench::Reporter::instance().capture_rank();
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return res;
+}
+
+void register_all() {
+  const mpisim::Platform plat = mpisim::Platform::infiniband;
+  for (armci::Backend backend : {armci::Backend::mpi, armci::Backend::mpi3}) {
+    for (std::size_t depth : {std::size_t{4}, std::size_t{8},
+                              std::size_t{32}}) {
+      for (std::size_t bytes : {std::size_t{64}, std::size_t{4096}}) {
+        for (bool coalesced : {false, true}) {
+          std::string name = std::string("NbAgg/") + mpisim::platform_id(plat) +
+                             "/" + bench::backend_name(backend) + "/" +
+                             (coalesced ? "coalesced" : "blocking") + "/d" +
+                             std::to_string(depth) + "/b" +
+                             std::to_string(bytes);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [=](benchmark::State& st) {
+                NbPoint p;
+                for (auto _ : st) {
+                  p = nb_sweep(plat, backend, depth, bytes, coalesced);
+                  st.SetIterationTime(p.us * 1e-6);
+                }
+                st.counters["epochs"] = static_cast<double>(p.epochs);
+                bench::Reporter::instance().add_point(name + "/us", p.us,
+                                                      "us");
+                bench::Reporter::instance().add_point(
+                    name + "/epochs", static_cast<double>(p.epochs),
+                    "epochs");
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMicrosecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_nb_aggregation");
+  benchmark::Shutdown();
+  return 0;
+}

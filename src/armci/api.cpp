@@ -28,6 +28,7 @@ void init(const Options& opts) {
 
   auto st = std::make_unique<ProcState>(mpisim::nranks());
   st->opts = opts;
+  st->dt_cache.set_capacity(opts.dt_cache_capacity);
   st->world = PGroup::world();
   switch (opts.backend) {
     case Backend::mpi:
@@ -78,6 +79,8 @@ void finalize() {
     return;
   }
   try {
+    // Complete deferred nonblocking work before tearing anything down.
+    st.nb.flush_all(st);
     // Free any remaining allocations (collective, in consistent order since
     // the tables are replicated).
     for (const auto& gmr : st.table.all()) {
@@ -213,6 +216,9 @@ void free_group(void* ptr, const PGroup& group) {
       st.table.require(leader_proc, reinterpret_cast<void*>(addr), 0);
   std::shared_ptr<Gmr> gmr = found.gmr;
 
+  // Flush and forget this GMR's deferred queues: tickets into a freed GMR
+  // read as complete.
+  st.nb.drop_gmr(st, gmr->id);
   st.backend->gmr_freeing(*gmr);
   st.table.remove(*gmr);
   ++st.stats.frees;
@@ -249,8 +255,66 @@ void contig_op(OneSided kind, const void* remote, void* local,
                std::size_t bytes, int proc, AccType at, const void* scale) {
   if (bytes == 0) return;
   ProcState& st = state();
+  // Location consistency: queued nb ops to this target (or touching this
+  // local buffer) must be issued before a blocking op runs.
+  st.nb.flush_for_blocking(st, proc, local, bytes,
+                           /*local_write=*/kind == OneSided::get);
   GmrLoc loc = st.table.require(proc, remote, bytes);
   st.backend->contig(kind, loc, local, bytes, at, scale);
+}
+
+/// Conservative local bounding box of one side of a strided transfer:
+/// count[0] + sum((count[i+1]-1) * stride[i]) bytes from the base. Returns
+/// 0 when the spec is malformed (the backend will diagnose it).
+std::size_t strided_extent(const StridedSpec& spec,
+                           std::span<const std::size_t> strides) {
+  const auto sl = static_cast<std::size_t>(spec.stride_levels);
+  if (spec.stride_levels < 0 || spec.count.size() != sl + 1 ||
+      strides.size() != sl)
+    return 0;
+  for (std::size_t c : spec.count)
+    if (c == 0) return 0;
+  std::size_t ext = spec.count[0];
+  for (std::size_t i = 0; i < sl; ++i)
+    ext += (spec.count[i + 1] - 1) * strides[i];
+  return ext;
+}
+
+/// flush_for_blocking ahead of a blocking strided op.
+void flush_for_strided(ProcState& st, OneSided kind, const void* src,
+                       void* dst, const StridedSpec& spec, int proc) {
+  const bool is_get = kind == OneSided::get;
+  const void* local = is_get ? dst : src;
+  const auto& lstrides = is_get ? spec.dst_strides : spec.src_strides;
+  st.nb.flush_for_blocking(st, proc, local, strided_extent(spec, lstrides),
+                           /*local_write=*/is_get);
+}
+
+/// flush_for_blocking ahead of a blocking IOV op: one bounding box over
+/// each descriptor's local segment list.
+void flush_for_iov(ProcState& st, OneSided kind, std::span<const Giov> vec,
+                   int proc) {
+  const bool is_get = kind == OneSided::get;
+  bool flushed_any_range = false;
+  for (const Giov& g : vec) {
+    std::uintptr_t lo = 0, hi = 0;
+    bool have = false;
+    const std::size_t n = std::min(g.src.size(), g.dst.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const void* local = is_get ? g.dst[i] : g.src[i];
+      const auto p = reinterpret_cast<std::uintptr_t>(local);
+      if (!have || p < lo) lo = p;
+      if (!have || p + g.bytes > hi) hi = p + g.bytes;
+      have = true;
+    }
+    if (have) {
+      st.nb.flush_for_blocking(st, proc, reinterpret_cast<const void*>(lo),
+                               hi - lo, /*local_write=*/is_get);
+      flushed_any_range = true;
+    }
+  }
+  // Empty descriptors still order against queued ops to the same target.
+  if (!flushed_any_range) st.nb.flush_proc(st, proc);
 }
 
 }  // namespace
@@ -311,12 +375,14 @@ std::uint64_t count_iov(std::span<const Giov> iov) {
 void put_iov(std::span<const Giov> iov, int proc) {
   ProcState& st = state();
   OpTimer probe(st, OpClass::iov, "armci.put_iov", count_iov(iov));
+  flush_for_iov(st, OneSided::put, iov, proc);
   st.backend->iov(OneSided::put, iov, proc, AccType::float64, &kUnitScaleD);
 }
 
 void get_iov(std::span<const Giov> iov, int proc) {
   ProcState& st = state();
   OpTimer probe(st, OpClass::iov, "armci.get_iov", count_iov(iov));
+  flush_for_iov(st, OneSided::get, iov, proc);
   st.backend->iov(OneSided::get, iov, proc, AccType::float64, &kUnitScaleD);
 }
 
@@ -326,6 +392,7 @@ void acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
     mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
   ProcState& st = state();
   OpTimer probe(st, OpClass::iov, "armci.acc_iov", count_iov(iov));
+  flush_for_iov(st, OneSided::acc, iov, proc);
   st.backend->iov(OneSided::acc, iov, proc, type, scale);
 }
 
@@ -347,6 +414,7 @@ void put_strided(const void* src, void* dst, const StridedSpec& spec,
   ProcState& st = state();
   OpTimer probe(st, OpClass::strided, "armci.put_strided",
                 count_strided(spec));
+  flush_for_strided(st, OneSided::put, src, dst, spec, proc);
   st.backend->strided(OneSided::put, src, dst, spec, proc, AccType::float64,
                       &kUnitScaleD);
 }
@@ -356,6 +424,7 @@ void get_strided(const void* src, void* dst, const StridedSpec& spec,
   ProcState& st = state();
   OpTimer probe(st, OpClass::strided, "armci.get_strided",
                 count_strided(spec));
+  flush_for_strided(st, OneSided::get, src, dst, spec, proc);
   st.backend->strided(OneSided::get, src, dst, spec, proc, AccType::float64,
                       &kUnitScaleD);
 }
@@ -367,68 +436,193 @@ void acc_strided(AccType type, const void* scale, const void* src, void* dst,
   ProcState& st = state();
   OpTimer probe(st, OpClass::strided, "armci.acc_strided",
                 count_strided(spec));
+  flush_for_strided(st, OneSided::acc, src, dst, spec, proc);
   st.backend->strided(OneSided::acc, src, dst, spec, proc, type, scale);
 }
 
 // ---------------------------------------------------------------------------
-// Nonblocking variants
+// Nonblocking variants (deferred-op aggregation, nb.hpp)
 // ---------------------------------------------------------------------------
+//
+// Each nb_* op first tries to defer into its (GMR, target) queue; the queue
+// is coalesced into a single backend epoch at the next completion point.
+// Ops the engine cannot defer (native backend, aggregation disabled, self
+// targets, staged local buffers, scaled accumulates, fallback transfer
+// methods) run eagerly through the blocking entry point -- which is itself
+// a flush point -- and return an empty, born-complete handle. Deferred ops
+// mirror the blocking op/byte counters so Stats totals are mode-invariant.
 
 Request nb_put(const void* src, void* dst, std::size_t bytes, int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_contig(st, OneSided::put, dst, const_cast<void*>(src),
+                             bytes, proc, AccType::float64, &kUnitScaleD,
+                             req)) {
+    ++st.stats.nb_deferred;
+    ++st.stats.puts;
+    st.stats.put_bytes += bytes;
+    return req;
+  }
+  ++st.stats.nb_eager;
   put(src, dst, bytes, proc);
-  return Request();  // complete: per-op epochs finish before returning
+  return req;
 }
 
 Request nb_get(const void* src, void* dst, std::size_t bytes, int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_contig(st, OneSided::get, src, dst, bytes, proc,
+                             AccType::float64, &kUnitScaleD, req)) {
+    ++st.stats.nb_deferred;
+    ++st.stats.gets;
+    st.stats.get_bytes += bytes;
+    return req;
+  }
+  ++st.stats.nb_eager;
   get(src, dst, bytes, proc);
-  return Request();
+  return req;
 }
 
 Request nb_acc(AccType type, const void* scale, const void* src, void* dst,
                std::size_t bytes, int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  if (bytes % acc_type_size(type) != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "accumulate length not a multiple of the element size");
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_contig(st, OneSided::acc, dst, const_cast<void*>(src),
+                             bytes, proc, type, scale, req)) {
+    ++st.stats.nb_deferred;
+    ++st.stats.accs;
+    st.stats.acc_bytes += bytes;
+    return req;
+  }
+  ++st.stats.nb_eager;
   acc(type, scale, src, dst, bytes, proc);
-  return Request();
+  return req;
 }
 
 Request nb_put_strided(const void* src, void* dst, const StridedSpec& spec,
                        int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_strided(st, OneSided::put, src, dst, spec, proc,
+                              AccType::float64, &kUnitScaleD, req)) {
+    ++st.stats.nb_deferred;
+    count_strided(spec);
+    return req;
+  }
+  ++st.stats.nb_eager;
   put_strided(src, dst, spec, proc);
-  return Request();
+  return req;
 }
 
 Request nb_get_strided(const void* src, void* dst, const StridedSpec& spec,
                        int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_strided(st, OneSided::get, src, dst, spec, proc,
+                              AccType::float64, &kUnitScaleD, req)) {
+    ++st.stats.nb_deferred;
+    count_strided(spec);
+    return req;
+  }
+  ++st.stats.nb_eager;
   get_strided(src, dst, spec, proc);
-  return Request();
+  return req;
 }
 
 Request nb_acc_strided(AccType type, const void* scale, const void* src,
                        void* dst, const StridedSpec& spec, int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_strided(st, OneSided::acc, src, dst, spec, proc, type,
+                              scale, req)) {
+    ++st.stats.nb_deferred;
+    count_strided(spec);
+    return req;
+  }
+  ++st.stats.nb_eager;
   acc_strided(type, scale, src, dst, spec, proc);
-  return Request();
+  return req;
 }
 
 Request nb_put_iov(std::span<const Giov> iov, int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_iov(st, OneSided::put, iov, proc, AccType::float64,
+                          &kUnitScaleD, req)) {
+    ++st.stats.nb_deferred;
+    count_iov(iov);
+    return req;
+  }
+  ++st.stats.nb_eager;
   put_iov(iov, proc);
-  return Request();
+  return req;
 }
 
 Request nb_get_iov(std::span<const Giov> iov, int proc) {
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_iov(st, OneSided::get, iov, proc, AccType::float64,
+                          &kUnitScaleD, req)) {
+    ++st.stats.nb_deferred;
+    count_iov(iov);
+    return req;
+  }
+  ++st.stats.nb_eager;
   get_iov(iov, proc);
-  return Request();
+  return req;
 }
 
 Request nb_acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
                    int proc) {
+  if (scale == nullptr)
+    mpisim::raise(Errc::invalid_argument, "accumulate scale is null");
+  ProcState& st = state();
+  ++st.stats.nb_ops;
+  Request req;
+  if (st.nb.try_defer_iov(st, OneSided::acc, iov, proc, type, scale, req)) {
+    ++st.stats.nb_deferred;
+    count_iov(iov);
+    return req;
+  }
+  ++st.stats.nb_eager;
   acc_iov(type, scale, iov, proc);
-  return Request();
+  return req;
 }
 
-void wait(Request& req) { (void)req; }
+void wait(Request& req) {
+  ProcState& st = state();
+  st.nb.complete(st, req);
+}
 
-void wait_proc(int proc) { (void)state(); (void)proc; }
+void wait_proc(int proc) {
+  ProcState& st = state();
+  if (proc < 0 || proc >= mpisim::nranks())
+    mpisim::raise(Errc::rank_out_of_range,
+                  "wait_proc: rank " + std::to_string(proc) +
+                      " outside [0, " + std::to_string(mpisim::nranks()) +
+                      ")");
+  st.nb.flush_proc(st, proc);
+}
 
-void wait_all() { (void)state(); }
+void wait_all() {
+  ProcState& st = state();
+  st.nb.flush_all(st);
+}
 
 // ---------------------------------------------------------------------------
 // Completion and synchronization
@@ -437,18 +631,21 @@ void wait_all() { (void)state(); }
 void fence(int proc) {
   ProcState& st = state();
   ++st.stats.fences;
+  st.nb.flush_proc(st, proc);
   st.backend->fence(proc);
 }
 
 void fence_all() {
   ProcState& st = state();
   ++st.stats.fences;
+  st.nb.flush_all(st);
   st.backend->fence_all();
 }
 
 void barrier() {
   ProcState& st = state();
   ++st.stats.barriers;
+  st.nb.flush_all(st);
   st.backend->fence_all();
   st.world.barrier();
 }
@@ -554,6 +751,10 @@ void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc) {
   ProcState& st = state();
   OpTimer probe(st, OpClass::rmw, "armci.rmw");
   ++st.stats.rmws;
+  const bool is_long =
+      op == RmwOp::fetch_and_add_long || op == RmwOp::swap_long;
+  st.nb.flush_for_blocking(st, proc, ploc, is_long ? 8 : 4,
+                           /*local_write=*/true);
   st.backend->rmw(op, ploc, prem, extra, proc);
 }
 
@@ -568,6 +769,8 @@ void access_begin(void* ptr) {
     mpisim::raise(Errc::invalid_argument,
                   "access_begin: region already open");
   ++st.stats.dla_epochs;
+  // Direct load/store must observe queued nb ops on this allocation.
+  st.nb.flush_gmr(st, loc.gmr->id);
   st.backend->access_begin(loc);
   // Declare the direct access to the RMA checker. The backend call above
   // establishes the covering epoch (exclusive self-lock on the MPI backend,
@@ -593,6 +796,9 @@ void access_end(void* ptr) {
 void set_access_mode(AccessMode mode, void* ptr) {
   ProcState& st = state();
   GmrLoc loc = st.table.require(mpisim::rank(), ptr, 0);
+  // Ops queued under the old mode must not flush under the new one (the
+  // epoch lock choice depends on it).
+  st.nb.flush_gmr(st, loc.gmr->id);
   // Collective over the allocation group: all members must agree on the
   // mode before any further operation targets the GMR.
   loc.gmr->group.barrier();

@@ -134,6 +134,19 @@ void acc_strided(AccType type, const void* scale, const void* src, void* dst,
 // ---------------------------------------------------------------------------
 // Nonblocking variants (ARMCI_NbPut/NbGet/NbAcc + Wait)
 // ---------------------------------------------------------------------------
+//
+// With Options::nb_aggregation (the default) these are *truly* deferred on
+// the MPI backends: each op joins a per-(allocation, target) queue and the
+// whole queue is issued inside a single synchronization epoch at the next
+// completion point -- wait on a covering handle, wait_proc/wait_all, fence,
+// barrier, rmw, a blocking op with an overlapping buffer, direct local
+// access, or free. Until then the caller must not touch the buffers the op
+// names (the usual ARMCI nonblocking contract). Location consistency is
+// preserved: an op that conflicts with a queued one forces that queue to
+// flush before it enqueues. Ops the engine cannot defer (native backend,
+// self targets, buffers needing the §V-E1 staging copy, non-identity
+// accumulate scales, non-direct transfer methods) execute eagerly and
+// return an empty, born-complete handle.
 
 Request nb_put(const void* src, void* dst, std::size_t bytes, int proc);
 Request nb_get(const void* src, void* dst, std::size_t bytes, int proc);
@@ -154,13 +167,16 @@ Request nb_get_iov(std::span<const Giov> iov, int proc);
 Request nb_acc_iov(AccType type, const void* scale, std::span<const Giov> iov,
                    int proc);
 
-/// Block until \p req is locally complete.
+/// Complete exactly the operations \p req covers (ARMCI_Wait): the queues
+/// named by the handle's tickets are flushed; unrelated queues stay
+/// deferred. Handles from eagerly executed ops complete immediately.
 void wait(Request& req);
 
-/// Block until all outstanding nonblocking ops to \p proc are complete.
+/// Complete all outstanding nonblocking ops to \p proc (ARMCI_WaitProc).
+/// Throws Errc::rank_out_of_range unless 0 <= proc < world size.
 void wait_proc(int proc);
 
-/// Block until all outstanding nonblocking ops are complete.
+/// Complete all outstanding nonblocking ops (ARMCI_WaitAll).
 void wait_all();
 
 // ---------------------------------------------------------------------------

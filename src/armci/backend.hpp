@@ -14,6 +14,7 @@
 #include <span>
 
 #include "src/armci/gmr.hpp"
+#include "src/armci/nb.hpp"
 #include "src/armci/types.hpp"
 
 namespace armci {
@@ -69,6 +70,18 @@ class CommBackend {
   /// Direct local access (paper §V-E): \p loc is on the calling process.
   virtual void access_begin(const GmrLoc& loc) = 0;
   virtual void access_end(const GmrLoc& loc) = 0;
+
+  /// True if this backend accepts deferred nb_* batches via flush_queue().
+  /// False (the default) makes every nb_* op execute eagerly through the
+  /// blocking entry points above -- correct for backends whose per-op
+  /// synchronization is already cheap (native).
+  virtual bool nb_defers() const { return false; }
+
+  /// Issue one conflict-free batch of deferred ops bound for a target rank
+  /// of a GMR, completing them locally before returning (nb.hpp). Only
+  /// called when nb_defers() is true, hence the no-op default.
+  virtual void flush_queue(const Gmr& /*gmr*/, int /*target_rank*/,
+                           std::span<const NbOp> /*ops*/) {}
 };
 
 }  // namespace armci

@@ -325,9 +325,14 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
     }
     rdispls[i] = static_cast<std::ptrdiff_t>(l.offset);
   }
+  // Rebase displacements so the remote type is shape-only (cacheable across
+  // base offsets); the minimum becomes the target displacement instead.
+  const std::ptrdiff_t rmin = *std::min_element(rdispls.begin(), rdispls.end());
+  for (std::ptrdiff_t& d : rdispls) d -= rmin;
+  const auto rdisp = static_cast<std::size_t>(rmin);
   const std::vector<std::size_t> blocklens(n, bytes / esz);
   const Datatype rtype =
-      Datatype::hindexed(blocklens, rdispls, Datatype::basic(elem));
+      st_->dt_cache.hindexed_type(blocklens, rdispls, elem, st_->stats);
 
   // Local side: one indexed datatype, or a staged/scaled contiguous buffer.
   std::vector<std::uint8_t> temp;
@@ -362,13 +367,13 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
       EpochGuard eg(gmr.win, lt, grank);
       switch (kind) {
         case OneSided::put:
-          gmr.win.put(temp.data(), 1, ltype, grank, 0, 1, rtype);
+          gmr.win.put(temp.data(), 1, ltype, grank, rdisp, 1, rtype);
           break;
         case OneSided::get:
-          gmr.win.get(temp.data(), 1, ltype, grank, 0, 1, rtype);
+          gmr.win.get(temp.data(), 1, ltype, grank, rdisp, 1, rtype);
           break;
         case OneSided::acc:
-          gmr.win.accumulate(temp.data(), 1, ltype, grank, 0, 1, rtype,
+          gmr.win.accumulate(temp.data(), 1, ltype, grank, rdisp, 1, rtype,
                              mpisim::Op::sum);
           break;
       }
@@ -399,22 +404,82 @@ void MpiBackend::iov_direct(OneSided kind, const Giov& giov, int proc,
     ldispls[i] = static_cast<const std::uint8_t*>(local) - lbase;
   }
   const Datatype ltype =
-      Datatype::hindexed(blocklens, ldispls, Datatype::basic(elem));
+      st_->dt_cache.hindexed_type(blocklens, ldispls, elem, st_->stats);
 
   auto* origin = const_cast<std::uint8_t*>(lbase);
   with_retry(*st_, "mpi.iov_direct", [&] {
     EpochGuard eg(gmr.win, lt, grank);
     switch (kind) {
       case OneSided::put:
-        gmr.win.put(origin, 1, ltype, grank, 0, 1, rtype);
+        gmr.win.put(origin, 1, ltype, grank, rdisp, 1, rtype);
         break;
       case OneSided::get:
-        gmr.win.get(origin, 1, ltype, grank, 0, 1, rtype);
+        gmr.win.get(origin, 1, ltype, grank, rdisp, 1, rtype);
         break;
       case OneSided::acc:
-        gmr.win.accumulate(origin, 1, ltype, grank, 0, 1, rtype,
+        gmr.win.accumulate(origin, 1, ltype, grank, rdisp, 1, rtype,
                            mpisim::Op::sum);
         break;
+    }
+    eg.release();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Deferred nonblocking batches (nb.hpp)
+// ---------------------------------------------------------------------------
+
+void MpiBackend::flush_queue(const Gmr& gmr, int target_rank,
+                             std::span<const NbOp> ops) {
+  if (ops.empty()) return;
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.nb_flush",
+                ops.size());
+  // A uniform-kind batch still qualifies for the §VIII-A shared-lock
+  // downgrade; mixed batches need the exclusive default.
+  LockType lt = epoch_lock(gmr, ops.front().kind);
+  for (const NbOp& op : ops) {
+    if (op.kind != ops.front().kind) {
+      lt = LockType::exclusive;
+      break;
+    }
+  }
+  // The engine guarantees the batch is conflict-free, so one epoch is
+  // legal; ops within it complete locally when the lock is released.
+  with_retry(*st_, "mpi.nb_flush", [&] {
+    EpochGuard eg(gmr.win, lt, target_rank);
+    for (const NbOp& op : ops) {
+      if (op.typed) {
+        switch (op.kind) {
+          case OneSided::put:
+            gmr.win.put(op.local, 1, op.ltype, target_rank, op.offset, 1,
+                        op.rtype);
+            break;
+          case OneSided::get:
+            gmr.win.get(op.local, 1, op.ltype, target_rank, op.offset, 1,
+                        op.rtype);
+            break;
+          case OneSided::acc:
+            gmr.win.accumulate(op.local, 1, op.ltype, target_rank, op.offset,
+                               1, op.rtype, mpisim::Op::sum);
+            break;
+        }
+        continue;
+      }
+      switch (op.kind) {
+        case OneSided::put:
+          gmr.win.put(op.local, op.bytes, target_rank, op.offset);
+          break;
+        case OneSided::get:
+          gmr.win.get(op.local, op.bytes, target_rank, op.offset);
+          break;
+        case OneSided::acc: {
+          const std::size_t esz = acc_type_size(op.at);
+          const Datatype d = Datatype::basic(basic_type_of_acc(op.at));
+          gmr.win.accumulate(op.local, op.bytes / esz, d, target_rank,
+                             op.offset, op.bytes / esz, d, mpisim::Op::sum);
+          break;
+        }
+      }
     }
     eg.release();
   });
@@ -451,8 +516,10 @@ void MpiBackend::strided(OneSided kind, const void* src, void* dst,
   const auto& rstrides = is_get ? spec.src_strides : spec.dst_strides;
   const auto& lstrides = is_get ? spec.dst_strides : spec.src_strides;
 
-  const Datatype rtype = make_strided_type(rstrides, spec, elem);
-  const Datatype ltype = make_strided_type(lstrides, spec, elem);
+  const Datatype rtype =
+      st_->dt_cache.strided_type(rstrides, spec, elem, st_->stats);
+  const Datatype ltype =
+      st_->dt_cache.strided_type(lstrides, spec, elem, st_->stats);
   const std::size_t total = strided_total_bytes(spec);
   GmrLoc loc = st_->table.require(proc, remote,
                                   static_cast<std::size_t>(rtype.extent()));

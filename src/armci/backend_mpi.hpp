@@ -52,6 +52,12 @@ class MpiBackend final : public CommBackend {
   void access_begin(const GmrLoc& loc) override;
   void access_end(const GmrLoc& loc) override;
 
+  /// Per-op exclusive epochs dominate small-op streams here, so deferred
+  /// batches pay off: N ops in one epoch instead of N (§V-C amortized).
+  bool nb_defers() const override { return true; }
+  void flush_queue(const Gmr& gmr, int target_rank,
+                   std::span<const NbOp> ops) override;
+
  private:
   /// Lock mode for an epoch on \p gmr given the op kind and the GMR's
   /// access-mode hint (§VIII-A).

@@ -1,5 +1,6 @@
 #include "src/armci/backend_mpi3.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -78,6 +79,48 @@ void Mpi3Backend::issue(OneSided kind, const Gmr& gmr, int grank,
   });
 }
 
+void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
+                              std::span<const NbOp> ops) {
+  if (ops.empty()) return;
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.nb_flush",
+                ops.size());
+  // No per-batch lock under the standing lock_all epoch; the win over the
+  // blocking path is deferring the get-side flush so the whole queue
+  // pipelines into a single flush (§VIII-B item 3). Put/acc need none:
+  // their blocking counterparts defer remote completion to fence too.
+  with_retry(*st_, "mpi3.nb_flush", [&] {
+    bool have_get = false;
+    for (const NbOp& op : ops) {
+      Datatype lt = op.ltype;
+      Datatype rt = op.rtype;
+      if (!op.typed) {
+        if (op.kind == OneSided::acc) {
+          const std::size_t esz = acc_type_size(op.at);
+          lt = rt = Datatype::contiguous(
+              op.bytes / esz, Datatype::basic(basic_type_of_acc(op.at)));
+        } else {
+          lt = rt = Datatype::contiguous(op.bytes, mpisim::byte_type());
+        }
+      }
+      switch (op.kind) {
+        case OneSided::put:
+          gmr.win.accumulate(op.local, 1, lt, target_rank, op.offset, 1, rt,
+                             mpisim::Op::replace);
+          break;
+        case OneSided::get:
+          gmr.win.get(op.local, 1, lt, target_rank, op.offset, 1, rt);
+          have_get = true;
+          break;
+        case OneSided::acc:
+          gmr.win.accumulate(op.local, 1, lt, target_rank, op.offset, 1, rt,
+                             mpisim::Op::sum);
+          break;
+      }
+    }
+    if (have_get) gmr.win.flush(target_rank);
+  });
+}
+
 void Mpi3Backend::contig(OneSided kind, const GmrLoc& loc, void* local,
                          std::size_t bytes, AccType at, const void* scale) {
   TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.contig", bytes);
@@ -136,17 +179,22 @@ void Mpi3Backend::iov(OneSided kind, std::span<const Giov> vec, int proc,
         const auto* p = static_cast<const std::uint8_t*>(local);
         if (lbase == nullptr || p < lbase) lbase = p;
       }
+      // Rebase so both types are shape-only and hence cacheable; the
+      // minimum remote displacement moves into the issue() disp.
+      const std::ptrdiff_t rmin =
+          *std::min_element(rdispls.begin(), rdispls.end());
+      for (std::ptrdiff_t& d : rdispls) d -= rmin;
       std::vector<std::ptrdiff_t> ldispls(idxs.size());
       for (std::size_t k = 0; k < idxs.size(); ++k) {
         const void* local = is_get ? g.dst[idxs[k]] : g.src[idxs[k]];
         ldispls[k] = static_cast<const std::uint8_t*>(local) - lbase;
       }
       const Datatype rtype =
-          Datatype::hindexed(blocklens, rdispls, Datatype::basic(elem));
+          st_->dt_cache.hindexed_type(blocklens, rdispls, elem, st_->stats);
       const Datatype ltype =
-          Datatype::hindexed(blocklens, ldispls, Datatype::basic(elem));
-      issue(kind, gmr, grank, 0, const_cast<std::uint8_t*>(lbase), 1, ltype,
-            rtype, at, scale);
+          st_->dt_cache.hindexed_type(blocklens, ldispls, elem, st_->stats);
+      issue(kind, gmr, grank, static_cast<std::size_t>(rmin),
+            const_cast<std::uint8_t*>(lbase), 1, ltype, rtype, at, scale);
     }
   }
 }
@@ -166,8 +214,10 @@ void Mpi3Backend::strided(OneSided kind, const void* src, void* dst,
   const auto& rstrides = is_get ? spec.src_strides : spec.dst_strides;
   const auto& lstrides = is_get ? spec.dst_strides : spec.src_strides;
 
-  const Datatype rtype = make_strided_type(rstrides, spec, elem);
-  const Datatype ltype = make_strided_type(lstrides, spec, elem);
+  const Datatype rtype =
+      st_->dt_cache.strided_type(rstrides, spec, elem, st_->stats);
+  const Datatype ltype =
+      st_->dt_cache.strided_type(lstrides, spec, elem, st_->stats);
   GmrLoc loc = st_->table.require(proc, remote,
                                   static_cast<std::size_t>(rtype.extent()));
   issue(kind, *loc.gmr, loc.target_rank, loc.offset, local, 1, ltype, rtype,

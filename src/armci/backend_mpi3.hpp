@@ -62,6 +62,13 @@ class Mpi3Backend final : public CommBackend {
   void access_begin(const GmrLoc& loc) override;
   void access_end(const GmrLoc& loc) override;
 
+  /// Ops already pipeline under the standing lock_all epoch; deferral still
+  /// pays off by batching the get-side flush: one flush per queue instead
+  /// of one per blocking get (§VIII-B item 3).
+  bool nb_defers() const override { return true; }
+  void flush_queue(const Gmr& gmr, int target_rank,
+                   std::span<const NbOp> ops) override;
+
  private:
   /// One transfer against a resolved location under the standing lock_all
   /// epoch, with datatypes describing both sides.

@@ -1,0 +1,85 @@
+#include "src/armci/dtype_cache.hpp"
+
+#include <utility>
+
+#include "src/armci/strided.hpp"
+
+namespace armci {
+
+namespace {
+
+constexpr std::uint64_t kTagStrided = 1;
+constexpr std::uint64_t kTagHindexed = 2;
+
+}  // namespace
+
+std::size_t DatatypeCache::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the shape words: cheap, and the keys are short.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : k.words) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void DatatypeCache::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+mpisim::Datatype DatatypeCache::get_or_build(
+    Key key, Stats& stats, const std::function<mpisim::Datatype()>& build) {
+  if (capacity_ == 0) return build();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats.dt_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  ++stats.dt_cache_misses;
+  mpisim::Datatype dt = build();
+  lru_.emplace_front(std::move(key), dt);
+  index_.emplace(lru_.front().first, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return dt;
+}
+
+mpisim::Datatype DatatypeCache::strided_type(
+    std::span<const std::size_t> strides, const StridedSpec& spec,
+    mpisim::BasicType elem, Stats& stats) {
+  Key key;
+  key.words.reserve(3 + spec.count.size() + strides.size());
+  key.words.push_back(kTagStrided);
+  key.words.push_back(static_cast<std::uint64_t>(elem));
+  key.words.push_back(static_cast<std::uint64_t>(spec.stride_levels));
+  for (std::size_t c : spec.count) key.words.push_back(c);
+  for (std::size_t s : strides) key.words.push_back(s);
+  return get_or_build(std::move(key), stats,
+                      [&] { return make_strided_type(strides, spec, elem); });
+}
+
+mpisim::Datatype DatatypeCache::hindexed_type(
+    std::span<const std::size_t> blocklens,
+    std::span<const std::ptrdiff_t> displs_bytes, mpisim::BasicType elem,
+    Stats& stats) {
+  Key key;
+  key.words.reserve(2 + blocklens.size() + displs_bytes.size());
+  key.words.push_back(kTagHindexed);
+  key.words.push_back(static_cast<std::uint64_t>(elem));
+  for (std::size_t b : blocklens) key.words.push_back(b);
+  for (std::ptrdiff_t d : displs_bytes)
+    key.words.push_back(static_cast<std::uint64_t>(d));
+  return get_or_build(std::move(key), stats, [&] {
+    return mpisim::Datatype::hindexed(blocklens, displs_bytes,
+                                      mpisim::Datatype::basic(elem));
+  });
+}
+
+}  // namespace armci

@@ -124,7 +124,7 @@ std::string metrics_json() {
          "\"barriers\":%llu,\"allocations\":%llu,\"frees\":%llu,"
          "\"dla_epochs\":%llu,\"staged_local_copies\":%llu,"
          "\"transient_faults\":%llu,\"retries\":%llu,"
-         "\"retry_exhausted\":%llu,\"rma_conflicts\":%llu},",
+         "\"retry_exhausted\":%llu,\"rma_conflicts\":%llu,",
          (unsigned long long)s.puts, (unsigned long long)s.gets,
          (unsigned long long)s.accs, (unsigned long long)s.put_bytes,
          (unsigned long long)s.get_bytes, (unsigned long long)s.acc_bytes,
@@ -139,6 +139,20 @@ std::string metrics_json() {
          (unsigned long long)s.transient_faults, (unsigned long long)s.retries,
          (unsigned long long)s.retry_exhausted,
          (unsigned long long)s.rma_conflicts);
+  // Second half of "counters": nonblocking aggregation and datatype cache
+  // (split across two append calls; one would overflow its buffer).
+  append(out,
+         "\"nb_ops\":%llu,\"nb_deferred\":%llu,\"nb_eager\":%llu,"
+         "\"nb_conflict_flushes\":%llu,\"flushed_queues\":%llu,"
+         "\"coalesced_epochs\":%llu,\"dt_cache_hits\":%llu,"
+         "\"dt_cache_misses\":%llu},",
+         (unsigned long long)s.nb_ops, (unsigned long long)s.nb_deferred,
+         (unsigned long long)s.nb_eager,
+         (unsigned long long)s.nb_conflict_flushes,
+         (unsigned long long)s.flushed_queues,
+         (unsigned long long)s.coalesced_epochs,
+         (unsigned long long)s.dt_cache_hits,
+         (unsigned long long)s.dt_cache_misses);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";

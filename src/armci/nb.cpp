@@ -1,0 +1,365 @@
+#include "src/armci/nb.hpp"
+
+#include <algorithm>
+
+#include "src/armci/accops.hpp"
+#include "src/armci/backend.hpp"
+#include "src/armci/iov.hpp"
+#include "src/armci/state.hpp"
+#include "src/armci/strided.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+
+namespace {
+
+/// Inclusive local range of [p, p+span).
+std::uintptr_t lo_of(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+std::span<const void* const> as_const_span(const std::vector<void*>& v) {
+  return {const_cast<const void* const*>(v.data()), v.size()};
+}
+
+}  // namespace
+
+bool Request::test() const noexcept {
+  if (tickets_.empty()) return true;
+  const ProcState* st = state_if_initialized();
+  if (st == nullptr) return true;  // finalize drained or dropped the queues
+  for (const NbTicket& t : tickets_)
+    if (!st->nb.ticket_complete(t)) return false;
+  return true;
+}
+
+bool NbEngine::engine_enabled(const ProcState& st) const {
+  return st.opts.nb_aggregation && st.backend->nb_defers();
+}
+
+bool NbEngine::local_needs_staging(const ProcState& st, const void* p,
+                                   std::size_t bytes) const {
+  return !st.opts.no_local_copy &&
+         st.table.overlaps_global(mpisim::rank(), p, bytes);
+}
+
+bool NbEngine::ticket_complete(const NbTicket& t) const noexcept {
+  auto it = queues_.find({t.gmr_id, t.proc});
+  if (it == queues_.end()) return true;
+  return it->second.seq_completed >= t.seq;
+}
+
+bool NbEngine::idle() const noexcept {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return kv.second.ops.empty(); });
+}
+
+void NbEngine::flush(ProcState& st, NbQueue& q) {
+  if (q.ops.empty()) return;
+  std::vector<NbOp> batch = std::move(q.ops);
+  q.ops.clear();
+  q.r_reads.clear();
+  q.r_writes.clear();
+  q.r_accs.clear();
+  q.l_reads.clear();
+  q.l_writes.clear();
+  q.has_acc = false;
+  // Mark complete *before* executing: if the backend surfaces an error
+  // (e.g. retry exhaustion) the queue stays consistent and the error
+  // reaches the caller of the flush point, matching the blocking paths.
+  q.seq_completed = q.seq_enqueued;
+  ++st.stats.flushed_queues;
+  if (batch.size() >= 2) ++st.stats.coalesced_epochs;
+  st.backend->flush_queue(*q.gmr, q.target_rank, batch);
+}
+
+void NbEngine::flush_all(ProcState& st) {
+  for (auto& [key, q] : queues_) flush(st, q);
+}
+
+void NbEngine::flush_proc(ProcState& st, int proc) {
+  for (auto& [key, q] : queues_)
+    if (q.proc == proc) flush(st, q);
+}
+
+void NbEngine::flush_gmr(ProcState& st, std::uint64_t gmr_id) {
+  for (auto& [key, q] : queues_)
+    if (key.first == gmr_id) flush(st, q);
+}
+
+void NbEngine::drop_gmr(ProcState& st, std::uint64_t gmr_id) {
+  flush_gmr(st, gmr_id);
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (it->first.first == gmr_id)
+      it = queues_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void NbEngine::flush_for_blocking(ProcState& st, int proc, const void* local,
+                                  std::size_t bytes, bool local_write) {
+  const std::uintptr_t lo = lo_of(local);
+  const std::uintptr_t hi = lo + (bytes == 0 ? 0 : bytes - 1);
+  for (auto& [key, q] : queues_) {
+    if (q.ops.empty()) continue;
+    // Same-target program order: a blocking op to proc must observe every
+    // queued op to proc as already issued.
+    bool hazard = q.proc == proc;
+    // Local buffer hazards across targets (a queued get writing the range a
+    // blocking op is about to read, or any queued use of a range the
+    // blocking op is about to overwrite).
+    if (!hazard && bytes > 0) {
+      hazard = q.l_writes.conflicts(lo, hi) ||
+               (local_write && q.l_reads.conflicts(lo, hi));
+    }
+    if (hazard) flush(st, q);
+  }
+}
+
+void NbEngine::complete(ProcState& st, const Request& req) {
+  for (const NbTicket& t : RequestAccess::tickets(req)) {
+    auto it = queues_.find({t.gmr_id, t.proc});
+    if (it == queues_.end()) continue;
+    if (it->second.seq_completed < t.seq) flush(st, it->second);
+  }
+}
+
+std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
+                                int proc, int target_rank, NbOp op,
+                                std::size_t r_span, std::uintptr_t l_lo,
+                                std::uintptr_t l_hi) {
+  const QueueKey key{gmr->id, proc};
+  const std::uintptr_t r_lo = op.offset;
+  const std::uintptr_t r_hi = op.offset + (r_span == 0 ? 0 : r_span - 1);
+  const bool local_write = op.kind == OneSided::get;
+
+  // Local-buffer hazards are checked against *every* queue: two queues
+  // flush in unspecified order, so cross-queue buffer reuse must serialize
+  // through a flush.
+  for (auto& [k, q] : queues_) {
+    if (q.ops.empty()) continue;
+    bool hazard = q.l_writes.conflicts(l_lo, l_hi) ||
+                  (local_write && q.l_reads.conflicts(l_lo, l_hi));
+    // Remote-range hazards only exist within the op's own queue (other
+    // queues are different windows or different targets): MPI-2 forbids
+    // conflicting ops on one window in one epoch.
+    if (!hazard && k == key) {
+      switch (op.kind) {
+        case OneSided::put:
+          hazard = q.r_reads.conflicts(r_lo, r_hi) ||
+                   q.r_writes.conflicts(r_lo, r_hi) ||
+                   q.r_accs.conflicts(r_lo, r_hi);
+          break;
+        case OneSided::get:
+          hazard = q.r_writes.conflicts(r_lo, r_hi) ||
+                   q.r_accs.conflicts(r_lo, r_hi);
+          break;
+        case OneSided::acc:
+          hazard = q.r_reads.conflicts(r_lo, r_hi) ||
+                   q.r_writes.conflicts(r_lo, r_hi) ||
+                   (q.has_acc && q.acc_type != op.at &&
+                    q.r_accs.conflicts(r_lo, r_hi));
+          break;
+      }
+    }
+    if (hazard) {
+      ++st.stats.nb_conflict_flushes;
+      flush(st, q);
+    }
+  }
+
+  auto [it, inserted] = queues_.try_emplace(key);
+  NbQueue& q = it->second;
+  if (inserted) {
+    q.gmr = gmr;
+    q.proc = proc;
+    q.target_rank = target_rank;
+  }
+  switch (op.kind) {
+    case OneSided::put:
+      q.r_writes.insert_merge(r_lo, r_hi);
+      q.l_reads.insert_merge(l_lo, l_hi);
+      break;
+    case OneSided::get:
+      q.r_reads.insert_merge(r_lo, r_hi);
+      q.l_writes.insert_merge(l_lo, l_hi);
+      break;
+    case OneSided::acc:
+      q.r_accs.insert_merge(r_lo, r_hi);
+      q.l_reads.insert_merge(l_lo, l_hi);
+      q.has_acc = true;
+      q.acc_type = op.at;
+      break;
+  }
+  q.ops.push_back(std::move(op));
+  return ++q.seq_enqueued;
+}
+
+bool NbEngine::try_defer_contig(ProcState& st, OneSided kind,
+                                const void* remote, void* local,
+                                std::size_t bytes, int proc, AccType at,
+                                const void* scale, Request& req) {
+  if (!engine_enabled(st) || bytes == 0) return false;
+  if (proc == mpisim::rank()) return false;  // self ops alias local memory
+  if (kind == OneSided::acc && !scale_is_identity(at, scale)) return false;
+  if (local_needs_staging(st, local, bytes)) return false;
+  GmrLoc loc = st.table.require(proc, remote, bytes);
+
+  NbOp op;
+  op.kind = kind;
+  op.at = at;
+  op.local = local;
+  op.bytes = bytes;
+  op.offset = loc.offset;
+  const std::uintptr_t l_lo = lo_of(local);
+  const std::uint64_t seq = enqueue(st, loc.gmr, proc, loc.target_rank,
+                                    std::move(op), bytes, l_lo,
+                                    l_lo + bytes - 1);
+  RequestAccess::add_ticket(req, loc.gmr->id, proc, seq);
+  return true;
+}
+
+bool NbEngine::try_defer_strided(ProcState& st, OneSided kind,
+                                 const void* src, void* dst,
+                                 const StridedSpec& spec, int proc,
+                                 AccType at, const void* scale,
+                                 Request& req) {
+  if (!engine_enabled(st)) return false;
+  if (st.opts.strided_method != StridedMethod::direct) return false;
+  if (proc == mpisim::rank()) return false;
+  if (kind == OneSided::acc && !scale_is_identity(at, scale)) return false;
+  validate_spec(spec);
+
+  const bool is_get = kind == OneSided::get;
+  const mpisim::BasicType elem = kind == OneSided::acc
+                                     ? basic_type_of_acc(at)
+                                     : mpisim::BasicType::byte_;
+  if (spec.count[0] % mpisim::basic_type_size(elem) != 0) return false;
+  const void* remote = is_get ? src : dst;
+  void* local = is_get ? dst : const_cast<void*>(src);
+  const auto& rstrides = is_get ? spec.src_strides : spec.dst_strides;
+  const auto& lstrides = is_get ? spec.dst_strides : spec.src_strides;
+
+  const mpisim::Datatype rtype =
+      st.dt_cache.strided_type(rstrides, spec, elem, st.stats);
+  const mpisim::Datatype ltype =
+      st.dt_cache.strided_type(lstrides, spec, elem, st.stats);
+  const auto lextent = static_cast<std::size_t>(ltype.extent());
+  if (local_needs_staging(st, local, lextent)) return false;
+  GmrLoc loc = st.table.require(proc, remote,
+                                static_cast<std::size_t>(rtype.extent()));
+
+  NbOp op;
+  op.kind = kind;
+  op.at = at;
+  op.local = local;
+  op.bytes = strided_total_bytes(spec);
+  op.offset = loc.offset;
+  op.typed = true;
+  op.ltype = ltype;
+  op.rtype = rtype;
+  const std::uintptr_t l_lo = lo_of(local);
+  const std::uint64_t seq = enqueue(
+      st, loc.gmr, proc, loc.target_rank, std::move(op),
+      static_cast<std::size_t>(rtype.extent()), l_lo, l_lo + lextent - 1);
+  RequestAccess::add_ticket(req, loc.gmr->id, proc, seq);
+  return true;
+}
+
+bool NbEngine::try_defer_iov(ProcState& st, OneSided kind,
+                             std::span<const Giov> vec, int proc, AccType at,
+                             const void* scale, Request& req) {
+  if (!engine_enabled(st)) return false;
+  if (proc == mpisim::rank()) return false;
+  if (kind == OneSided::acc && !scale_is_identity(at, scale)) return false;
+
+  const bool is_get = kind == OneSided::get;
+  const mpisim::BasicType elem = kind == OneSided::acc
+                                     ? basic_type_of_acc(at)
+                                     : mpisim::BasicType::byte_;
+  const std::size_t esz = mpisim::basic_type_size(elem);
+
+  // Plan every descriptor first; defer all or none so one nb call never
+  // splits between deferred and eager halves.
+  struct Plan {
+    std::shared_ptr<Gmr> gmr;
+    int target_rank = -1;
+    NbOp op;
+    std::size_t r_span = 0;
+    std::uintptr_t l_lo = 0, l_hi = 0;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(vec.size());
+
+  for (const Giov& g : vec) {
+    if (g.src.size() != g.dst.size()) return false;  // eager path diagnoses
+    if (g.src.empty() || g.bytes == 0) continue;
+    if (g.bytes % esz != 0) return false;
+    // The single hindexed op per side is erroneous if the *written* side
+    // self-overlaps (same rule as the §VI-B direct method); the written
+    // side is dst for every direction.
+    if (iov_has_overlap(as_const_span(g.dst), g.bytes)) return false;
+
+    // Resolve the remote side; all segments must land in one GMR.
+    const std::size_t n = g.src.size();
+    std::vector<std::ptrdiff_t> rdispls(n);
+    GmrLoc loc0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const void* remote = is_get ? g.src[i] : g.dst[i];
+      GmrLoc l = st.table.find(proc, remote, g.bytes);
+      if (!l.gmr) return false;
+      if (i == 0)
+        loc0 = l;
+      else if (l.gmr.get() != loc0.gmr.get())
+        return false;
+      rdispls[i] = static_cast<std::ptrdiff_t>(l.offset);
+    }
+    // Rebase both displacement lists so the datatypes are shape-only (and
+    // therefore cacheable across base addresses).
+    const std::ptrdiff_t rmin =
+        *std::min_element(rdispls.begin(), rdispls.end());
+    for (auto& d : rdispls) d -= rmin;
+    const std::uint8_t* lbase = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      const void* local = is_get ? g.dst[i] : g.src[i];
+      const auto* p = static_cast<const std::uint8_t*>(local);
+      if (lbase == nullptr || p < lbase) lbase = p;
+    }
+    std::vector<std::ptrdiff_t> ldispls(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const void* local = is_get ? g.dst[i] : g.src[i];
+      ldispls[i] = static_cast<const std::uint8_t*>(local) - lbase;
+    }
+    const std::vector<std::size_t> blocklens(n, g.bytes / esz);
+
+    Plan p;
+    p.op.kind = kind;
+    p.op.at = at;
+    p.op.local = const_cast<std::uint8_t*>(lbase);
+    p.op.bytes = n * g.bytes;
+    p.op.offset = static_cast<std::size_t>(rmin);
+    p.op.typed = true;
+    p.op.rtype = st.dt_cache.hindexed_type(blocklens, rdispls, elem, st.stats);
+    p.op.ltype = st.dt_cache.hindexed_type(blocklens, ldispls, elem, st.stats);
+    const auto lextent = static_cast<std::size_t>(p.op.ltype.extent());
+    if (local_needs_staging(st, lbase, lextent)) return false;
+    p.gmr = loc0.gmr;
+    p.target_rank = loc0.target_rank;
+    p.r_span = static_cast<std::size_t>(p.op.rtype.extent());
+    p.l_lo = lo_of(lbase);
+    p.l_hi = p.l_lo + lextent - 1;
+    plans.push_back(std::move(p));
+  }
+
+  for (Plan& p : plans) {
+    const std::uint64_t gmr_id = p.gmr->id;
+    const std::uint64_t seq =
+        enqueue(st, p.gmr, proc, p.target_rank, std::move(p.op), p.r_span,
+                p.l_lo, p.l_hi);
+    RequestAccess::add_ticket(req, gmr_id, proc, seq);
+  }
+  return true;
+}
+
+}  // namespace armci

@@ -1,0 +1,175 @@
+#ifndef ARMCI_NB_HPP
+#define ARMCI_NB_HPP
+
+/// \file nb.hpp
+/// Nonblocking deferred-op aggregation engine with epoch coalescing.
+///
+/// The MPI-2 mapping pays one exclusive-lock passive epoch per ARMCI op
+/// (paper §V-C), which makes per-op synchronization the dominant cost of
+/// small-message streams. The nb_* API creates the opportunity to amortize
+/// it: between two completion points the application has promised not to
+/// touch the buffers involved, so ops bound for the same (GMR, target) can
+/// be *deferred* into a queue and later coalesced into a single epoch --
+/// N ops pay 1 lock/unlock instead of N.
+///
+/// Location consistency is preserved by construction:
+///  - ops within one queue flush together in program order;
+///  - each queue tracks the remote byte ranges it will read / write /
+///    accumulate and the local ranges it will read / write in per-queue
+///    ConflictTrees (the same structure the §VI-B auto method and the RMA
+///    checker use). A new op whose ranges conflict -- under the MPI-2
+///    same-origin rules: put vs anything, get vs writes/accs, acc vs
+///    reads/writes or a different accumulate type -- forces the conflicting
+///    queue to flush *first*, so dependent ops are never batched into one
+///    (unordered) epoch. This also keeps the RMA validity checker silent:
+///    every batch handed to the backend is proven conflict-free.
+///  - blocking ops, fence/barrier, rmw, direct local access, frees, and the
+///    wait family are flush points (api.cpp).
+///
+/// Each deferred op hands its Request a ticket (queue id + sequence
+/// number); wait(req) drains exactly the queues the tickets name, and
+/// Request::test() compares tickets against the queues' completed
+/// sequence numbers.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/armci/gmr.hpp"
+#include "src/armci/types.hpp"
+#include "src/mpisim/conflict_tree.hpp"
+#include "src/mpisim/datatype.hpp"
+
+namespace armci {
+
+struct ProcState;
+enum class OneSided;
+
+/// One deferred operation, self-contained for later replay: the backend
+/// needs no address translation at flush time.
+struct NbOp {
+  OneSided kind{};
+  AccType at = AccType::float64;
+  void* local = nullptr;     ///< origin base address
+  std::size_t bytes = 0;     ///< payload bytes (stats / cost accounting)
+  std::size_t offset = 0;    ///< displacement of the remote base in the
+                             ///< target's slice
+  bool typed = false;        ///< use ltype/rtype (strided and IOV ops)
+  mpisim::Datatype ltype = mpisim::byte_type();
+  mpisim::Datatype rtype = mpisim::byte_type();
+};
+
+/// Deferred ops bound for one (GMR, absolute target) pair, plus the range
+/// bookkeeping that decides when a new op may join the batch.
+struct NbQueue {
+  std::shared_ptr<Gmr> gmr;
+  int proc = -1;         ///< absolute target id
+  int target_rank = -1;  ///< rank within gmr->group (== window rank)
+  std::vector<NbOp> ops;
+
+  // Remote coverage in target-slice offset space. Reads and writes are
+  // kept disjoint from everything; accumulates may overlap each other
+  // (same-op accumulate is well defined), so r_accs stores their union.
+  mpisim::ConflictTree r_reads, r_writes, r_accs;
+  // Local coverage in this process's address space: ranges queued ops will
+  // read (put/acc sources) and write (get destinations).
+  mpisim::ConflictTree l_reads, l_writes;
+
+  bool has_acc = false;
+  AccType acc_type = AccType::float64;  ///< element type of queued accs
+
+  std::uint64_t seq_enqueued = 0;   ///< ticket of the newest queued op
+  std::uint64_t seq_completed = 0;  ///< every ticket <= this has flushed
+};
+
+/// Per-process aggregation engine; lives in ProcState. All methods take the
+/// owning state explicitly (the engine is a member of it).
+class NbEngine {
+ public:
+  /// Try to defer a contiguous nb op. On success appends a ticket to
+  /// \p req and returns true; on false the caller runs the eager path.
+  /// May flush queues first when the new op conflicts with queued ones.
+  bool try_defer_contig(ProcState& st, OneSided kind, const void* remote,
+                        void* local, std::size_t bytes, int proc, AccType at,
+                        const void* scale, Request& req);
+
+  /// Strided variant (direct method only; others fall back to eager).
+  bool try_defer_strided(ProcState& st, OneSided kind, const void* src,
+                         void* dst, const StridedSpec& spec, int proc,
+                         AccType at, const void* scale, Request& req);
+
+  /// IOV variant: defers the whole descriptor list or none of it.
+  bool try_defer_iov(ProcState& st, OneSided kind, std::span<const Giov> vec,
+                     int proc, AccType at, const void* scale, Request& req);
+
+  /// Drain every queue (wait_all, fence_all, barrier, finalize).
+  void flush_all(ProcState& st);
+
+  /// Drain every queue bound for \p proc (wait_proc, fence, rmw).
+  void flush_proc(ProcState& st, int proc);
+
+  /// Drain every queue on GMR \p gmr_id (access_begin, set_access_mode).
+  void flush_gmr(ProcState& st, std::uint64_t gmr_id);
+
+  /// flush_gmr + forget the queues: the GMR is being freed, so their
+  /// tickets read as complete afterwards.
+  void drop_gmr(ProcState& st, std::uint64_t gmr_id);
+
+  /// Hazard fence ahead of a blocking operation: drains queues bound for
+  /// \p proc (same-target program order) and queues whose local coverage
+  /// conflicts with [local, local+bytes) -- any overlap when the blocking
+  /// op writes the range, overlap with queued writes when it only reads.
+  void flush_for_blocking(ProcState& st, int proc, const void* local,
+                          std::size_t bytes, bool local_write);
+
+  /// wait(req): drain the queues named by the request's tickets that have
+  /// not already completed them.
+  void complete(ProcState& st, const Request& req);
+
+  /// Request::test() helper. Absent queues read as complete.
+  bool ticket_complete(const NbTicket& t) const noexcept;
+
+  /// True when no op is queued anywhere.
+  bool idle() const noexcept;
+
+ private:
+  using QueueKey = std::pair<std::uint64_t, int>;  // (gmr id, absolute proc)
+
+  /// True when deferral is even on the table for this op shape.
+  bool engine_enabled(const ProcState& st) const;
+
+  /// True if [p, p+bytes) must be staged (§V-E1) and is therefore not
+  /// deferrable.
+  bool local_needs_staging(const ProcState& st, const void* p,
+                           std::size_t bytes) const;
+
+  /// Flush queues conflicting with the new op, then append it. Returns the
+  /// ticket sequence number.
+  std::uint64_t enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
+                        int proc, int target_rank, NbOp op,
+                        std::size_t r_span, std::uintptr_t l_lo,
+                        std::uintptr_t l_hi);
+
+  /// Drain one queue through the backend.
+  void flush(ProcState& st, NbQueue& q);
+
+  std::map<QueueKey, NbQueue> queues_;
+};
+
+/// Runtime-internal accessor for Request's ticket list.
+class RequestAccess {
+ public:
+  static void add_ticket(Request& req, std::uint64_t gmr_id, int proc,
+                         std::uint64_t seq) {
+    req.tickets_.push_back(NbTicket{gmr_id, proc, seq});
+  }
+  static std::span<const NbTicket> tickets(const Request& req) noexcept {
+    return req.tickets_;
+  }
+};
+
+}  // namespace armci
+
+#endif  // ARMCI_NB_HPP

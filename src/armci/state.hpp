@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "src/armci/backend.hpp"
+#include "src/armci/dtype_cache.hpp"
 #include "src/armci/gmr.hpp"
 #include "src/armci/groups.hpp"
 #include "src/armci/metrics.hpp"
+#include "src/armci/nb.hpp"
 #include "src/armci/stats.hpp"
 #include "src/armci/types.hpp"
 
@@ -49,6 +51,13 @@ struct ProcState {
   /// Virtual time until which this process's NIC is busy serving native
   /// one-sided transfers (wire occupancy shared by all initiators).
   double nat_nic_busy_ns = 0.0;
+
+  /// Deferred nonblocking-op queues (see nb.hpp).
+  NbEngine nb;
+
+  /// Derived-datatype cache for the direct strided/IOV paths; capacity set
+  /// from Options::dt_cache_capacity at init().
+  DatatypeCache dt_cache;
 
   /// Operation counters (see stats.hpp).
   Stats stats;

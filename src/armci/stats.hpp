@@ -63,6 +63,22 @@ struct Stats {
   std::uint64_t retries = 0;
   std::uint64_t retry_exhausted = 0;
 
+  // Nonblocking aggregation engine (nb.hpp): nb_* API calls, how many were
+  // deferred into a queue vs executed eagerly, queue drains forced by a
+  // conflicting enqueue (location consistency), total queue drains, and
+  // drains that coalesced >= 2 ops into one backend epoch.
+  std::uint64_t nb_ops = 0;
+  std::uint64_t nb_deferred = 0;
+  std::uint64_t nb_eager = 0;
+  std::uint64_t nb_conflict_flushes = 0;
+  std::uint64_t flushed_queues = 0;
+  std::uint64_t coalesced_epochs = 0;
+
+  // Derived-datatype cache (dtype_cache.hpp) in the direct strided/IOV
+  // paths: lookups served from the cache vs types built fresh.
+  std::uint64_t dt_cache_hits = 0;
+  std::uint64_t dt_cache_misses = 0;
+
   /// Total one-sided data volume (all op classes).
   std::uint64_t total_bytes() const noexcept {
     return put_bytes + get_bytes + acc_bytes + strided_bytes + iov_bytes;

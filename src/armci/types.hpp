@@ -82,6 +82,13 @@ struct Options {
   /// Virtual-time backoff charged before the first retry; doubles per
   /// attempt (capped at 2^10 times this base).
   double retry_backoff_ns = 500.0;
+  /// Defer nb_* operations into per-(GMR, target) queues and coalesce each
+  /// queue into a single epoch at the next completion point (nb.hpp). Off,
+  /// every nb_* op executes eagerly like its blocking counterpart.
+  bool nb_aggregation = true;
+  /// Entries kept in the LRU derived-datatype cache used by the direct
+  /// strided/IOV paths (dtype_cache.hpp); 0 disables the cache.
+  std::size_t dt_cache_capacity = 64;
 };
 
 /// Generalized I/O vector descriptor (armci_giov_t): ptr_array_len segment
@@ -102,20 +109,33 @@ struct StridedSpec {
   std::vector<std::size_t> dst_strides;  ///< length stride_levels
 };
 
-/// Handle for nonblocking operations. Under per-op-epoch MPI semantics all
-/// operations complete before returning, so handles are born complete; the
-/// API exists for source compatibility and for future request-based MPI-3
-/// backends (paper §VIII-B).
+/// Names one deferred operation inside the nonblocking aggregation engine
+/// (nb.hpp): the queue is keyed by (GMR id, absolute target proc) and `seq`
+/// is the op's enqueue ticket within that queue. Internal to the runtime;
+/// user code only sees it through Request.
+struct NbTicket {
+  std::uint64_t gmr_id = 0;
+  int proc = -1;
+  std::uint64_t seq = 0;
+};
+
+/// Handle for nonblocking operations. A handle returned by a deferred nb_*
+/// op is *live*: it carries the queue-generation tickets of the ops it
+/// covers, wait(req) drains exactly the queues those tickets name, and
+/// test() reports whether every covered op has been flushed. Ops the engine
+/// cannot defer (native backend, staged local buffers, non-identity
+/// accumulate scales, ...) execute eagerly and return an empty -- hence
+/// born-complete -- handle.
 class Request {
  public:
   Request() = default;
 
-  /// True once the operation is locally complete.
-  bool test() const noexcept { return complete_; }
+  /// True once every operation this handle covers is locally complete.
+  bool test() const noexcept;
 
  private:
   friend class RequestAccess;
-  bool complete_ = true;
+  std::vector<NbTicket> tickets_;  ///< empty: nothing pending (eager path)
 };
 
 /// Read-modify-write operations (ARMCI_Rmw). The *_long variants operate on
