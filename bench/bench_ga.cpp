@@ -1,0 +1,133 @@
+// Multi-owner GA access sweep: one GA get/put whose patch spans k remote
+// owners, blocking per-owner strided epochs versus the pipelined path that
+// routes every owner through the nonblocking aggregation engine and
+// completes them at one covering wait. On the MPI-2 backend both paths
+// open one lock epoch per owner (<= 1 epoch per owner, not k * levels),
+// but the pipelined path overlaps the k epoch round trips, so its
+// coalesced virtual time beats the serial baseline; the MPI-3 backend
+// saves the per-batch flush waits the same way.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/ga/ga.hpp"
+#include "src/mpisim/trace.hpp"
+
+namespace {
+
+/// Lock/unlock synchronization epochs this rank opened, over every window.
+std::uint64_t lock_epoch_total() {
+  std::uint64_t n = 0;
+  for (const auto& [id, ws] : mpisim::tracer().win_stats())
+    n += ws.exclusive_locks + ws.shared_locks;
+  return n;
+}
+
+enum class GaOp { get, put };
+
+struct GaPoint {
+  double us = 0.0;           // virtual time per k-owner access
+  std::uint64_t epochs = 0;  // lock epochs per access
+};
+
+/// Rank 0 accesses a patch owned entirely by ranks 1..k: an 8 x (k+1)*8
+/// double array with chunk hints {8, 1} distributes one 8-column tile per
+/// rank, and the measured region covers the k tiles rank 0 does not own,
+/// so every per-owner operation is remote and deferrable.
+GaPoint ga_sweep(armci::Backend backend, GaOp op, int k, bool pipelined,
+                 int reps = 6) {
+  GaPoint res;
+  mpisim::Config cfg;
+  cfg.nranks = k + 1;
+  cfg.platform = mpisim::Platform::infiniband;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    o.nb_aggregation = pipelined;  // false: nb_* falls back to blocking
+    o.trace = true;
+    armci::init(o);
+
+    const std::int64_t rows = 8, cols_per = 8;
+    const std::int64_t dims[] = {rows, (k + 1) * cols_per};
+    const std::int64_t chunk[] = {rows, 1};
+    ga::GlobalArray g =
+        ga::GlobalArray::create("sweep", dims, ga::ElemType::dbl, chunk);
+    g.zero();
+
+    ga::Patch region;
+    region.lo = {0, cols_per};
+    region.hi = {rows - 1, (k + 1) * cols_per - 1};
+    std::vector<double> buf(static_cast<std::size_t>(region.num_elems()));
+    std::iota(buf.begin(), buf.end(), 1.0);
+
+    if (mpisim::rank() == 0) {
+      auto round = [&] {
+        if (op == GaOp::get)
+          g.get(region, buf.data());
+        else
+          g.put(region, buf.data());
+      };
+      round();  // warm-up (registration, datatype-cache effects)
+      const std::uint64_t epochs0 = lock_epoch_total();
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) round();
+      res.us = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+      res.epochs = (lock_epoch_total() - epochs0) / static_cast<unsigned>(reps);
+    }
+    g.sync();
+    bench::Reporter::instance().capture_rank();
+    g.destroy();
+    armci::finalize();
+  });
+  return res;
+}
+
+void register_all() {
+  for (armci::Backend backend : {armci::Backend::mpi, armci::Backend::mpi3}) {
+    for (GaOp op : {GaOp::get, GaOp::put}) {
+      for (int k : {4, 8}) {
+        for (bool pipelined : {false, true}) {
+          std::string name = std::string("GaPipeline/ib/") +
+                             bench::backend_name(backend) + "/" +
+                             (op == GaOp::get ? "get" : "put") + "/" +
+                             (pipelined ? "pipelined" : "blocking") + "/k" +
+                             std::to_string(k);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [=](benchmark::State& st) {
+                GaPoint p;
+                for (auto _ : st) {
+                  p = ga_sweep(backend, op, k, pipelined);
+                  st.SetIterationTime(p.us * 1e-6);
+                }
+                st.counters["epochs"] = static_cast<double>(p.epochs);
+                bench::Reporter::instance().add_point(name + "/us", p.us,
+                                                      "us");
+                bench::Reporter::instance().add_point(
+                    name + "/epochs", static_cast<double>(p.epochs),
+                    "epochs");
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMicrosecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_ga");
+  benchmark::Shutdown();
+  return 0;
+}

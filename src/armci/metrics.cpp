@@ -139,20 +139,25 @@ std::string metrics_json() {
          (unsigned long long)s.transient_faults, (unsigned long long)s.retries,
          (unsigned long long)s.retry_exhausted,
          (unsigned long long)s.rma_conflicts);
-  // Second half of "counters": nonblocking aggregation and datatype cache
-  // (split across two append calls; one would overflow its buffer).
+  // Second half of "counters": nonblocking aggregation, datatype cache, and
+  // GA owner pipelining (split across two append calls; one would overflow
+  // its buffer).
   append(out,
          "\"nb_ops\":%llu,\"nb_deferred\":%llu,\"nb_eager\":%llu,"
          "\"nb_conflict_flushes\":%llu,\"flushed_queues\":%llu,"
          "\"coalesced_epochs\":%llu,\"dt_cache_hits\":%llu,"
-         "\"dt_cache_misses\":%llu},",
+         "\"dt_cache_misses\":%llu,\"ga_multi_owner_ops\":%llu,"
+         "\"ga_owner_fanout\":%llu,\"ga_nb_batches\":%llu},",
          (unsigned long long)s.nb_ops, (unsigned long long)s.nb_deferred,
          (unsigned long long)s.nb_eager,
          (unsigned long long)s.nb_conflict_flushes,
          (unsigned long long)s.flushed_queues,
          (unsigned long long)s.coalesced_epochs,
          (unsigned long long)s.dt_cache_hits,
-         (unsigned long long)s.dt_cache_misses);
+         (unsigned long long)s.dt_cache_misses,
+         (unsigned long long)s.ga_multi_owner_ops,
+         (unsigned long long)s.ga_owner_fanout,
+         (unsigned long long)s.ga_nb_batches);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";

@@ -1,6 +1,7 @@
 #include "src/armci/nb.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "src/armci/accops.hpp"
 #include "src/armci/backend.hpp"
@@ -8,6 +9,7 @@
 #include "src/armci/state.hpp"
 #include "src/armci/strided.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/win.hpp"
 
 namespace armci {
 
@@ -73,18 +75,55 @@ void NbEngine::flush(ProcState& st, NbQueue& q) {
   st.backend->flush_queue(*q.gmr, q.target_rank, batch);
 }
 
+void NbEngine::flush_group(ProcState& st, std::span<NbQueue* const> group) {
+  std::vector<NbQueue*> pending;
+  for (NbQueue* q : group)
+    if (q != nullptr && !q->ops.empty()) pending.push_back(q);
+  if (pending.empty()) return;
+
+  // Drain every queue even if one fails: a crashed owner must not leave
+  // the other owners' batches queued behind the error (their tickets would
+  // read incomplete forever). flush() marks the queue complete before the
+  // backend call, so the failed queue is consistent too; the first error
+  // surfaces once all queues are drained.
+  std::exception_ptr first_error;
+  auto drain = [&](NbQueue* q) {
+    try {
+      flush(st, *q);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  if (pending.size() >= 2) {
+    // One completion point covering several targets: overlap the epoch
+    // round trips, as a real nonblocking runtime would.
+    mpisim::EpochPipeline pipeline;
+    for (NbQueue* q : pending) drain(q);
+  } else {
+    drain(pending.front());
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void NbEngine::flush_all(ProcState& st) {
-  for (auto& [key, q] : queues_) flush(st, q);
+  std::vector<NbQueue*> group;
+  for (auto& [key, q] : queues_)
+    if (!q.ops.empty()) group.push_back(&q);
+  flush_group(st, group);
 }
 
 void NbEngine::flush_proc(ProcState& st, int proc) {
+  std::vector<NbQueue*> group;
   for (auto& [key, q] : queues_)
-    if (q.proc == proc) flush(st, q);
+    if (q.proc == proc && !q.ops.empty()) group.push_back(&q);
+  flush_group(st, group);
 }
 
 void NbEngine::flush_gmr(ProcState& st, std::uint64_t gmr_id) {
+  std::vector<NbQueue*> group;
   for (auto& [key, q] : queues_)
-    if (key.first == gmr_id) flush(st, q);
+    if (key.first == gmr_id && !q.ops.empty()) group.push_back(&q);
+  flush_group(st, group);
 }
 
 void NbEngine::drop_gmr(ProcState& st, std::uint64_t gmr_id) {
@@ -118,11 +157,16 @@ void NbEngine::flush_for_blocking(ProcState& st, int proc, const void* local,
 }
 
 void NbEngine::complete(ProcState& st, const Request& req) {
+  std::vector<NbQueue*> group;
   for (const NbTicket& t : RequestAccess::tickets(req)) {
     auto it = queues_.find({t.gmr_id, t.proc});
     if (it == queues_.end()) continue;
-    if (it->second.seq_completed < t.seq) flush(st, it->second);
+    NbQueue* q = &it->second;
+    if (q->seq_completed >= t.seq) continue;
+    if (std::find(group.begin(), group.end(), q) == group.end())
+      group.push_back(q);
   }
+  flush_group(st, group);
 }
 
 std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
@@ -134,13 +178,36 @@ std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
   const std::uintptr_t r_hi = op.offset + (r_span == 0 ? 0 : r_span - 1);
   const bool local_write = op.kind == OneSided::get;
 
+  // Local footprint of the new op, as inclusive byte ranges. Typed ops
+  // (strided / IOV) use their exact segment list rather than the bounding
+  // box [l_lo, l_hi]: a multi-owner GA access interleaves several disjoint
+  // footprints inside one user buffer, and bounding boxes would report
+  // them as conflicting and serialize the whole pipeline. Very fragmented
+  // types fall back to the bounding box to cap the cost.
+  constexpr std::size_t kMaxPreciseSegments = 4096;
+  std::vector<std::pair<std::uintptr_t, std::uintptr_t>> lsegs;
+  if (op.typed && op.ltype.segment_count() <= kMaxPreciseSegments) {
+    const std::uintptr_t base = lo_of(op.local);
+    op.ltype.for_each_segment(1, [&](mpisim::Segment s) {
+      if (s.length == 0) return;
+      const std::uintptr_t lo = base + static_cast<std::uintptr_t>(s.offset);
+      lsegs.emplace_back(lo, lo + s.length - 1);
+    });
+  }
+  if (lsegs.empty()) lsegs.emplace_back(l_lo, l_hi);
+  const auto l_conflicts = [&lsegs](const mpisim::ConflictTree& t) {
+    for (const auto& [lo, hi] : lsegs)
+      if (t.conflicts(lo, hi)) return true;
+    return false;
+  };
+
   // Local-buffer hazards are checked against *every* queue: two queues
   // flush in unspecified order, so cross-queue buffer reuse must serialize
   // through a flush.
   for (auto& [k, q] : queues_) {
     if (q.ops.empty()) continue;
-    bool hazard = q.l_writes.conflicts(l_lo, l_hi) ||
-                  (local_write && q.l_reads.conflicts(l_lo, l_hi));
+    bool hazard = l_conflicts(q.l_writes) ||
+                  (local_write && l_conflicts(q.l_reads));
     // Remote-range hazards only exist within the op's own queue (other
     // queues are different windows or different targets): MPI-2 forbids
     // conflicting ops on one window in one epoch.
@@ -176,18 +243,17 @@ std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
     q.proc = proc;
     q.target_rank = target_rank;
   }
+  mpisim::ConflictTree& l_tree = local_write ? q.l_writes : q.l_reads;
+  for (const auto& [lo, hi] : lsegs) l_tree.insert_merge(lo, hi);
   switch (op.kind) {
     case OneSided::put:
       q.r_writes.insert_merge(r_lo, r_hi);
-      q.l_reads.insert_merge(l_lo, l_hi);
       break;
     case OneSided::get:
       q.r_reads.insert_merge(r_lo, r_hi);
-      q.l_writes.insert_merge(l_lo, l_hi);
       break;
     case OneSided::acc:
       q.r_accs.insert_merge(r_lo, r_hi);
-      q.l_reads.insert_merge(l_lo, l_hi);
       q.has_acc = true;
       q.acc_type = op.at;
       break;

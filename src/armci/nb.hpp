@@ -155,6 +155,13 @@ class NbEngine {
   /// Drain one queue through the backend.
   void flush(ProcState& st, NbQueue& q);
 
+  /// Drain a set of queues at one completion point. With >= 2 non-empty
+  /// queues the drains run under an mpisim::EpochPipeline, overlapping the
+  /// per-target epoch round trips (the GA layer's owner pipelining). A
+  /// failing queue (e.g. Errc::crashed from its target) does not stop the
+  /// drain: every queue is flushed, and the first error is rethrown after.
+  void flush_group(ProcState& st, std::span<NbQueue* const> group);
+
   std::map<QueueKey, NbQueue> queues_;
 };
 

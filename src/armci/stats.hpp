@@ -79,6 +79,16 @@ struct Stats {
   std::uint64_t dt_cache_hits = 0;
   std::uint64_t dt_cache_misses = 0;
 
+  // GA-layer owner pipelining (ga/ga.cpp, ga/ga_gather.cpp): region or
+  // element accesses that decomposed into >= 2 owners, the total owner
+  // fan-out summed over those accesses (fanout / ops = mean owners per
+  // multi-owner access), and the per-owner batches such accesses issued
+  // through the nonblocking aggregation engine rather than as blocking
+  // per-owner epochs.
+  std::uint64_t ga_multi_owner_ops = 0;
+  std::uint64_t ga_owner_fanout = 0;
+  std::uint64_t ga_nb_batches = 0;
+
   /// Total one-sided data volume (all op classes).
   std::uint64_t total_bytes() const noexcept {
     return put_bytes + get_bytes + acc_bytes + strided_bytes + iov_bytes;

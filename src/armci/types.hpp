@@ -133,6 +133,15 @@ class Request {
   /// True once every operation this handle covers is locally complete.
   bool test() const noexcept;
 
+  /// Absorb \p other's pending ops into this handle, making it a covering
+  /// handle: wait(*this) then completes both. Used by callers that issue a
+  /// batch of nb ops (one per target) and want one completion point without
+  /// the indiscriminate flush of wait_all().
+  void merge(const Request& other) {
+    tickets_.insert(tickets_.end(), other.tickets_.begin(),
+                    other.tickets_.end());
+  }
+
  private:
   friend class RequestAccess;
   std::vector<NbTicket> tickets_;  ///< empty: nothing pending (eager path)

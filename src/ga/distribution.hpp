@@ -80,6 +80,11 @@ class Distribution {
   /// Block index of \p x in dimension \p d.
   int block_index(std::size_t d, std::int64_t x) const;
 
+  /// True when both distributions assign every element to the same owner
+  /// (same shape, processor grid, and block boundaries). The owner-computes
+  /// collectives use this to decide whether paired local blocks line up.
+  bool operator==(const Distribution&) const = default;
+
  private:
   std::vector<std::int64_t> dims_;
   std::vector<int> grid_;

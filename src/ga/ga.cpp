@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/armci/armci.hpp"
+#include "src/armci/state.hpp"
 #include "src/ga/ga_impl.hpp"
 #include "src/ga/layout.hpp"
 #include "src/mpisim/error.hpp"
@@ -108,14 +109,33 @@ std::vector<OwnedPatch> GlobalArray::locate_region(const Patch& region) const {
   return impl_->dist.intersect(region);
 }
 
+namespace detail {
+
+void count_multi_owner(int owners, std::uint64_t batches) {
+  if (owners < 2) return;
+  armci::Stats& s = armci::state().stats;
+  ++s.ga_multi_owner_ops;
+  s.ga_owner_fanout += static_cast<std::uint64_t>(owners);
+  s.ga_nb_batches += batches;
+}
+
+}  // namespace detail
+
 namespace {
 
 enum class XferKind { put, get, acc };
 
 /// Decompose a region access into one ARMCI strided op per owner
-/// (paper Fig. 2 / §VI-C).
-void region_xfer(GaImpl& ga, XferKind kind, const Patch& region, void* buf,
-                 std::span<const std::int64_t> ld, const void* alpha) {
+/// (paper Fig. 2 / §VI-C). The ops go through the nonblocking aggregation
+/// engine — one deferred batch per owner — and the returned covering
+/// handle completes them all at one point, so the engine can overlap the
+/// per-owner epochs instead of round-tripping serially (DART-style target
+/// pipelining). region_xfer() waits on the handle to keep put/get/acc
+/// blocking; nb_get() hands it to the caller.
+armci::Request region_xfer_issue(GaImpl& ga, XferKind kind,
+                                 const Patch& region, void* buf,
+                                 std::span<const std::int64_t> ld,
+                                 const void* alpha) {
   const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
   const std::size_t esz = elem_size(ga.type);
   if (region.lo.size() != nd || region.hi.size() != nd)
@@ -137,6 +157,9 @@ void region_xfer(GaImpl& ga, XferKind kind, const Patch& region, void* buf,
   const std::vector<std::size_t> buf_strides =
       detail::row_major_strides(buf_ext, esz);
 
+  armci::Request req;
+  int owners = 0;
+  std::uint64_t batches = 0;
   for (const OwnedPatch& op : ga.dist.intersect(region)) {
     const Patch block = ga.dist.patch_of(op.proc);
     std::vector<std::int64_t> blk_ext(nd);
@@ -181,20 +204,35 @@ void region_xfer(GaImpl& ga, XferKind kind, const Patch& region, void* buf,
       }
     }
 
+    armci::Request r;
     switch (kind) {
       case XferKind::put:
-        armci::put_strided(local, remote, spec, op.proc);
+        r = armci::nb_put_strided(local, remote, spec, op.proc);
         break;
       case XferKind::get:
-        armci::get_strided(remote, local, spec, op.proc);
+        r = armci::nb_get_strided(remote, local, spec, op.proc);
         break;
       case XferKind::acc:
-        armci::acc_strided(ga.type == ElemType::dbl ? armci::AccType::float64
-                                                    : armci::AccType::int64,
-                           alpha, local, remote, spec, op.proc);
+        r = armci::nb_acc_strided(ga.type == ElemType::dbl
+                                      ? armci::AccType::float64
+                                      : armci::AccType::int64,
+                                  alpha, local, remote, spec, op.proc);
         break;
     }
+    if (!r.test()) ++batches;  // deferred, not eager: one per-owner batch
+    req.merge(r);
+    ++owners;
   }
+  detail::count_multi_owner(owners, batches);
+  return req;
+}
+
+/// Blocking region access: issue through the engine, complete at one
+/// covering wait (the engine overlaps the per-owner epochs there).
+void region_xfer(GaImpl& ga, XferKind kind, const Patch& region, void* buf,
+                 std::span<const std::int64_t> ld, const void* alpha) {
+  armci::Request req = region_xfer_issue(ga, kind, region, buf, ld, alpha);
+  armci::wait(req);
 }
 
 }  // namespace
@@ -208,6 +246,11 @@ void GlobalArray::put(const Patch& region, const void* buf,
 void GlobalArray::get(const Patch& region, void* buf,
                       std::span<const std::int64_t> ld) const {
   region_xfer(*impl_, XferKind::get, region, buf, ld, nullptr);
+}
+
+armci::Request GlobalArray::nb_get(const Patch& region, void* buf,
+                                   std::span<const std::int64_t> ld) const {
+  return region_xfer_issue(*impl_, XferKind::get, region, buf, ld, nullptr);
 }
 
 void GlobalArray::acc(const Patch& region, const void* buf, const void* alpha,

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/armci/types.hpp"
 #include "src/ga/distribution.hpp"
 
 namespace ga {
@@ -97,6 +98,13 @@ class GlobalArray {
   /// Copy the region [lo, hi] into the local buffer \p buf.
   void get(const Patch& region, void* buf,
            std::span<const std::int64_t> ld = {}) const;
+
+  /// Nonblocking get (GA_NbGet): issue the per-owner reads through the
+  /// ARMCI aggregation engine and return the covering handle;
+  /// armci::wait() on it before touching \p buf. Lets a caller overlap a
+  /// tile fetch with compute (the CCSD driver's double buffering).
+  armci::Request nb_get(const Patch& region, void* buf,
+                        std::span<const std::int64_t> ld = {}) const;
 
   /// array[region] += alpha * buf (element type of the array; \p alpha
   /// points to one element).

@@ -31,12 +31,21 @@ void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
                   const void* alpha) {
   const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
   const std::size_t esz = elem_size(ga.type);
+  if (n < 0)
+    mpisim::raise(Errc::invalid_argument, "negative element count");
   if (subs.size() != static_cast<std::size_t>(n) * nd)
     mpisim::raise(Errc::invalid_argument,
                   "subscript array must hold n * ndim entries");
 
-  // Bucket elements by owner, preserving per-owner order.
-  std::map<int, armci::Giov> per_owner;
+  // Resolve every element's owner and remote address up front. scatter
+  // needs the full list before bucketing: with duplicate subscripts its
+  // semantics are last-writer-wins (location consistency), so only the
+  // final occurrence of each remote element may enter the IOV -- both the
+  // conservative and the direct/deferred paths treat overlapping
+  // destination segments in one descriptor as erroneous.
+  std::vector<std::uint8_t*> remotes(static_cast<std::size_t>(n));
+  std::vector<int> owners_of(static_cast<std::size_t>(n));
+  std::map<const void*, std::int64_t> last_writer;
   for (std::int64_t i = 0; i < n; ++i) {
     const std::span<const std::int64_t> idx =
         subs.subspan(static_cast<std::size_t>(i) * nd, nd);
@@ -45,9 +54,22 @@ void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
     auto* remote =
         static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(proc)]) +
         detail::element_offset(block, idx, esz);
+    remotes[static_cast<std::size_t>(i)] = remote;
+    owners_of[static_cast<std::size_t>(i)] = proc;
+    if (kind == ElemXfer::put) last_writer[remote] = i;
+  }
+
+  // Bucket elements by owner, preserving per-owner order. Duplicates are
+  // dropped only for scatter; gather reads a duplicate into each of its
+  // (distinct) destinations, and scatter_acc applies every contribution --
+  // accumulation is commutative, so all duplicates must land.
+  std::map<int, armci::Giov> per_owner;
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto* remote = remotes[static_cast<std::size_t>(i)];
+    if (kind == ElemXfer::put && last_writer[remote] != i) continue;
     auto* local = static_cast<std::uint8_t*>(values) +
                   static_cast<std::size_t>(i) * esz;
-    armci::Giov& g = per_owner[proc];
+    armci::Giov& g = per_owner[owners_of[static_cast<std::size_t>(i)]];
     g.bytes = esz;
     if (kind == ElemXfer::get) {
       g.src.push_back(remote);
@@ -58,22 +80,33 @@ void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
     }
   }
 
+  // One nonblocking IOV batch per owner, one covering wait: the
+  // aggregation engine overlaps the per-owner epochs (see region_xfer).
   const armci::AccType at = ga.type == ElemType::dbl
                                 ? armci::AccType::float64
                                 : armci::AccType::int64;
+  armci::Request req;
+  int fanout = 0;
+  std::uint64_t batches = 0;
   for (auto& [proc, giov] : per_owner) {
+    armci::Request r;
     switch (kind) {
       case ElemXfer::put:
-        armci::put_iov({&giov, 1}, proc);
+        r = armci::nb_put_iov({&giov, 1}, proc);
         break;
       case ElemXfer::get:
-        armci::get_iov({&giov, 1}, proc);
+        r = armci::nb_get_iov({&giov, 1}, proc);
         break;
       case ElemXfer::acc:
-        armci::acc_iov(at, alpha, {&giov, 1}, proc);
+        r = armci::nb_acc_iov(at, alpha, {&giov, 1}, proc);
         break;
     }
+    if (!r.test()) ++batches;
+    req.merge(r);
+    ++fanout;
   }
+  detail::count_multi_owner(fanout, batches);
+  armci::wait(req);
 }
 
 }  // namespace
@@ -105,16 +138,42 @@ void GlobalArray::elem_multiply(const GlobalArray& a, const GlobalArray& b) {
     mpisim::raise(Errc::invalid_argument,
                   "elem_multiply requires conformable double arrays");
   sync();
+  // Owner-computes only works in place when all three arrays assign this
+  // block to this process; with a different chunk or irregular map the
+  // paired local blocks cover different index ranges, so stage a's and b's
+  // conformable patches one-sidedly instead. The gets happen before the
+  // local-access epoch opens (holding a self-epoch while locking another
+  // window is the §V-E1 trap).
+  const bool aligned =
+      impl_->dist == a.impl_->dist && impl_->dist == b.impl_->dist;
+  std::vector<double> sa, sb;
+  if (!aligned) {
+    const std::int64_t n = impl_->my_patch.num_elems();
+    if (n > 0) {
+      sa.resize(static_cast<std::size_t>(n));
+      sb.resize(static_cast<std::size_t>(n));
+      a.get(impl_->my_patch, sa.data());
+      b.get(impl_->my_patch, sb.data());
+    }
+  }
   Patch p, pa, pb;
   auto* pc = static_cast<double*>(access(p));
-  auto* xa = static_cast<double*>(const_cast<GlobalArray&>(a).access(pa));
-  auto* xb = static_cast<double*>(const_cast<GlobalArray&>(b).access(pb));
-  if (pc != nullptr) {
+  if (aligned) {
+    auto* xa = static_cast<double*>(const_cast<GlobalArray&>(a).access(pa));
+    auto* xb = static_cast<double*>(const_cast<GlobalArray&>(b).access(pb));
+    if (pc != nullptr) {
+      const std::int64_t n = p.num_elems();
+      for (std::int64_t i = 0; i < n; ++i) pc[i] = xa[i] * xb[i];
+    }
+    if (xb != nullptr) const_cast<GlobalArray&>(b).release();
+    if (xa != nullptr) const_cast<GlobalArray&>(a).release();
+  } else if (pc != nullptr) {
     const std::int64_t n = p.num_elems();
-    for (std::int64_t i = 0; i < n; ++i) pc[i] = xa[i] * xb[i];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      pc[i] = sa[k] * sb[k];
+    }
   }
-  if (xb != nullptr) const_cast<GlobalArray&>(b).release();
-  if (xa != nullptr) const_cast<GlobalArray&>(a).release();
   if (pc != nullptr) release_update();
   sync();
 }

@@ -5,6 +5,7 @@
 /// Internal shared state of a GlobalArray (used by the implementation
 /// files ga.cpp / ga_gather.cpp; not part of the public API).
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct GaImpl {
   Patch my_patch;
   int access_depth = 0;
 };
+
+/// Record a multi-owner GA access in armci::stats(): \p owners is the
+/// access's fan-out, \p batches how many of its per-owner ops the
+/// aggregation engine deferred (vs executed eagerly). No-op for owners < 2.
+void count_multi_owner(int owners, std::uint64_t batches);
 
 }  // namespace ga::detail
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/ga/ga.hpp"
+#include "src/ga/ga_impl.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/comm.hpp"
 #include "src/mpisim/runtime.hpp"
@@ -87,16 +88,41 @@ void GlobalArray::add(const void* alpha, const GlobalArray& a,
   const double bv = *static_cast<const double*>(beta);
 
   sync();
+  // Owner-computes in place is only valid when all three arrays give this
+  // process the same block; conformable dims with different chunk hints or
+  // an irregular map used to read the wrong elements here. Mismatched
+  // distributions stage a's and b's conformable patches with one-sided
+  // gets, issued before the local-access epoch opens (§V-E1).
+  const bool aligned =
+      impl_->dist == a.impl_->dist && impl_->dist == b.impl_->dist;
+  std::vector<double> sa, sb;
+  if (!aligned) {
+    const std::int64_t n = local_elems(impl_->my_patch);
+    if (n > 0) {
+      sa.resize(static_cast<std::size_t>(n));
+      sb.resize(static_cast<std::size_t>(n));
+      a.get(impl_->my_patch, sa.data());
+      b.get(impl_->my_patch, sb.data());
+    }
+  }
   Patch p, pa, pb;
   auto* pc = static_cast<double*>(access(p));
-  auto* xa = static_cast<double*>(const_cast<GlobalArray&>(a).access(pa));
-  auto* xb = static_cast<double*>(const_cast<GlobalArray&>(b).access(pb));
-  if (pc != nullptr) {
+  if (aligned) {
+    auto* xa = static_cast<double*>(const_cast<GlobalArray&>(a).access(pa));
+    auto* xb = static_cast<double*>(const_cast<GlobalArray&>(b).access(pb));
+    if (pc != nullptr) {
+      const std::int64_t n = local_elems(p);
+      for (std::int64_t i = 0; i < n; ++i) pc[i] = av * xa[i] + bv * xb[i];
+    }
+    if (xb != nullptr) const_cast<GlobalArray&>(b).release();
+    if (xa != nullptr) const_cast<GlobalArray&>(a).release();
+  } else if (pc != nullptr) {
     const std::int64_t n = local_elems(p);
-    for (std::int64_t i = 0; i < n; ++i) pc[i] = av * xa[i] + bv * xb[i];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      pc[i] = av * sa[k] + bv * sb[k];
+    }
   }
-  if (xb != nullptr) const_cast<GlobalArray&>(b).release();
-  if (xa != nullptr) const_cast<GlobalArray&>(a).release();
   if (pc != nullptr) release_update();
   sync();
 }
@@ -104,15 +130,30 @@ void GlobalArray::add(const void* alpha, const GlobalArray& a,
 void GlobalArray::copy_to(GlobalArray& dst) const {
   require_conformable(*this, dst, "copy");
   sync();
-  Patch p, pd;
-  auto& self = const_cast<GlobalArray&>(*this);
-  auto* src = static_cast<const std::uint8_t*>(self.access(p));
-  auto* d = static_cast<std::uint8_t*>(dst.access(pd));
-  if (src != nullptr)
-    std::memcpy(d, src,
-                static_cast<std::size_t>(local_elems(p)) * elem_size(type()));
-  if (d != nullptr) dst.release_update();
-  if (src != nullptr) self.release();
+  if (impl_->dist == dst.impl_->dist) {
+    Patch p, pd;
+    auto& self = const_cast<GlobalArray&>(*this);
+    auto* src = static_cast<const std::uint8_t*>(self.access(p));
+    auto* d = static_cast<std::uint8_t*>(dst.access(pd));
+    if (src != nullptr)
+      std::memcpy(d, src,
+                  static_cast<std::size_t>(local_elems(p)) * elem_size(type()));
+    if (d != nullptr) dst.release_update();
+    if (src != nullptr) self.release();
+  } else {
+    // Paired blocks cover different index ranges: stage the source patch
+    // that matches dst's block one-sidedly, then write it in place.
+    Patch pd;
+    const std::int64_t n = local_elems(dst.impl_->my_patch);
+    std::vector<std::uint8_t> buf;
+    if (n > 0) {
+      buf.resize(static_cast<std::size_t>(n) * elem_size(type()));
+      get(dst.impl_->my_patch, buf.data());
+    }
+    auto* d = static_cast<std::uint8_t*>(dst.access(pd));
+    if (d != nullptr && !buf.empty()) std::memcpy(d, buf.data(), buf.size());
+    if (d != nullptr) dst.release_update();
+  }
   dst.sync();
 }
 
@@ -121,17 +162,28 @@ double GlobalArray::ddot(const GlobalArray& other) const {
   if (type() != ElemType::dbl)
     mpisim::raise(Errc::invalid_argument, "ddot requires double arrays");
   sync();
+  // Mismatched distributions: stage other's conformable patch before the
+  // local-access epoch (same reasoning as add()).
+  const bool aligned = impl_->dist == other.impl_->dist;
+  std::vector<double> sy;
+  if (!aligned) {
+    const std::int64_t n = local_elems(impl_->my_patch);
+    if (n > 0) {
+      sy.resize(static_cast<std::size_t>(n));
+      other.get(impl_->my_patch, sy.data());
+    }
+  }
   Patch p, po;
   auto& self = const_cast<GlobalArray&>(*this);
   auto& oth = const_cast<GlobalArray&>(other);
   auto* x = static_cast<const double*>(self.access(p));
-  auto* y = static_cast<const double*>(oth.access(po));
+  auto* y = aligned ? static_cast<const double*>(oth.access(po)) : sy.data();
   double local = 0.0;
   if (x != nullptr) {
     const std::int64_t n = local_elems(p);
     for (std::int64_t i = 0; i < n; ++i) local += x[i] * y[i];
   }
-  if (y != nullptr) oth.release();
+  if (aligned && y != nullptr) oth.release();
   if (x != nullptr) self.release();
   double total = 0.0;
   mpisim::world().allreduce(&local, &total, 1, mpisim::BasicType::float64,

@@ -96,6 +96,63 @@ using detail::Epoch;
 using detail::TargetState;
 using detail::WinImpl;
 
+// ---------------------------------------------------------------------------
+// EpochPipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Innermost pipeline scope of the calling rank (one rank == one thread).
+thread_local EpochPipeline* g_active_pipeline = nullptr;
+
+}  // namespace
+
+EpochPipeline::EpochPipeline() : prev_(g_active_pipeline) {
+  g_active_pipeline = this;
+}
+
+EpochPipeline::~EpochPipeline() {
+  g_active_pipeline = prev_;
+  const double ns = pending_ns();
+  if (ns > 0.0) ctx().clock().advance(ns);
+}
+
+EpochPipeline* EpochPipeline::active() noexcept { return g_active_pipeline; }
+
+void EpochPipeline::defer_round_trip(std::uint64_t win_id, int target_rank,
+                                     double ns) {
+  if (ns <= 0.0) return;
+  for (Chain& c : chains_) {
+    if (c.win_id == win_id && c.target_rank == target_rank) {
+      c.ns += ns;
+      return;
+    }
+  }
+  chains_.push_back(Chain{win_id, target_rank, ns});
+}
+
+double EpochPipeline::pending_ns() const noexcept {
+  double mx = 0.0;
+  for (const Chain& c : chains_) mx = std::max(mx, c.ns);
+  return mx;
+}
+
+namespace detail {
+namespace {
+
+/// Charge \p round_trip_ns of initiator-blocked epoch wait: diverted into
+/// the active pipeline scope's per-target chain, or straight to the clock.
+void charge_round_trip(RankContext& me, const WinImpl& w, int target_rank,
+                       double round_trip_ns) {
+  if (EpochPipeline* pl = EpochPipeline::active())
+    pl->defer_round_trip(w.id, target_rank, round_trip_ns);
+  else
+    me.clock().advance(round_trip_ns);
+}
+
+}  // namespace
+}  // namespace detail
+
 Win::Win(std::shared_ptr<WinImpl> impl) : impl_(std::move(impl)) {}
 
 Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
@@ -194,9 +251,11 @@ void Win::lock(LockType type, int target_rank) const {
 
   // Virtual time: a lock round trip; exclusive epochs additionally serialize
   // behind the previous exclusive epoch's completion time. A fault plan may
-  // charge an extra lock-grant stall here.
-  me.clock().advance(core.model().lock_ns() +
-                     me.fault().draw_lock_stall_ns());
+  // charge an extra lock-grant stall here. The round trip may be diverted
+  // into an EpochPipeline scope; the busy-until serialization never is.
+  detail::charge_round_trip(me, w, target_rank,
+                            core.model().lock_ns() +
+                                me.fault().draw_lock_stall_ns());
   if (type == LockType::exclusive) me.clock().advance_to(ts.busy_until_ns);
   if (me.tracer().enabled()) {
     WinStats& ws = me.tracer().win(w.id);
@@ -235,7 +294,7 @@ void Win::unlock(int target_rank) const {
   ts.open.erase(it);
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
 
-  me.clock().advance(core.model().unlock_ns());
+  detail::charge_round_trip(me, w, target_rank, core.model().unlock_ns());
   if (was_exclusive)
     ts.busy_until_ns = std::max(ts.busy_until_ns, me.clock().now_ns());
   core.note_time_locked(me.clock().now_ns());
@@ -331,8 +390,9 @@ void Win::flush(int target_rank) const {
   // trip; afterwards the next operation pays wire latency again.
   if (it->second.ops_issued > 0) {
     it->second.ops_issued = 0;
-    me.clock().advance(core.model().unlock_ns() +
-                       core.model().p2p_ns(0));
+    detail::charge_round_trip(me, w, target_rank,
+                              core.model().unlock_ns() +
+                                  core.model().p2p_ns(0));
   }
   if (me.tracer().enabled()) {
     ++me.tracer().win(w.id).flushes;

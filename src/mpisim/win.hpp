@@ -46,6 +46,53 @@ namespace detail {
 struct WinImpl;
 }
 
+/// RAII scope that overlaps the initiator-blocked round-trip costs of
+/// passive-target epochs opened to *distinct* targets.
+///
+/// Outside a scope, every lock/unlock (and MPI-3 flush) advances the
+/// caller's virtual clock by the full request/acknowledge round trip, so k
+/// epochs to k different targets serialize into k round trips even though a
+/// real nonblocking runtime would have all k requests in flight at once.
+/// Inside a scope those round-trip charges are diverted into per-(window,
+/// target) chains instead; charges to the same target still sum (they
+/// genuinely serialize at that target), and the scope's destructor advances
+/// the clock once by the *longest* chain. Data-transfer, packing, and
+/// target-occupancy costs are never diverted -- they stay serial on the
+/// initiator -- and neither is the busy-until serialization of exclusive
+/// locks, so contention semantics are unchanged.
+///
+/// Used by the ARMCI nonblocking aggregation engine when one completion
+/// point drains queues bound for several targets (the GA layer's per-owner
+/// pipelining). Scopes nest; an inner scope charges its own maximum at its
+/// own exit. One rank is one simulator thread, so the active scope is
+/// thread-local.
+class EpochPipeline {
+ public:
+  EpochPipeline();
+  ~EpochPipeline();
+  EpochPipeline(const EpochPipeline&) = delete;
+  EpochPipeline& operator=(const EpochPipeline&) = delete;
+
+  /// The innermost scope on the calling rank, or nullptr.
+  static EpochPipeline* active() noexcept;
+
+  /// Divert \p ns of round-trip wait bound for \p target_rank of window
+  /// \p win_id into that target's chain.
+  void defer_round_trip(std::uint64_t win_id, int target_rank, double ns);
+
+  /// Longest chain accumulated so far (what the destructor will charge).
+  double pending_ns() const noexcept;
+
+ private:
+  struct Chain {
+    std::uint64_t win_id = 0;
+    int target_rank = -1;
+    double ns = 0.0;
+  };
+  std::vector<Chain> chains_;
+  EpochPipeline* prev_ = nullptr;
+};
+
 /// Value handle to an RMA window. Cheap to copy; all copies refer to the
 /// same collective window object.
 class Win {

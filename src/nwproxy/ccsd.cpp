@@ -56,20 +56,34 @@ void decode_triple(std::int64_t task, std::int64_t no, std::int64_t& i,
 /// data dependency.
 void run_ccsd_task(const CcsdParams& p, const Amplitudes& t2,
                    Amplitudes& t2new, std::int64_t at, std::int64_t bt,
-                   std::vector<double>& c_buf, std::vector<double>& b_buf) {
+                   std::vector<double>& c_buf, std::vector<double>& b_buf,
+                   std::vector<double>& b_next) {
   const std::int64_t rows = t2.rows();
   const std::int64_t wb = t2.tile_width(bt);
   c_buf.assign(static_cast<std::size_t>(rows * wb), 0.0);
 
-  for (std::int64_t kt = 0; kt < t2.ntiles(); ++kt) {
+  // Double-buffered tile pipeline: the next tile's nb_get is issued before
+  // contracting the current one, so its per-owner batches sit deferred
+  // through the contraction and complete -- epochs overlapped across
+  // owners -- at the next wait instead of serializing get-then-compute.
+  auto issue_tile = [&](std::int64_t kt, std::vector<double>& buf) {
     const auto [klo, khi] = t2.tile_cols(kt);
-    const std::int64_t wk = khi - klo + 1;
-    b_buf.resize(static_cast<std::size_t>(rows * wk));
+    buf.resize(static_cast<std::size_t>(rows * (khi - klo + 1)));
     ga::Patch patch;
     patch.lo = {0, klo};
     patch.hi = {rows - 1, khi};
-    t2.array().get(patch, b_buf.data());
+    return t2.array().nb_get(patch, buf.data());
+  };
 
+  const std::int64_t ntiles = t2.ntiles();
+  armci::Request pending;
+  if (ntiles > 0) pending = issue_tile(0, b_buf);
+  for (std::int64_t kt = 0; kt < ntiles; ++kt) {
+    armci::wait(pending);
+    if (kt + 1 < ntiles) pending = issue_tile(kt + 1, b_next);
+
+    const auto [klo, khi] = t2.tile_cols(kt);
+    const std::int64_t wk = khi - klo + 1;
     const double v = v_coeff(at, bt, kt);
     const std::int64_t w = std::min(wb, wk);
     for (std::int64_t r = 0; r < rows; ++r)
@@ -77,6 +91,7 @@ void run_ccsd_task(const CcsdParams& p, const Amplitudes& t2,
         c_buf[static_cast<std::size_t>(r * wb + x)] +=
             v * b_buf[static_cast<std::size_t>(r * wk + x)];
     charge_flops(ccsd_task_flops(p));
+    std::swap(b_buf, b_next);  // the prefetched tile becomes current
   }
 
   const auto [blo, bhi] = t2new.tile_cols(bt);
@@ -115,7 +130,7 @@ PhaseResult run_ccsd(const CcsdParams& p, Amplitudes& t2) {
   res.total_tasks = ccsd_tasks(p);
   const double t0 = mpisim::clock().now_ns();
 
-  std::vector<double> c_buf, b_buf;
+  std::vector<double> c_buf, b_buf, b_next;
   for (int iter = 0; iter < p.iterations; ++iter) {
     t2new.array().zero();
     counter.reset(0);
@@ -135,7 +150,7 @@ PhaseResult run_ccsd(const CcsdParams& p, Amplitudes& t2) {
         const std::int64_t mixed = (task * 7919) % res.total_tasks;
         std::int64_t at = 0, bt = 0;
         decode_pair(mixed, at, bt);
-        run_ccsd_task(p, t2, t2new, at, bt, c_buf, b_buf);
+        run_ccsd_task(p, t2, t2new, at, bt, c_buf, b_buf, b_next);
         ++res.my_tasks;
       }
     }
@@ -180,17 +195,20 @@ PhaseResult run_triples(const CcsdParams& p, const Amplitudes& t2) {
       std::int64_t i = 0, j = 0, k = 0;
       decode_triple(task, p.no, i, j, k);
 
-      // Fetch the amplitude rows of the three pair indices (get-heavy).
+      // Fetch the amplitude rows of the three pair indices (get-heavy):
+      // issue all three nonblocking, complete at one covering wait so the
+      // engine overlaps the rows' epochs when they live on different owners.
       auto fetch_row = [&](std::int64_t a, std::int64_t b,
                            std::vector<double>& buf) {
         ga::Patch patch;
         patch.lo = {a * p.no + b, 0};
         patch.hi = {a * p.no + b, cols - 1};
-        t2.array().get(patch, buf.data());
+        return t2.array().nb_get(patch, buf.data());
       };
-      fetch_row(i, j, b1);
-      fetch_row(j, k, b2);
-      fetch_row(i, k, b3);
+      armci::Request rows_req = fetch_row(i, j, b1);
+      rows_req.merge(fetch_row(j, k, b2));
+      rows_req.merge(fetch_row(i, k, b3));
+      armci::wait(rows_req);
 
       // Triples kernel stand-in: reduce the three rows into one energy
       // contribution; the real ~nv^3 kernel's time is charged instead.

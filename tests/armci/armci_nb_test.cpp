@@ -416,6 +416,53 @@ TEST(ArmciNbTest, StridedOpsDeferAndKeepOrder) {
   });
 }
 
+TEST(ArmciNbTest, InterleavedLocalSegmentsAcrossTargetsStayDeferred) {
+  mpisim::run(3, Platform::ideal, [] {
+    init();
+    constexpr std::size_t kSeg = 16, kN = 8;
+    std::vector<void*> bases = malloc_world(kSeg * kN);
+    barrier();
+    if (mpisim::rank() == 0) {
+      std::vector<std::uint8_t> s1(kSeg * kN), s2(kSeg * kN);
+      for (std::size_t i = 0; i < s1.size(); ++i) {
+        s1[i] = static_cast<std::uint8_t>(i * 3 + 1);
+        s2[i] = static_cast<std::uint8_t>(i * 5 + 2);
+      }
+      put(s1.data(), bases[1], s1.size(), 1);
+      put(s2.data(), bases[2], s2.size(), 2);
+
+      // Two deferred gets from different targets interleave their local
+      // segments in one buffer: target 1 fills the even kSeg-slots, target
+      // 2 the odd ones. The bounding boxes overlap almost entirely, but
+      // the per-segment local hazard tracking must see the footprints are
+      // disjoint and keep both deferred -- no spurious conflict flush.
+      reset_stats();
+      std::vector<std::uint8_t> back(2 * kSeg * kN, 0);
+      StridedSpec spec;
+      spec.stride_levels = 1;
+      spec.count = {kSeg, kN};
+      spec.src_strides = {kSeg};
+      spec.dst_strides = {2 * kSeg};
+      Request r1 = nb_get_strided(bases[1], back.data(), spec, 1);
+      Request r2 = nb_get_strided(bases[2], back.data() + kSeg, spec, 2);
+      EXPECT_EQ(stats().nb_deferred, 2u);
+      EXPECT_EQ(stats().nb_conflict_flushes, 0u);
+      EXPECT_FALSE(r1.test());
+      EXPECT_FALSE(r2.test());
+      wait_all();
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t b = 0; b < kSeg; ++b) {
+          EXPECT_EQ(back[(2 * i) * kSeg + b], s1[i * kSeg + b]);
+          EXPECT_EQ(back[(2 * i + 1) * kSeg + b], s2[i * kSeg + b]);
+        }
+      }
+    }
+    barrier();
+    free_mine(bases);
+    finalize();
+  });
+}
+
 TEST(ArmciNbTest, IovOpsDeferAndComplete) {
   mpisim::run(2, Platform::ideal, [] {
     init();

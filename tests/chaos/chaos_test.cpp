@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "src/armci/armci.hpp"
+#include "src/ga/ga.hpp"
 #include "src/mpisim/runtime.hpp"
 
 namespace armci {
@@ -215,6 +217,70 @@ std::function<void()> nb_workload(int rounds) {
   };
 }
 
+/// Multi-owner GA workload: a column-tiled array gives every rank one tile,
+/// and each rank's working patch is its own row across ALL tiles, so every
+/// put/get/acc fans out one pipelined per-owner batch to each rank while
+/// keeping a single writer per element (conflict-free under the RMA
+/// checker). The round-trip data checks double as per-owner batch replay
+/// checks: a transiently failed owner epoch must replay without losing or
+/// double-applying any other owner's batch, and the accumulate slot catches
+/// double-application directly.
+std::function<void()> ga_workload(int rounds) {
+  return [rounds] {
+    const int me = mpisim::rank();
+    const int n = mpisim::nranks();
+    const std::int64_t cols_per = 4;
+    const std::int64_t cols = n * cols_per;
+    const std::int64_t dims[] = {n, cols};
+    const std::int64_t chunk[] = {n, 1};  // one column tile per rank
+    ga::GlobalArray g =
+        ga::GlobalArray::create("chaos", dims, ga::ElemType::dbl, chunk);
+    g.zero();
+
+    ga::Patch myrow;
+    myrow.lo = {me, 0};
+    myrow.hi = {me, cols - 1};
+    std::vector<double> vals(static_cast<std::size_t>(cols));
+    std::vector<double> back(static_cast<std::size_t>(cols));
+    for (int r = 0; r < rounds; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c)
+        vals[static_cast<std::size_t>(c)] =
+            me * 1000000.0 + r * 100.0 + static_cast<double>(c);
+      g.put(myrow, vals.data());
+      g.sync();
+
+      std::fill(back.begin(), back.end(), -1.0);
+      g.get(myrow, back.data());
+      EXPECT_EQ(back, vals);  // single writer per row
+
+      const double one = 1.0;
+      std::vector<double> inc(static_cast<std::size_t>(cols), 1.0);
+      g.acc(myrow, inc.data(), &one);
+      g.sync();
+
+      // Element-wise gather across every owner, duplicate subscripts
+      // included (each listed element must come back identically).
+      std::vector<std::int64_t> subs;
+      for (std::int64_t c = 0; c < cols; c += cols_per) {
+        subs.push_back(me);
+        subs.push_back(c);
+        subs.push_back(me);
+        subs.push_back(c);
+      }
+      const auto ng = static_cast<std::int64_t>(subs.size() / 2);
+      std::vector<double> gathered(static_cast<std::size_t>(ng), 0.0);
+      g.gather(gathered.data(), subs, ng);
+      for (std::int64_t i = 0; i < ng; ++i) {
+        const std::int64_t c = subs[static_cast<std::size_t>(2 * i + 1)];
+        EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(i)],
+                         vals[static_cast<std::size_t>(c)] + 1.0);
+      }
+      g.sync();
+    }
+    g.destroy();
+  };
+}
+
 class ChaosBackendTest : public ::testing::TestWithParam<Backend> {};
 
 TEST_P(ChaosBackendTest, RankCrashAbortsEverySurvivor) {
@@ -299,6 +365,60 @@ TEST_P(ChaosBackendTest, NbAggregationReplaysThroughTransientFaults) {
   } else {
     // The coalesced flush epochs are retry sites like any other: queued
     // batches must replay transparently.
+    EXPECT_GT(total_retries, 0u)
+        << "the schedule injected no transient faults; raise the rate";
+  }
+}
+
+TEST_P(ChaosBackendTest, GaMultiOwnerCrashSurfacesClassifiedErrors) {
+  mpisim::Config cfg;
+  cfg.nranks = 4;
+  cfg.platform = Platform::infiniband;
+  cfg.fault.seed = chaos_seed();
+  cfg.fault.crashes = {{1, 3000.0}};
+  Options opts;
+  opts.backend = GetParam();
+
+  // The crashed owner must surface Errc::crashed out of the GA-layer
+  // covering wait on its own rank, and every survivor's multi-owner access
+  // must end as a classified abort, not a hang: flush_group drains the
+  // healthy owners' queues before rethrowing the failure.
+  const ChaosResult res = run_chaos(cfg, opts, ga_workload(25));
+  expect_invariants(res);
+  EXPECT_FALSE(res.top_error.empty());
+  EXPECT_EQ(res.ranks[1].kind, Kind::crashed) << res.ranks[1].what;
+  for (const std::size_t r : {0u, 2u, 3u})
+    EXPECT_EQ(res.ranks[r].kind, Kind::aborted)
+        << "rank " << r << ": " << res.ranks[r].what;
+}
+
+TEST_P(ChaosBackendTest, GaMultiOwnerReplaysThroughTransientFaults) {
+  mpisim::Config cfg;
+  cfg.nranks = 4;
+  cfg.platform = Platform::infiniband;
+  cfg.fault.seed = chaos_seed();
+  cfg.fault.transient.rate = 0.05;
+  cfg.fault.transient.fail_count = 1;
+  cfg.fault.transient.stall_ns = 100.0;
+  Options opts;
+  opts.backend = GetParam();
+
+  const ChaosResult res = run_chaos(cfg, opts, ga_workload(20));
+  expect_invariants(res);
+  EXPECT_TRUE(res.top_error.empty()) << res.top_error;
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(res.ranks[r].kind, Kind::completed)
+        << "rank " << r << ": " << res.ranks[r].what;
+    EXPECT_EQ(res.exhausted[r], 0u);
+  }
+  const std::uint64_t total_retries =
+      std::accumulate(res.retries.begin(), res.retries.end(),
+                      std::uint64_t{0});
+  if (GetParam() == Backend::native) {
+    EXPECT_EQ(total_retries, 0u);
+  } else {
+    // Per-owner batches are replayed at their flush epochs; the workload's
+    // round-trip checks prove nothing was lost or double-applied.
     EXPECT_GT(total_retries, 0u)
         << "the schedule injected no transient faults; raise the rate";
   }

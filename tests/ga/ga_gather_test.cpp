@@ -222,6 +222,113 @@ TEST_P(GaGatherTest, RandomScatterGatherProperty) {
   });
 }
 
+// A negative element count used to be cast straight to size_t and read as
+// a huge request; it must raise invalid_argument from all three entry
+// points before any subscript is touched.
+TEST_P(GaGatherTest, NegativeElementCountThrows) {
+  for (int which = 0; which < 3; ++which) {
+    EXPECT_THROW(
+        mpisim::run(2, Platform::ideal,
+                    [&] {
+                      armci::init(opts());
+                      const std::int64_t dims[] = {8, 8};
+                      GlobalArray g =
+                          GlobalArray::create("neg", dims, ElemType::dbl);
+                      std::vector<std::int64_t> subs{1, 2};
+                      double v = 1.0;
+                      const double alpha = 1.0;
+                      if (which == 0)
+                        g.scatter(&v, subs, -1);
+                      else if (which == 1)
+                        g.gather(&v, subs, -1);
+                      else
+                        g.scatter_acc(&v, subs, -1, &alpha);
+                    }),
+        mpisim::MpiError);
+  }
+}
+
+// GA_Scatter with a duplicated subscript stores the last value listed for
+// that element (last-writer-wins), not an arbitrary interleaving of the
+// per-owner batches.
+TEST_P(GaGatherTest, ScatterDuplicateSubscriptLastWriterWins) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {16, 16};
+    GlobalArray g = GlobalArray::create("dup", dims, ElemType::dbl);
+    g.zero();
+    if (mpisim::rank() == 0) {
+      // Element (3,5) appears three times, (9,2) twice.
+      std::vector<std::int64_t> subs{3, 5, 9, 2, 3, 5, 9, 2, 3, 5};
+      std::vector<double> vals{1.0, 10.0, 2.0, 20.0, 3.0};
+      g.scatter(vals.data(), subs, 5);
+      armci::fence_all();
+
+      std::vector<std::int64_t> q{3, 5, 9, 2};
+      std::vector<double> back(2, -1.0);
+      g.gather(back.data(), q, 2);
+      EXPECT_DOUBLE_EQ(back[0], 3.0);
+      EXPECT_DOUBLE_EQ(back[1], 20.0);
+    }
+    g.sync();
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+// Gather may list the same element any number of times; every copy of the
+// subscript returns the same stored value.
+TEST_P(GaGatherTest, GatherDuplicateSubscriptsReturnSameValue) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {16, 16};
+    GlobalArray g = GlobalArray::create("gdup", dims, ElemType::dbl);
+    g.zero();
+    if (mpisim::rank() == 0) {
+      std::vector<std::int64_t> one{11, 13};
+      double v = 42.5;
+      g.scatter(&v, one, 1);
+      armci::fence_all();
+
+      std::vector<std::int64_t> subs{11, 13, 11, 13, 11, 13, 11, 13};
+      std::vector<double> back(4, 0.0);
+      g.gather(back.data(), subs, 4);
+      for (double x : back) EXPECT_DOUBLE_EQ(x, 42.5);
+    }
+    g.sync();
+    g.destroy();
+    armci::finalize();
+  });
+}
+
+// scatter_acc is an accumulate, so duplicated subscripts are NOT collapsed:
+// every occurrence contributes (unlike scatter's last-writer-wins).
+TEST_P(GaGatherTest, ScatterAccDuplicateSubscriptsAllApply) {
+  mpisim::run(4, Platform::ideal, [&] {
+    armci::init(opts());
+    const std::int64_t dims[] = {16, 16};
+    GlobalArray g = GlobalArray::create("adup", dims, ElemType::dbl);
+    g.zero();
+    g.sync();
+    if (mpisim::rank() == 0) {
+      std::vector<std::int64_t> subs{2, 2, 2, 2, 2, 2, 4, 4};
+      std::vector<double> vals{1.0, 2.0, 3.0, 10.0};
+      const double alpha = 2.0;
+      g.scatter_acc(vals.data(), subs, 4, &alpha);
+      armci::fence_all();
+
+      std::vector<std::int64_t> q{2, 2, 4, 4};
+      std::vector<double> back(2, 0.0);
+      g.gather(back.data(), q, 2);
+      EXPECT_DOUBLE_EQ(back[0], 12.0);  // 2 * (1 + 2 + 3)
+      EXPECT_DOUBLE_EQ(back[1], 20.0);  // 2 * 10
+    }
+    g.sync();
+    g.destroy();
+    armci::finalize();
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, GaGatherTest,
                          ::testing::Values(armci::Backend::mpi,
                                            armci::Backend::native,
