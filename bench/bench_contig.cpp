@@ -24,7 +24,47 @@ void run_point(benchmark::State& state, mpisim::Platform plat,
   state.counters["bytes"] = static_cast<double>(bytes);
 }
 
+void run_locality_point(benchmark::State& state, armci::Backend backend,
+                        Xfer op, std::size_t bytes, bool co_located) {
+  bench::LocalityPoint p;
+  for (auto _ : state) {
+    p = bench::contig_locality(mpisim::Platform::infiniband, backend, op,
+                               bytes, co_located);
+    state.SetIterationTime(p.us_per_op * 1e-6);
+  }
+  state.counters["us/op"] = p.us_per_op;
+  state.counters["GiB/s"] = p.gibps;
+  state.counters["epochs"] = static_cast<double>(p.epoch_ops);
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+/// Intra-node vs cross-node latency/bandwidth curves on the MPI-3 backend
+/// (infiniband profile, 8 ranks per node): the intra rows ride the
+/// shared-memory direct path and must report zero epoch traffic.
+void register_locality() {
+  for (Xfer op : {Xfer::get, Xfer::put, Xfer::acc}) {
+    for (bool co_located : {true, false}) {
+      for (int logb = 3; logb <= 21; logb += 3) {
+        const std::size_t bytes = std::size_t{1} << logb;
+        std::string name = std::string("Locality/ib/") +
+                           (co_located ? "intra" : "cross") + "/" +
+                           bench::xfer_name(op) + "/" + std::to_string(bytes);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [op, bytes, co_located](benchmark::State& st) {
+              run_locality_point(st, armci::Backend::mpi3, op, bytes,
+                                 co_located);
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+}
+
 void register_all() {
+  register_locality();
   for (mpisim::Platform plat : mpisim::kPaperPlatforms) {
     for (Xfer op : {Xfer::get, Xfer::put, Xfer::acc}) {
       for (auto backend : {armci::Backend::native, armci::Backend::mpi}) {

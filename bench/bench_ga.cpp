@@ -87,7 +87,88 @@ GaPoint ga_sweep(armci::Backend backend, GaOp op, int k, bool pipelined,
   return res;
 }
 
+/// Node-aware vs linear mapping on a co-located config: 16 ranks, 4 per
+/// node, a 64x64 double array split 4x4. Rank 0 works its neighborhood (the
+/// 32x32 quadrant containing its own tile, i.e. 4 adjacent tiles). Under
+/// NodeMapping::node_aware those tiles all live on rank 0's node, so every
+/// per-owner transfer rides the MPI-3 shared-memory direct path and the
+/// lock-epoch counter stays flat; the linear mapping spreads them over two
+/// nodes and pays lock/flush epochs for the remote half.
+GaPoint ga_locality(ga::NodeMapping mapping, int reps = 6) {
+  GaPoint res;
+  mpisim::Config cfg;
+  cfg.nranks = 16;
+  cfg.platform = mpisim::Platform::infiniband;
+  cfg.ranks_per_node = 4;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = armci::Backend::mpi3;
+    o.trace = true;
+    armci::init(o);
+
+    const std::int64_t dims[] = {64, 64};
+    ga::GlobalArray g =
+        ga::GlobalArray::create("locality", dims, ga::ElemType::dbl, {},
+                                mapping);
+    g.zero();
+
+    ga::Patch region;
+    region.lo = {0, 0};
+    region.hi = {31, 31};
+    std::vector<double> buf(static_cast<std::size_t>(region.num_elems()));
+    std::iota(buf.begin(), buf.end(), 1.0);
+
+    if (mpisim::rank() == 0) {
+      auto round = [&] {
+        g.put(region, buf.data());
+        g.get(region, buf.data());
+      };
+      round();  // warm-up
+      // mpi3 never locks (standing lock_all), so count flushes too: the
+      // remote half of the linear mapping pays one flush per get batch,
+      // the node-aware mapping none.
+      const std::uint64_t epochs0 = bench::epoch_traffic();
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) round();
+      res.us = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+      res.epochs =
+          (bench::epoch_traffic() - epochs0) / static_cast<unsigned>(reps);
+    }
+    g.sync();
+    bench::Reporter::instance().capture_rank();
+    g.destroy();
+    armci::finalize();
+  });
+  return res;
+}
+
+void register_locality() {
+  for (ga::NodeMapping mapping :
+       {ga::NodeMapping::linear, ga::NodeMapping::node_aware}) {
+    const bool aware = mapping == ga::NodeMapping::node_aware;
+    std::string name = std::string("GaLocality/ib/mpi3/") +
+                       (aware ? "node_aware" : "linear");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [mapping, name](benchmark::State& st) {
+          GaPoint p;
+          for (auto _ : st) {
+            p = ga_locality(mapping);
+            st.SetIterationTime(p.us * 1e-6);
+          }
+          st.counters["epochs"] = static_cast<double>(p.epochs);
+          bench::Reporter::instance().add_point(name + "/us", p.us, "us");
+          bench::Reporter::instance().add_point(
+              name + "/epochs", static_cast<double>(p.epochs), "epochs");
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
 void register_all() {
+  register_locality();
   for (armci::Backend backend : {armci::Backend::mpi, armci::Backend::mpi3}) {
     for (GaOp op : {GaOp::get, GaOp::put}) {
       for (int k : {4, 8}) {

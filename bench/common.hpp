@@ -98,6 +98,97 @@ inline double contig_bw(mpisim::Platform plat, armci::Backend backend,
   return result;
 }
 
+/// Epoch traffic of the calling rank: lock/lock_all acquisitions plus
+/// flushes, over every window. The intra-node direct path must leave this
+/// flat while it moves data.
+inline std::uint64_t epoch_traffic() {
+  std::uint64_t n = 0;
+  for (const auto& [id, ws] : mpisim::tracer().win_stats())
+    n += ws.exclusive_locks + ws.shared_locks + ws.lock_alls + ws.flushes;
+  return n;
+}
+
+/// One point of the intra-node vs cross-node curves: latency, bandwidth,
+/// and epoch traffic of the timed loop, plus the locality classification
+/// counters (armci_ops_same_node / _remote) so the report can prove which
+/// path ran.
+struct LocalityPoint {
+  double us_per_op = 0.0;
+  double gibps = 0.0;
+  std::uint64_t epoch_ops = 0;
+  std::uint64_t ops_same_node = 0;
+  std::uint64_t ops_remote = 0;
+};
+
+/// Contiguous transfer between two ranks whose node placement is chosen by
+/// \p co_located: true pins both on one node (the shared-memory direct path
+/// on the MPI-3 backend), false gives each its own node (the lock/flush
+/// path). Everything else matches contig_bw.
+inline LocalityPoint contig_locality(mpisim::Platform plat,
+                                     armci::Backend backend, Xfer op,
+                                     std::size_t bytes, bool co_located,
+                                     int reps = 0) {
+  if (reps == 0) reps = bytes >= (std::size_t{1} << 20) ? 3 : 16;
+  LocalityPoint res;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = plat;
+  cfg.ranks_per_node = co_located ? 2 : 1;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    o.metrics = true;
+    o.trace = true;
+    armci::init(o);
+    std::vector<void*> bases = armci::malloc_world(bytes);
+    auto* local = static_cast<double*>(armci::malloc_local(bytes));
+    std::memset(local, 1, bytes);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      const double one = 1.0;
+      auto issue = [&] {
+        switch (op) {
+          case Xfer::get: armci::get(bases[1], local, bytes, 1); break;
+          case Xfer::put: armci::put(local, bases[1], bytes, 1); break;
+          case Xfer::acc:
+            armci::acc(armci::AccType::float64, &one, local, bases[1], bytes,
+                       1);
+            break;
+        }
+      };
+      issue();  // warm-up
+      const std::uint64_t epochs0 = epoch_traffic();
+      const std::uint64_t same0 = armci::stats().ops_same_node;
+      const std::uint64_t remote0 = armci::stats().ops_remote;
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) issue();
+      const double elapsed_ns = mpisim::clock().now_ns() - t0;
+      res.us_per_op = elapsed_ns * 1e-3 / reps;
+      res.gibps = static_cast<double>(bytes) * reps / (elapsed_ns * 1e-9) /
+                  kGiB;
+      res.epoch_ops = epoch_traffic() - epochs0;
+      res.ops_same_node = armci::stats().ops_same_node - same0;
+      res.ops_remote = armci::stats().ops_remote - remote0;
+    }
+    armci::barrier();
+    Reporter::instance().capture_rank();
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  const std::string stem = std::string("locality/") +
+                           mpisim::platform_id(plat) + "/" +
+                           (co_located ? "intra" : "cross") + "/" +
+                           xfer_name(op) + "/" + backend_name(backend) + "/" +
+                           std::to_string(bytes);
+  Reporter::instance().add_point(stem + "/us", res.us_per_op, "us");
+  Reporter::instance().add_point(stem + "/bw", res.gibps, "GiB/s");
+  Reporter::instance().add_point(stem + "/epochs",
+                                 static_cast<double>(res.epoch_ops),
+                                 "epochs");
+  return res;
+}
+
 /// Strided method selector for Fig. 4 (Native is the native backend; the
 /// rest are ARMCI-MPI methods).
 enum class StridedImpl { native, direct, iov_direct, iov_batched, iov_consrv };

@@ -140,8 +140,12 @@ std::vector<void*> malloc_impl(std::size_t bytes, const PGroup& group) {
 
   // Allocate the local slice. The Gmr record owns it, so it is released
   // both on the collective armci::free path and when an aborted run tears
-  // down ProcState with allocations still live.
-  if (bytes > 0) gmr->local_slice.reset(::operator new(bytes));
+  // down ProcState with allocations still live. Shared-window backends
+  // allocate nothing here: the window owns one block per node, and
+  // gmr_created() overwrites the bases with the window's (the exchange
+  // below still agrees on the sizes).
+  if (bytes > 0 && !st.backend->uses_shared_windows())
+    gmr->local_slice.reset(::operator new(bytes));
   void* base = gmr->local_slice.get();
 
   // §V-B: all participants exchange their base addresses to build the base
@@ -260,6 +264,11 @@ void contig_op(OneSided kind, const void* remote, void* local,
   st.nb.flush_for_blocking(st, proc, local, bytes,
                            /*local_write=*/kind == OneSided::get);
   GmrLoc loc = st.table.require(proc, remote, bytes);
+  switch (loc.locality) {
+    case GmrLoc::Locality::self: ++st.stats.ops_self; break;
+    case GmrLoc::Locality::same_node: ++st.stats.ops_same_node; break;
+    case GmrLoc::Locality::remote: ++st.stats.ops_remote; break;
+  }
   st.backend->contig(kind, loc, local, bytes, at, scale);
 }
 

@@ -71,6 +71,21 @@ class CommBackend {
   virtual void access_begin(const GmrLoc& loc) = 0;
   virtual void access_end(const GmrLoc& loc) = 0;
 
+  /// True when this backend exposes GMRs through shared-memory windows
+  /// (Win::allocate_shared): malloc leaves the slice allocation to the
+  /// window, which owns one node-spanning block per node, instead of
+  /// allocating a private local slice.
+  virtual bool uses_shared_windows() const { return false; }
+
+  /// True when \p loc is served by the backend's direct same-node data path
+  /// (shared-memory load/store instead of an epoch). The nb engine must not
+  /// defer such ops: the eager path already completes them at memcpy speed,
+  /// and batching them into a flush epoch would only add round trips.
+  virtual bool direct_path(const GmrLoc& loc) const {
+    (void)loc;
+    return false;
+  }
+
   /// True if this backend accepts deferred nb_* batches via flush_queue().
   /// False (the default) makes every nb_* op execute eagerly through the
   /// blocking entry points above -- correct for backends whose per-op

@@ -86,6 +86,9 @@ void MpiBackend::staged_local_copy(void* dst, const void* src,
 
 void MpiBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
                         std::size_t bytes, AccType at, const void* scale) {
+  if (kind == OneSided::acc && bytes % acc_type_size(at) != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "accumulate length not a multiple of the element size");
   TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi.contig", bytes);
   const Gmr& gmr = *loc.gmr;
   const LockType lt = epoch_lock(gmr, kind);
@@ -249,6 +252,9 @@ void MpiBackend::iov_batched(OneSided kind, const Giov& giov, int proc,
 
   const std::size_t limit = st_->opts.iov_batched_limit;
   const std::size_t esz = acc_type_size(at);
+  if (kind == OneSided::acc && bytes % esz != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "IOV segment length not a multiple of the element size");
   const Datatype d = Datatype::basic(basic_type_of_acc(at));
   for (const auto& [gmr_ptr, idxs] : groups) {
     const Gmr& gmr = *locs[idxs.front()].gmr;
@@ -474,6 +480,10 @@ void MpiBackend::flush_queue(const Gmr& gmr, int target_rank,
           break;
         case OneSided::acc: {
           const std::size_t esz = acc_type_size(op.at);
+          if (op.bytes % esz != 0)
+            mpisim::raise(Errc::invalid_argument,
+                          "accumulate length not a multiple of the element "
+                          "size");
           const Datatype d = Datatype::basic(basic_type_of_acc(op.at));
           gmr.win.accumulate(op.local, op.bytes / esz, d, target_rank,
                              op.offset, op.bytes / esz, d, mpisim::Op::sum);

@@ -22,9 +22,15 @@ using mpisim::TraceScope;
 
 void Mpi3Backend::gmr_created(Gmr& gmr) {
   const int me = gmr.group.rank();
-  gmr.win = mpisim::Win::create(gmr.bases[static_cast<std::size_t>(me)],
-                                gmr.sizes[static_cast<std::size_t>(me)],
-                                gmr.group.comm());
+  // Node-aware allocation (MPI_Win_allocate_shared): the window owns one
+  // block per node and co-located ranks' slices are carved out of the same
+  // mapping, enabling the direct load/store fast path between them. The
+  // window's bases replace the ones malloc exchanged (no local slice was
+  // allocated; see uses_shared_windows()).
+  gmr.win = mpisim::Win::allocate_shared(
+      gmr.sizes[static_cast<std::size_t>(me)], gmr.group.comm());
+  for (int r = 0; r < gmr.group.size(); ++r)
+    gmr.bases[static_cast<std::size_t>(r)] = gmr.win.base(r);
   // Epochless mode: one shared lock_all epoch for the window's lifetime.
   gmr.win.lock_all();
   gmr.group.barrier();
@@ -88,14 +94,33 @@ void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
   // blocking path is deferring the get-side flush so the whole queue
   // pipelines into a single flush (§VIII-B item 3). Put/acc need none:
   // their blocking counterparts defer remote completion to fence too.
+  //
+  // Exactly-once issuance under retry: with_retry replays its whole body
+  // after a transient fault, but by then a prefix of the batch has already
+  // been applied -- and Op::sum accumulates are not idempotent, so a replay
+  // from op 0 would double-apply that prefix. The resume index lives
+  // *outside* the retry body: each op consults the injector before it is
+  // issued and advances `next` after, so a replay picks up at the first op
+  // that has not been applied yet.
+  bool have_get = false;
+  for (const NbOp& op : ops) have_get = have_get || op.kind == OneSided::get;
+  std::size_t next = 0;
+  mpisim::RankContext& me = mpisim::ctx();
   with_retry(*st_, "mpi3.nb_flush", [&] {
-    bool have_get = false;
-    for (const NbOp& op : ops) {
+    for (std::size_t i = next; i < ops.size(); ++i) {
+      // Per-op fault point: a transient fault can strike mid-batch, which
+      // is exactly the schedule the resume index exists for.
+      me.fault().maybe_transient(me.clock(), "mpi3.nb_flush.op");
+      const NbOp& op = ops[i];
       Datatype lt = op.ltype;
       Datatype rt = op.rtype;
       if (!op.typed) {
         if (op.kind == OneSided::acc) {
           const std::size_t esz = acc_type_size(op.at);
+          if (op.bytes % esz != 0)
+            mpisim::raise(Errc::invalid_argument,
+                          "accumulate length not a multiple of the element "
+                          "size");
           lt = rt = Datatype::contiguous(
               op.bytes / esz, Datatype::basic(basic_type_of_acc(op.at)));
         } else {
@@ -109,20 +134,63 @@ void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
           break;
         case OneSided::get:
           gmr.win.get(op.local, 1, lt, target_rank, op.offset, 1, rt);
-          have_get = true;
           break;
         case OneSided::acc:
           gmr.win.accumulate(op.local, 1, lt, target_rank, op.offset, 1, rt,
                              mpisim::Op::sum);
           break;
       }
+      next = i + 1;
     }
     if (have_get) gmr.win.flush(target_rank);
   });
 }
 
+void Mpi3Backend::shm_contig(OneSided kind, const GmrLoc& loc, void* local,
+                             std::size_t bytes, AccType at,
+                             const void* scale) const {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.shm", bytes);
+  const Gmr& gmr = *loc.gmr;
+  // The direct path stays transient-faultable: a retry reissues the whole
+  // access, which is safe because the injector fires before anything is
+  // copied (retry.hpp) -- so chaos runs exercise the fast path too.
+  with_retry(*st_, "mpi3.shm", [&] {
+    switch (kind) {
+      case OneSided::put:
+        gmr.win.shm_put(local, bytes, loc.target_rank, loc.offset);
+        return;
+      case OneSided::get:
+        gmr.win.shm_get(local, bytes, loc.target_rank, loc.offset);
+        return;
+      case OneSided::acc: {
+        const mpisim::BasicType elem = basic_type_of_acc(at);
+        if (!scale_is_identity(at, scale)) {
+          std::vector<std::uint8_t> temp(bytes);
+          scale_buffer(at, scale, temp.data(), local, bytes);
+          mpisim::clock().advance(mpisim::model().pack_ns(bytes));
+          gmr.win.shm_acc(mpisim::Op::sum, elem, temp.data(), bytes,
+                          loc.target_rank, loc.offset);
+          return;
+        }
+        gmr.win.shm_acc(mpisim::Op::sum, elem, local, bytes, loc.target_rank,
+                        loc.offset);
+        return;
+      }
+    }
+  });
+}
+
 void Mpi3Backend::contig(OneSided kind, const GmrLoc& loc, void* local,
                          std::size_t bytes, AccType at, const void* scale) {
+  if (kind == OneSided::acc && bytes % acc_type_size(at) != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "accumulate length not a multiple of the element size");
+  // Locality routing: self and same-node targets bypass the lock/flush
+  // machinery entirely and go through direct shared-memory access.
+  if (direct_path(loc)) {
+    shm_contig(kind, loc, local, bytes, at, scale);
+    return;
+  }
   TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.contig", bytes);
   const Gmr& gmr = *loc.gmr;
   if (kind == OneSided::acc) {
@@ -168,6 +236,16 @@ void Mpi3Backend::iov(OneSided kind, std::span<const Giov> vec, int proc,
     }
 
     for (const auto& [gmr_ptr, idxs] : groups) {
+      if (direct_path(locs[idxs.front()])) {
+        // Same-node IOV: each descriptor segment is a direct copy; the
+        // per-segment GmrLoc already carries its displacement.
+        for (std::size_t i : idxs) {
+          const void* lseg = is_get ? g.dst[i] : g.src[i];
+          shm_contig(kind, locs[i], const_cast<void*>(lseg), g.bytes, at,
+                     scale);
+        }
+        continue;
+      }
       const Gmr& gmr = *locs[idxs.front()].gmr;
       const int grank = locs[idxs.front()].target_rank;
       const std::vector<std::size_t> blocklens(idxs.size(), g.bytes / esz);
@@ -220,6 +298,20 @@ void Mpi3Backend::strided(OneSided kind, const void* src, void* dst,
       st_->dt_cache.strided_type(lstrides, spec, elem, st_->stats);
   GmrLoc loc = st_->table.require(proc, remote,
                                   static_cast<std::size_t>(rtype.extent()));
+  if (direct_path(loc)) {
+    // Same-node strided access: walk Algorithm 1's segments as direct
+    // shared-memory copies instead of opening a datatype epoch.
+    StridedIter it(spec);
+    std::size_t s_off = 0, d_off = 0;
+    auto* lbase = static_cast<std::uint8_t*>(local);
+    GmrLoc seg = loc;
+    while (it.next(s_off, d_off)) {
+      seg.offset = loc.offset + (is_get ? s_off : d_off);
+      shm_contig(kind, seg, lbase + (is_get ? d_off : s_off), spec.count[0],
+                 at, scale);
+    }
+    return;
+  }
   issue(kind, *loc.gmr, loc.target_rank, loc.offset, local, 1, ltype, rtype,
         at, scale);
 }

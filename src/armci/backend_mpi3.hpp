@@ -62,6 +62,17 @@ class Mpi3Backend final : public CommBackend {
   void access_begin(const GmrLoc& loc) override;
   void access_end(const GmrLoc& loc) override;
 
+  /// GMRs live in shared-memory windows (Win::allocate_shared): one block
+  /// per node, so co-located ranks can load/store each other's slices.
+  bool uses_shared_windows() const override { return true; }
+
+  /// self and same-node contiguous ops take the direct load/store path
+  /// (shm_contig) instead of the standing lock_all epoch.
+  bool direct_path(const GmrLoc& loc) const override {
+    return loc.locality != GmrLoc::Locality::remote &&
+           loc.gmr->win.shared_memory();
+  }
+
   /// Ops already pipeline under the standing lock_all epoch; deferral still
   /// pays off by batching the get-side flush: one flush per queue instead
   /// of one per blocking get (§VIII-B item 3).
@@ -76,6 +87,13 @@ class Mpi3Backend final : public CommBackend {
              void* local, std::size_t count, const mpisim::Datatype& ltype,
              const mpisim::Datatype& rtype, AccType at,
              const void* scale) const;
+
+  /// The same-node fast path: a contiguous transfer against a self or
+  /// co-located target via direct shared-memory access (Win::shm_put/
+  /// shm_get/shm_acc) -- no epoch, no flush, memcpy-speed cost, with a
+  /// CPU-atomic apply for accumulates.
+  void shm_contig(OneSided kind, const GmrLoc& loc, void* local,
+                  std::size_t bytes, AccType at, const void* scale) const;
 
   ProcState* st_;
   QueueingMutexSet user_mutexes_;

@@ -47,6 +47,16 @@ GmrLoc GmrTable::find(int proc, const void* addr, std::size_t bytes) const {
   loc.gmr = gmr;
   loc.target_rank = grank;
   loc.offset = a - it->first;
+  // Locality classification: ARMCI procs are world ranks, so the node map
+  // applies directly. self is distinguished from same_node because it is
+  // always direct-accessible, even without a shared-memory window.
+  const int me = mpisim::rank();
+  if (proc == me)
+    loc.locality = GmrLoc::Locality::self;
+  else if (mpisim::model().same_node(me, proc))
+    loc.locality = GmrLoc::Locality::same_node;
+  else
+    loc.locality = GmrLoc::Locality::remote;
   return loc;
 }
 

@@ -62,9 +62,16 @@ struct Gmr {
 
 /// Result of a global-address translation.
 struct GmrLoc {
+  /// Where the target's slice lives relative to the calling process, under
+  /// the NetworkModel's node map. self and same_node targets are eligible
+  /// for the shared-memory fast path (direct load/store instead of a
+  /// lock/flush epoch) when the backend supports it.
+  enum class Locality { self, same_node, remote };
+
   std::shared_ptr<Gmr> gmr;
   int target_rank = -1;    ///< rank in the GMR's group (== window rank)
   std::size_t offset = 0;  ///< byte displacement within the target's slice
+  Locality locality = Locality::remote;
 };
 
 /// Per-process translation table from (absolute proc, address) to GMR.

@@ -147,7 +147,7 @@ std::string metrics_json() {
          "\"nb_conflict_flushes\":%llu,\"flushed_queues\":%llu,"
          "\"coalesced_epochs\":%llu,\"dt_cache_hits\":%llu,"
          "\"dt_cache_misses\":%llu,\"ga_multi_owner_ops\":%llu,"
-         "\"ga_owner_fanout\":%llu,\"ga_nb_batches\":%llu},",
+         "\"ga_owner_fanout\":%llu,\"ga_nb_batches\":%llu,",
          (unsigned long long)s.nb_ops, (unsigned long long)s.nb_deferred,
          (unsigned long long)s.nb_eager,
          (unsigned long long)s.nb_conflict_flushes,
@@ -158,6 +158,12 @@ std::string metrics_json() {
          (unsigned long long)s.ga_multi_owner_ops,
          (unsigned long long)s.ga_owner_fanout,
          (unsigned long long)s.ga_nb_batches);
+  // Locality classification of contiguous op targets (third append call:
+  // the previous format string is near its 512-byte buffer).
+  append(out,
+         "\"ops_self\":%llu,\"ops_same_node\":%llu,\"ops_remote\":%llu},",
+         (unsigned long long)s.ops_self, (unsigned long long)s.ops_same_node,
+         (unsigned long long)s.ops_remote);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";

@@ -271,6 +271,16 @@ bool NbEngine::try_defer_contig(ProcState& st, OneSided kind,
   if (kind == OneSided::acc && !scale_is_identity(at, scale)) return false;
   if (local_needs_staging(st, local, bytes)) return false;
   GmrLoc loc = st.table.require(proc, remote, bytes);
+  // Direct-path targets (same-node under a shared window) complete at
+  // memcpy speed with no epoch to batch: deferring them buys nothing and
+  // would delay their effects past the direct access. Fall to the eager
+  // path, which routes them through the backend's shm fast path.
+  if (st.backend->direct_path(loc)) return false;
+  switch (loc.locality) {
+    case GmrLoc::Locality::self: ++st.stats.ops_self; break;
+    case GmrLoc::Locality::same_node: ++st.stats.ops_same_node; break;
+    case GmrLoc::Locality::remote: ++st.stats.ops_remote; break;
+  }
 
   NbOp op;
   op.kind = kind;
@@ -315,6 +325,9 @@ bool NbEngine::try_defer_strided(ProcState& st, OneSided kind,
   if (local_needs_staging(st, local, lextent)) return false;
   GmrLoc loc = st.table.require(proc, remote,
                                 static_cast<std::size_t>(rtype.extent()));
+  // Direct-path targets complete at memcpy speed with no epoch to batch;
+  // the eager path walks their segments through the backend's shm copies.
+  if (st.backend->direct_path(loc)) return false;
 
   NbOp op;
   op.kind = kind;
@@ -381,6 +394,9 @@ bool NbEngine::try_defer_iov(ProcState& st, OneSided kind,
         return false;
       rdispls[i] = static_cast<std::ptrdiff_t>(l.offset);
     }
+    // Direct-path targets (same GMR for every segment, so one check) go
+    // eager: the backend copies each segment through shared memory.
+    if (st.backend->direct_path(loc0)) return false;
     // Rebase both displacement lists so the datatypes are shape-only (and
     // therefore cacheable across base addresses).
     const std::ptrdiff_t rmin =

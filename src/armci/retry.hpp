@@ -8,10 +8,14 @@
 /// A FaultPlan (mpisim/fault.hpp) can make an operation fail N times before
 /// succeeding (Errc::transient). The MPI backends wrap each self-contained
 /// epoch in with_retry(): the injector is consulted *before* the body runs,
-/// so a retried body never re-applies a partially executed epoch -- either
-/// the fault fires and nothing happened, or the body runs to completion.
-/// Every other error class (crashes, aborts, semantic errors) propagates
-/// unchanged on the first throw.
+/// so for a single-operation body either the fault fires and nothing
+/// happened, or the body runs to completion. Bodies that issue *several*
+/// non-idempotent operations with their own interior fault points (the
+/// MPI-3 nonblocking batch flush) must keep their own resume cursor outside
+/// the body: with_retry replays the whole body, and replaying an
+/// already-applied accumulate would double-apply it. Every other error
+/// class (crashes, aborts, semantic errors) propagates unchanged on the
+/// first throw.
 
 #include <algorithm>
 #include <cmath>

@@ -32,6 +32,14 @@ struct Stats {
   std::uint64_t iov_bytes = 0;
   std::uint64_t iov_segments = 0;
 
+  // Locality of contiguous one-sided operations (blocking and deferred)
+  // under the NetworkModel's node map: target is the calling process
+  // itself, a co-located process (same node), or a remote node. self and
+  // same_node ops are eligible for the backend's shared-memory fast path.
+  std::uint64_t ops_self = 0;
+  std::uint64_t ops_same_node = 0;
+  std::uint64_t ops_remote = 0;
+
   // Synchronization and atomics.
   std::uint64_t rmws = 0;
   std::uint64_t mutex_locks = 0;

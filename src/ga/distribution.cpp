@@ -35,7 +35,8 @@ std::vector<int> prime_factors_desc(int n) {
 }  // namespace
 
 Distribution::Distribution(std::span<const std::int64_t> dims, int nprocs,
-                           std::span<const std::int64_t> chunk) {
+                           std::span<const std::int64_t> chunk,
+                           int ranks_per_node) {
   if (dims.empty()) mpisim::raise(Errc::invalid_argument, "0-d array");
   if (nprocs < 1) mpisim::raise(Errc::invalid_argument, "nprocs < 1");
   for (std::int64_t d : dims)
@@ -82,6 +83,52 @@ Distribution::Distribution(std::span<const std::int64_t> dims, int nprocs,
       starts_[d][static_cast<std::size_t>(i)] =
           dims_[d] * i / g;
   }
+
+  // Node-aware cell-to-process mapping: factor ranks_per_node into a
+  // sub-brick shape local[d] (each local[d] dividing grid_[d]), then map
+  // every brick of spatially adjacent cells to consecutive process ids.
+  // Consecutive ids share a node (the node map is id / ranks_per_node and
+  // the brick volume divides ranks_per_node), so neighboring tiles cluster
+  // on one node. Factors that fit no dimension are dropped: partial
+  // clustering still shortens the average tile-to-tile distance.
+  if (ranks_per_node > 1) {
+    std::vector<int> local(nd, 1);
+    for (int f : prime_factors_desc(ranks_per_node)) {
+      std::size_t best = nd;
+      int best_bricks = 0;
+      for (std::size_t d = 0; d < nd; ++d) {
+        if (grid_[d] % (local[d] * f) != 0) continue;
+        const int bricks = grid_[d] / local[d];
+        if (bricks > best_bricks) {
+          best_bricks = bricks;
+          best = d;
+        }
+      }
+      if (best != nd) local[best] *= f;
+    }
+    int brick_vol = 1;
+    for (int l : local) brick_vol *= l;
+    if (brick_vol > 1) {
+      const int ncells = owning_procs();
+      cell_to_proc_.resize(static_cast<std::size_t>(ncells));
+      proc_to_cell_.resize(static_cast<std::size_t>(ncells));
+      std::vector<int> cell(nd, 0);
+      for (int c = 0; c < ncells; ++c) {
+        int brick = 0, within = 0;
+        for (std::size_t d = 0; d < nd; ++d) {
+          brick = brick * (grid_[d] / local[d]) + cell[d] / local[d];
+          within = within * local[d] + cell[d] % local[d];
+        }
+        const int proc = brick * brick_vol + within;
+        cell_to_proc_[static_cast<std::size_t>(c)] = proc;
+        proc_to_cell_[static_cast<std::size_t>(proc)] = c;
+        for (std::size_t d = nd; d-- > 0;) {
+          if (++cell[d] < grid_[d]) break;
+          cell[d] = 0;
+        }
+      }
+    }
+  }
 }
 
 Distribution::Distribution(
@@ -126,13 +173,13 @@ int Distribution::block_index(std::size_t d, std::int64_t x) const {
 int Distribution::owner_of(std::span<const std::int64_t> idx) const {
   if (idx.size() != dims_.size())
     mpisim::raise(Errc::invalid_argument, "subscript rank mismatch");
-  int proc = 0;
+  int cell = 0;
   for (std::size_t d = 0; d < dims_.size(); ++d) {
     if (idx[d] < 0 || idx[d] >= dims_[d])
       mpisim::raise(Errc::invalid_argument, "subscript out of range");
-    proc = proc * grid_[d] + block_index(d, idx[d]);
+    cell = cell * grid_[d] + block_index(d, idx[d]);
   }
-  return proc;
+  return proc_of_cell(cell);
 }
 
 Patch Distribution::patch_of(int proc) const {
@@ -141,9 +188,9 @@ Patch Distribution::patch_of(int proc) const {
   p.lo.assign(nd, 0);
   p.hi.assign(nd, -1);
   if (proc < 0 || proc >= owning_procs()) return p;  // owns nothing
-  // Decompose proc into grid coordinates, row-major.
+  // Decompose the process's grid cell into coordinates, row-major.
   std::vector<int> cell(nd);
-  int rem = proc;
+  int rem = cell_of_proc(proc);
   for (std::size_t d = nd; d-- > 0;) {
     cell[d] = rem % grid_[d];
     rem /= grid_[d];
@@ -178,16 +225,16 @@ std::vector<OwnedPatch> Distribution::intersect(const Patch& region) const {
     OwnedPatch op;
     op.patch.lo.resize(nd);
     op.patch.hi.resize(nd);
-    int proc = 0;
+    int c = 0;
     for (std::size_t d = 0; d < nd; ++d) {
-      proc = proc * grid_[d] + cell[d];
+      c = c * grid_[d] + cell[d];
       const std::int64_t blo = starts_[d][static_cast<std::size_t>(cell[d])];
       const std::int64_t bhi =
           starts_[d][static_cast<std::size_t>(cell[d]) + 1] - 1;
       op.patch.lo[d] = std::max(region.lo[d], blo);
       op.patch.hi[d] = std::min(region.hi[d], bhi);
     }
-    op.proc = proc;
+    op.proc = proc_of_cell(c);
     out.push_back(std::move(op));
 
     // Advance the cell counter (row-major, innermost last).

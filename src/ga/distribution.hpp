@@ -47,8 +47,16 @@ class Distribution {
   /// Distribute \p dims over \p nprocs processes. \p chunk (optional) gives
   /// per-dimension minimum block extents (GA chunk hints): a dimension is
   /// split into at most dims[d] / max(chunk[d], 1) blocks.
+  ///
+  /// \p ranks_per_node > 1 selects the node-aware mapping: grid cells are
+  /// grouped into sub-bricks whose shape is factored from ranks_per_node,
+  /// and each brick's cells map to *consecutive* process ids -- so spatially
+  /// adjacent tiles land on ranks the platform co-locates on one node, and
+  /// a patch access spanning neighboring tiles stays on the intra-node
+  /// fast path. 0 or 1 keeps the classic row-major cell order.
   Distribution(std::span<const std::int64_t> dims, int nprocs,
-               std::span<const std::int64_t> chunk = {});
+               std::span<const std::int64_t> chunk = {},
+               int ranks_per_node = 0);
 
   /// Irregular distribution (GA_Create_irregular's map): \p block_starts[d]
   /// lists the first index of every block in dimension d -- it must start
@@ -80,6 +88,10 @@ class Distribution {
   /// Block index of \p x in dimension \p d.
   int block_index(std::size_t d, std::int64_t x) const;
 
+  /// True when the node-aware cell-to-process mapping is active (i.e. the
+  /// mapping differs from the row-major default).
+  bool node_clustered() const noexcept { return !cell_to_proc_.empty(); }
+
   /// True when both distributions assign every element to the same owner
   /// (same shape, processor grid, and block boundaries). The owner-computes
   /// collectives use this to decide whether paired local blocks line up.
@@ -91,6 +103,19 @@ class Distribution {
   // starts_[d][i] = first index of block i in dimension d; the sentinel
   // starts_[d][grid_[d]] == dims_[d] closes the last block.
   std::vector<std::vector<std::int64_t>> starts_;
+  // Node-aware mode: cell_to_proc_[row-major cell index] = owning process
+  // (with proc_to_cell_ the inverse). Empty = identity (row-major order).
+  std::vector<int> cell_to_proc_;
+  std::vector<int> proc_to_cell_;
+
+  int proc_of_cell(int cell) const noexcept {
+    return cell_to_proc_.empty() ? cell
+                                 : cell_to_proc_[static_cast<std::size_t>(cell)];
+  }
+  int cell_of_proc(int proc) const noexcept {
+    return proc_to_cell_.empty() ? proc
+                                 : proc_to_cell_[static_cast<std::size_t>(proc)];
+  }
 };
 
 }  // namespace ga

@@ -25,12 +25,16 @@ GlobalArray::GlobalArray(std::shared_ptr<GaImpl> impl)
 GlobalArray GlobalArray::create(const std::string& name,
                                 std::span<const std::int64_t> dims,
                                 ElemType type,
-                                std::span<const std::int64_t> chunk) {
+                                std::span<const std::int64_t> chunk,
+                                NodeMapping mapping) {
   auto impl = std::make_shared<GaImpl>();
   impl->name = name;
   impl->type = type;
   impl->dims.assign(dims.begin(), dims.end());
-  impl->dist = Distribution(dims, mpisim::nranks(), chunk);
+  impl->dist = Distribution(dims, mpisim::nranks(), chunk,
+                            mapping == NodeMapping::node_aware
+                                ? mpisim::model().ranks_per_node()
+                                : 0);
   impl->my_patch = impl->dist.patch_of(mpisim::rank());
 
   const std::size_t bytes =

@@ -37,6 +37,12 @@ enum class ElemType {
 /// Bytes per element.
 std::size_t elem_size(ElemType t) noexcept;
 
+/// Cell-to-owner mapping policy for create().
+enum class NodeMapping {
+  linear,      ///< classic GA order: row-major grid cell index = owner
+  node_aware,  ///< cluster adjacent tiles on ranks the platform co-locates
+};
+
 namespace detail {
 struct GaImpl;
 }
@@ -49,10 +55,14 @@ class GlobalArray {
 
   /// Collective: create an array of shape \p dims distributed blockwise
   /// over all processes. \p chunk optionally gives per-dimension minimum
-  /// block extents (GA chunk hints).
+  /// block extents (GA chunk hints). \p mapping selects how grid cells map
+  /// to owners: NodeMapping::node_aware clusters adjacent tiles onto ranks
+  /// the platform's node map co-locates, so neighborhood accesses ride the
+  /// intra-node fast path (no-op when every rank is its own node).
   static GlobalArray create(const std::string& name,
                             std::span<const std::int64_t> dims, ElemType type,
-                            std::span<const std::int64_t> chunk = {});
+                            std::span<const std::int64_t> chunk = {},
+                            NodeMapping mapping = NodeMapping::linear);
 
   /// Collective: like create() but with an explicit irregular distribution
   /// (GA_Create_irregular): \p block_starts[d] lists the first index of

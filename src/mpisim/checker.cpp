@@ -244,7 +244,6 @@ void RmaChecker::record_op(std::uint64_t win, int target, int origin,
   auto eit = tr.open.find(origin);
   if (eit == tr.open.end()) return;  // win.cpp raises no_epoch before this
   EpochRec& ep = eit->second;
-  if (ep.mpi3) return;  // MPI-3 semantics: conflicts undefined, not erroneous
   ep.scope = scope;
 
   const char* kind_str = kind == OpKind::put   ? "put"
@@ -261,46 +260,71 @@ void RmaChecker::record_op(std::uint64_t win, int target, int origin,
                            std::to_string(origin) + scope_suffix(scope) + ")";
 
   Hit hit;
-  if (conflict_with(ep.sets, kind, op, ulo, uhi, &hit))
-    flag(ep.pending, classify(kind, hit, /*same_origin=*/true, false),
-         world_origin,
-         what + " conflicts with " + describe_hit(hit) +
-             " recorded earlier in the same epoch");
-
-  for (auto& [orank, oe] : tr.open) {
-    if (orank == origin || oe.mpi3) continue;
-    if (conflict_with(oe.sets, kind, op, ulo, uhi, &hit))
-      flag(ep.pending, classify(kind, hit, false, false), world_origin,
+  // Epoch-vs-epoch rules apply to MPI-2 lock epochs only: under an MPI-3
+  // lock_all epoch conflicting operations have undefined values but are not
+  // erroneous. The op is still recorded below so a concurrent direct
+  // shared-memory access (shm_begin) can be checked against it.
+  if (!ep.mpi3) {
+    if (conflict_with(ep.sets, kind, op, ulo, uhi, &hit))
+      flag(ep.pending, classify(kind, hit, /*same_origin=*/true, false),
+           world_origin,
            what + " conflicts with " + describe_hit(hit) +
-               " by concurrent epoch #" + std::to_string(oe.id) +
-               " of origin " + std::to_string(orank) +
-               scope_suffix(oe.scope));
+               " recorded earlier in the same epoch");
+
+    for (auto& [orank, oe] : tr.open) {
+      if (orank == origin || oe.mpi3) continue;
+      if (conflict_with(oe.sets, kind, op, ulo, uhi, &hit))
+        flag(ep.pending, classify(kind, hit, false, false), world_origin,
+             what + " conflicts with " + describe_hit(hit) +
+                 " by concurrent epoch #" + std::to_string(oe.id) +
+                 " of origin " + std::to_string(orank) +
+                 scope_suffix(oe.scope));
+    }
+
+    for (const auto& g : ep.ghosts) {
+      if (conflict_with(g->sets, kind, op, ulo, uhi, &hit))
+        flag(ep.pending, classify(kind, hit, false, false), world_origin,
+             what + " conflicts with " + describe_hit(hit) +
+                 " by closed concurrent epoch #" +
+                 std::to_string(g->epoch_id) + " of origin " +
+                 std::to_string(g->origin) + scope_suffix(g->scope));
+    }
   }
 
-  for (const auto& g : ep.ghosts) {
-    if (conflict_with(g->sets, kind, op, ulo, uhi, &hit))
-      flag(ep.pending, classify(kind, hit, false, false), world_origin,
-           what + " conflicts with " + describe_hit(hit) +
-               " by closed concurrent epoch #" + std::to_string(g->epoch_id) +
-               " of origin " + std::to_string(g->origin) +
-               scope_suffix(g->scope));
-  }
-
-  // Direct local accesses to the target's exposed memory. A get conflicts
-  // only with a local store; put/accumulate write the bytes, so a local
-  // load conflicts too (get_accumulate with no_op is a pure fetch).
+  // Direct accesses to the target's exposed memory. A get conflicts only
+  // with a direct store; put/accumulate write the bytes, so a direct load
+  // conflicts too (get_accumulate with no_op is a pure fetch). An MPI-3
+  // epoch only checks shared-memory records: plain local access under the
+  // unified memory model is legal after a flush (the backend's discipline),
+  // while a same-node direct access has no such ordering against in-flight
+  // RMA from third ranks.
   const bool writes_target =
       kind == OpKind::put || kind == OpKind::acc ||
       (kind == OpKind::get_acc && op != Op::no_op);
-  for (auto& [llo, lrec] : tr.locals) {
+  const bool acc_class = kind == OpKind::acc || kind == OpKind::get_acc;
+  for (auto& [lkey, lrec] : tr.locals) {
     if (lrec.covered) continue;
+    if (ep.mpi3 && !lrec.shm) continue;
+    if (lrec.shm && lrec.accessor == origin) continue;  // origin's own access
     if (lrec.hi <= lo || hi <= lrec.lo) continue;
     if (!lrec.write && !writes_target) continue;
+    // The shm accumulate path is element-atomic with RMA accumulates (both
+    // apply under the runtime's accumulate atomicity), so only the MPI
+    // acc-mixing rules make it a conflict: a different operator, or a
+    // non-accumulate access (no_op mixes with any operator).
+    if (lrec.acc && acc_class && (op == lrec.op || op == Op::no_op)) continue;
     flag(ep.pending, RmaViolation::local, world_origin,
-         what + " conflicts with a direct local " +
-             (lrec.write ? "store to " : "load of ") +
-             byte_range(lrec.lo, lrec.hi) + " on rank " +
-             std::to_string(target) + scope_suffix(lrec.scope));
+         what + " conflicts with a direct " +
+             (lrec.shm ? std::string("shared-memory ") +
+                             (lrec.acc    ? "accumulate to "
+                              : lrec.write ? "store to "
+                                           : "load of ") +
+                             byte_range(lrec.lo, lrec.hi) + " by rank " +
+                             std::to_string(lrec.accessor)
+                       : std::string("local ") +
+                             (lrec.write ? "store to " : "load of ") +
+                             byte_range(lrec.lo, lrec.hi)) +
+             " on rank " + std::to_string(target) + scope_suffix(lrec.scope));
   }
 
   switch (kind) {
@@ -327,6 +351,7 @@ void RmaChecker::local_begin(std::uint64_t win, int rank, int world_rank,
   lrec.hi = hi;
   lrec.write = write;
   lrec.covered = covered;
+  lrec.accessor = rank;
   lrec.scope = scope;
 
   if (!covered) {
@@ -360,7 +385,7 @@ void RmaChecker::local_begin(std::uint64_t win, int rank, int world_rank,
       }
     }
   }
-  tr.locals.insert_or_assign(lo, std::move(lrec));
+  tr.locals.insert_or_assign(LocalKey{rank, lo}, std::move(lrec));
 }
 
 void RmaChecker::local_end(std::uint64_t win, int rank, std::ptrdiff_t lo) {
@@ -369,7 +394,73 @@ void RmaChecker::local_end(std::uint64_t win, int rank, std::ptrdiff_t lo) {
   if (wit == wins_.end()) return;
   auto tit = wit->second.targets.find(rank);
   if (tit == wit->second.targets.end()) return;
-  auto lit = tit->second.locals.find(lo);
+  auto lit = tit->second.locals.find(LocalKey{rank, lo});
+  if (lit == tit->second.locals.end()) return;
+  std::vector<Violation> pending = std::move(lit->second.pending);
+  tit->second.locals.erase(lit);
+  report(pending);
+}
+
+void RmaChecker::shm_begin(std::uint64_t win, int target, int origin,
+                           int world_origin, OpKind kind, Op op,
+                           std::ptrdiff_t lo, std::ptrdiff_t hi,
+                           const char* scope) {
+  if (!enabled() || lo >= hi) return;
+  TargetRec& tr = wins_[win].targets[target];
+  const bool write = kind != OpKind::get;
+  LocalRec lrec;
+  lrec.lo = lo;
+  lrec.hi = hi;
+  lrec.write = write;
+  lrec.shm = true;
+  lrec.acc = kind == OpKind::acc || kind == OpKind::get_acc;
+  lrec.op = op;
+  lrec.accessor = origin;
+  lrec.scope = scope;
+
+  // The fast path takes no epoch, so the access is never "covered": check
+  // it against every epoch open on the target's memory as if it were a
+  // same-address RMA op -- including MPI-3 lock_all epochs, whose recorded
+  // in-flight operations a concurrent direct load/store genuinely races
+  // (nothing orders the two until the next flush). conflict_with applies
+  // the acc-mixing rules, so the CPU-atomic accumulate path coexists with
+  // same-operator RMA accumulates.
+  const auto ulo = static_cast<std::uintptr_t>(lo);
+  const auto uhi = static_cast<std::uintptr_t>(hi) - 1;
+  const std::string what =
+      std::string("direct shared-memory ") +
+      (lrec.acc ? "accumulate to " : write ? "store to " : "load of ") +
+      byte_range(lo, hi) + " on rank " +
+      std::to_string(target) + " (win " + std::to_string(win) + ", by rank " +
+      std::to_string(origin) + ", no epoch" + scope_suffix(scope) + ")";
+  Hit hit;
+  for (auto& [orank, oe] : tr.open) {
+    if (oe.mpi3 && orank == origin) continue;  // own standing lock_all epoch
+    if (conflict_with(oe.sets, kind, op, ulo, uhi, &hit))
+      flag(lrec.pending, RmaViolation::local, world_origin,
+           what + " conflicts with " + describe_hit(hit) +
+               " by open epoch #" + std::to_string(oe.id) + " of origin " +
+               std::to_string(orank) + scope_suffix(oe.scope));
+    for (const auto& g : oe.ghosts) {
+      if (conflict_with(g->sets, kind, op, ulo, uhi, &hit))
+        flag(lrec.pending, RmaViolation::local, world_origin,
+             what + " conflicts with " + describe_hit(hit) +
+                 " by closed concurrent epoch #" +
+                 std::to_string(g->epoch_id) + " of origin " +
+                 std::to_string(g->origin) + scope_suffix(g->scope));
+    }
+  }
+  tr.locals.insert_or_assign(LocalKey{origin, lo}, std::move(lrec));
+}
+
+void RmaChecker::shm_end(std::uint64_t win, int target, int origin,
+                         std::ptrdiff_t lo) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(target);
+  if (tit == wit->second.targets.end()) return;
+  auto lit = tit->second.locals.find(LocalKey{origin, lo});
   if (lit == tit->second.locals.end()) return;
   std::vector<Violation> pending = std::move(lit->second.pending);
   tit->second.locals.erase(lit);

@@ -55,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/mpisim/conflict_tree.hpp"
@@ -162,6 +163,24 @@ class RmaChecker {
   /// violations and drop the record.
   void local_end(std::uint64_t win, int rank, std::ptrdiff_t lo);
 
+  /// A direct shared-memory access of [lo, hi) in \p target's slice of a
+  /// shared window by co-located \p origin (Win::shm_access_begin and the
+  /// shm_put/shm_get/shm_acc fast path). The fast path bypasses epochs
+  /// entirely, so this is the only record of the access; it is checked
+  /// against every epoch open on the target -- including MPI-3 lock_all
+  /// epochs, whose in-flight operations a concurrent direct load/store
+  /// genuinely races -- and in-flight RMA issued later is checked back
+  /// against it (record_op). \p kind put/get/acc mirrors RMA recording:
+  /// an OpKind::acc access is the CPU-atomic accumulate path, which is
+  /// element-atomic with accumulates of the same \p op and so conflicts
+  /// only under the acc-mixing rules.
+  void shm_begin(std::uint64_t win, int target, int origin, int world_origin,
+                 OpKind kind, Op op, std::ptrdiff_t lo, std::ptrdiff_t hi,
+                 const char* scope);
+
+  /// End of origin's shared-memory access that began at \p lo.
+  void shm_end(std::uint64_t win, int target, int origin, std::ptrdiff_t lo);
+
   /// Lock-discipline misuse detected by the window layer (which raises the
   /// classified Errc itself); the checker only counts it. Lock-free.
   void note_discipline(int world_rank) noexcept;
@@ -214,13 +233,22 @@ class RmaChecker {
     std::ptrdiff_t hi = 0;
     bool write = false;
     bool covered = false;
+    bool shm = false;    ///< same-node direct access (not the owner's own)
+    bool acc = false;    ///< shm accumulate (CPU-atomic): acc-mixing rules
+    Op op = Op::sum;     ///< accumulate operator when acc
+    int accessor = -1;   ///< rank doing the load/store (== target unless shm)
     const char* scope = nullptr;
     std::vector<Violation> pending;
   };
 
+  /// Open direct accesses are keyed by (accessor rank, region offset):
+  /// several co-located ranks may hold shm accesses to one target slice at
+  /// once, and the owner's own local access must not collide with them.
+  using LocalKey = std::pair<int, std::ptrdiff_t>;
+
   struct TargetRec {
-    std::map<int, EpochRec> open;               ///< origin rank -> epoch
-    std::map<std::ptrdiff_t, LocalRec> locals;  ///< region offset -> access
+    std::map<int, EpochRec> open;         ///< origin rank -> epoch
+    std::map<LocalKey, LocalRec> locals;  ///< (accessor, offset) -> access
   };
 
   struct WinRec {

@@ -1,5 +1,6 @@
 #include "src/mpisim/fault.hpp"
 
+#include <cstring>
 #include <string>
 
 #include "src/mpisim/error.hpp"
@@ -25,6 +26,10 @@ void FaultInjector::configure(const FaultPlan& plan, int rank) {
   rate_ = plan.transient.rate;
   fail_count_ = plan.transient.fail_count > 0 ? plan.transient.fail_count : 1;
   stall_ns_ = plan.transient.stall_ns;
+  site_ = plan.transient.site;
+  skip_ = plan.transient.skip > 0 ? plan.transient.skip : 0;
+  bounded_bursts_ = plan.transient.max_bursts > 0;
+  max_bursts_ = plan.transient.max_bursts;
   pending_failures_ = 0;
 
   delay_rate_ = plan.delay_rate;
@@ -58,8 +63,15 @@ void FaultInjector::fault_point_slow(const SimClock& clock) {
 }
 
 void FaultInjector::maybe_transient_slow(SimClock& clock, const char* site) {
+  if (site_ != nullptr && std::strcmp(site_, site) != 0) return;
   if (pending_failures_ == 0) {
+    if (skip_ > 0) {
+      --skip_;
+      return;
+    }
+    if (bounded_bursts_ && max_bursts_ == 0) return;  // allowance spent
     if (next_unit() >= rate_) return;
+    if (bounded_bursts_) --max_bursts_;
     pending_failures_ = fail_count_;
   }
   --pending_failures_;

@@ -42,6 +42,19 @@ struct TransientFaultSpec {
   int fail_count = 1;
   /// Virtual time charged to the victim per failed attempt.
   double stall_ns = 0.0;
+  /// Non-null: only fault points whose site name matches exactly are
+  /// eligible; all other sites pass through untouched. Lets a regression
+  /// test aim a deterministic fault at one operation (e.g. the k-th op of
+  /// an MPI-3 nonblocking batch) without perturbing the rest of the run.
+  const char* site = nullptr;
+  /// Number of eligible consults to let through before the first burst may
+  /// start (with rate = 1.0 this pinpoints exactly which consult fails).
+  int skip = 0;
+  /// > 0: total bursts allowed; later consults pass untouched once spent.
+  /// Together with rate = 1.0 and skip this makes the (skip+1)-th consult
+  /// fail exactly fail_count times and everything else succeed -- the
+  /// retried operation itself would otherwise re-draw and fail forever.
+  int max_bursts = 0;
 };
 
 /// Complete fault schedule for one run. Default-constructed plans are
@@ -123,6 +136,10 @@ class FaultInjector {
   double rate_ = 0.0;
   int fail_count_ = 1;
   double stall_ns_ = 0.0;
+  const char* site_ = nullptr;  ///< non-null: transients hit this site only
+  int skip_ = 0;                ///< eligible consults to pass before faulting
+  int max_bursts_ = 0;          ///< > 0: bursts remaining; 0 once spent
+  bool bounded_bursts_ = false;  ///< max_bursts was configured > 0
   int pending_failures_ = 0;  ///< remaining failures of the current burst
 
   double delay_rate_ = 0.0;

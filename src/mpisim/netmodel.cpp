@@ -85,6 +85,10 @@ double NetworkModel::pack_ns(std::size_t bytes) const {
   return xfer_ns(bytes, prof_->copy_gbps);
 }
 
+double NetworkModel::shm_copy_ns(std::size_t bytes) const {
+  return prof_->shm_latency_us * kUs + xfer_ns(bytes, prof_->shm_bw_gbps);
+}
+
 double NetworkModel::dtype_build_ns(std::size_t nsegments) const {
   return prof_->mpi_dt_commit_us * kUs +
          static_cast<double>(nsegments) * prof_->mpi_dt_seg_us * 0.25 * kUs;

@@ -13,6 +13,7 @@
 /// buffers). The paper's figures are comparisons between these two paths
 /// on four platform profiles.
 
+#include <algorithm>
 #include <cstddef>
 
 #include "src/mpisim/platform.hpp"
@@ -29,9 +30,36 @@ enum class RmaKind { put, get, acc };
 /// nanoseconds of virtual time.
 class NetworkModel {
  public:
-  explicit NetworkModel(const PlatformProfile& prof) : prof_(&prof) {}
+  /// \p ranks_per_node_override > 0 replaces the profile's ranks_per_node
+  /// (Config::ranks_per_node lets tests co-locate or separate ranks without
+  /// defining a new platform).
+  explicit NetworkModel(const PlatformProfile& prof,
+                        int ranks_per_node_override = 0)
+      : prof_(&prof),
+        ranks_per_node_(ranks_per_node_override > 0
+                            ? ranks_per_node_override
+                            : std::max(prof.ranks_per_node, 1)) {}
 
   const PlatformProfile& profile() const noexcept { return *prof_; }
+
+  // ---- node map (MPI-3 shared-memory locality) ----
+
+  /// Consecutive world ranks per node: ranks [k*n, (k+1)*n) share node k.
+  int ranks_per_node() const noexcept { return ranks_per_node_; }
+
+  /// Node id hosting world rank \p rank.
+  int node_of(int rank) const noexcept { return rank / ranks_per_node_; }
+
+  /// True when the two world ranks share a node (and hence can reach each
+  /// other's shared-memory window segments by direct load/store).
+  bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// Direct load/store of \p bytes between two co-located ranks: fixed
+  /// intra-node latency plus serialization at the shared-memory bandwidth.
+  /// No lock, unlock, or per-op MPI overhead applies.
+  double shm_copy_ns(std::size_t bytes) const;
 
   /// Two-sided message: one-way latency plus serialization at peak bandwidth.
   double p2p_ns(std::size_t bytes) const;
@@ -82,6 +110,7 @@ class NetworkModel {
                  bool local_pinned) const;
 
   const PlatformProfile* prof_;
+  int ranks_per_node_ = 1;
 };
 
 }  // namespace mpisim

@@ -45,6 +45,10 @@ PlatformProfile make_bgp() {
   p.nat_acc_eff = 0.85;
   p.nat_seg_us = 0.55;
 
+  p.ranks_per_node = 4;   // one quad-core socket per node
+  p.shm_bw_gbps = 1.3;     // direct load/store, a bit under copy_gbps
+  p.shm_latency_us = 0.08;  // slow cores, but still just a coherence miss
+
   p.dgemm_gflops = 2.7;  // per core, 850 MHz double-hummer
   return p;
 }
@@ -83,6 +87,10 @@ PlatformProfile make_ib() {
   p.reg_page_us = 0.6;
   p.bounce_threshold_bytes = 8192;  // < 2 pages: copy via pre-pinned bounce
 
+  p.ranks_per_node = 8;   // 2 sockets x 4 cores
+  p.shm_bw_gbps = 2.5;
+  p.shm_latency_us = 0.04;  // cross-socket cache-coherent load/store
+
   p.dgemm_gflops = 9.0;
   return p;
 }
@@ -116,6 +124,10 @@ PlatformProfile make_xt5() {
   p.nat_bw_eff = 1.0;
   p.nat_acc_eff = 0.90;
   p.nat_seg_us = 0.12;
+
+  p.ranks_per_node = 12;  // 2 sockets x 6 cores
+  p.shm_bw_gbps = 6.0;
+  p.shm_latency_us = 0.04;
 
   p.dgemm_gflops = 9.2;
   return p;
@@ -154,6 +166,10 @@ PlatformProfile make_xe6() {
   // in for hundreds..thousands of cores): the development-release stack's
   // software agent saturates, flattening (T) and worsening CCSD at scale.
   p.nat_congestion_us_per_rank = 1.5;
+
+  p.ranks_per_node = 24;  // 2 sockets x 12 cores
+  p.shm_bw_gbps = 4.5;
+  p.shm_latency_us = 0.05;
 
   p.dgemm_gflops = 8.4;
   return p;

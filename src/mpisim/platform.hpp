@@ -73,6 +73,14 @@ struct PlatformProfile {
   double reg_page_us = 0.0;             ///< per-4KiB-page pin cost
   std::size_t bounce_threshold_bytes = 0;  ///< small msgs copied via
                                            ///< pre-pinned bounce buffers
+  // ---- node map / shared-memory path (MPI-3 Win_allocate_shared) ----
+  int ranks_per_node = 1;       ///< consecutive ranks the NetworkModel
+                                ///< co-locates on one node (1 = every rank
+                                ///< is alone on its node; ideal keeps 1 so
+                                ///< functional tests see no shm path)
+  double shm_bw_gbps = 0.0;     ///< intra-node direct load/store bandwidth
+                                ///< (0 = free, like all ideal costs)
+  double shm_latency_us = 0.0;  ///< fixed cost of one intra-node access
   // ---- compute model (Figure 6) ----
   double dgemm_gflops = 0.0;  ///< per-core DGEMM rate for the NWChem proxy
 };

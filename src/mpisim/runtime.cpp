@@ -52,7 +52,7 @@ RankContext::~RankContext() = default;
 SimCore::SimCore(const Config& cfg)
     : cfg_(cfg),
       prof_(platform_profile(cfg.platform)),
-      model_(prof_),
+      model_(prof_, cfg.ranks_per_node),
       checker_(effective_rma_check(cfg), cfg.check_conflicts, cfg.nranks),
       mailboxes_(static_cast<std::size_t>(cfg.nranks)) {
   if (cfg.nranks < 1) raise(Errc::invalid_argument, "nranks < 1");

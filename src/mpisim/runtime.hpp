@@ -62,6 +62,11 @@ struct Config {
   /// to stderr and counts; abort raises Errc::rma_conflict. Overridable at
   /// run time by the MPISIM_RMA_CHECK environment variable (off|warn|abort).
   RmaCheck rma_check = RmaCheck::warn;
+  /// Ranks per node for the NetworkModel's node map: consecutive ranks in
+  /// groups of this size share a node (and its shared-memory windows).
+  /// 0 (the default) takes the platform profile's ranks_per_node; > 0
+  /// overrides it, letting tests co-locate or separate ranks at will.
+  int ranks_per_node = 0;
   /// Per-rank thread stack size in bytes (large rank counts need small
   /// stacks; user code must keep big arrays on the heap).
   std::size_t stack_bytes = 1 << 20;

@@ -37,6 +37,10 @@ struct WinImpl {
   std::vector<TargetState> targets;
   std::vector<int> locked_target;  // per-origin: target locked, or -1
   bool freed = false;
+  // allocate_shared() windows: the window owns one block per node, and
+  // bases[] point into the block of the rank's node.
+  bool shared = false;
+  std::vector<std::unique_ptr<std::uint8_t[]>> node_blocks;
 };
 
 namespace {
@@ -86,6 +90,34 @@ int require_member(const WinImpl& w, RankContext& me) {
 /// The caller's innermost traced operation, for checker diagnostics.
 const char* trace_scope(RankContext& me) {
   return me.tracer().enabled() ? me.tracer().current_scope() : nullptr;
+}
+
+/// Validate a same-node direct access and return the target-segment pointer
+/// at \p disp. The window must be an allocate_shared() window and the
+/// target must live on the caller's node under the core's node map.
+std::uint8_t* require_shm(const WinImpl& w, SimCore& core, RankContext& me,
+                          int target_rank, std::size_t disp, std::size_t bytes,
+                          const char* site) {
+  require_target(w, target_rank, site);
+  if (!w.shared)
+    raise(Errc::invalid_argument,
+          std::string(site) + " on a window not created by allocate_shared");
+  const int target_world = w.comm.group().world_rank(target_rank);
+  if (!core.model().same_node(me.rank(), target_world))
+    raise(Errc::invalid_argument,
+          std::string(site) + ": target rank " + std::to_string(target_rank) +
+              " (world " + std::to_string(target_world) +
+              ") is not on the caller's node");
+  const std::size_t sz = w.sizes[static_cast<std::size_t>(target_rank)];
+  if (disp + bytes > sz)
+    raise(Errc::window_bounds,
+          std::string(site) + " access [" + std::to_string(disp) + ", " +
+              std::to_string(disp + bytes) + ") exceeds segment of " +
+              std::to_string(sz) + " bytes on rank " +
+              std::to_string(target_rank));
+  return static_cast<std::uint8_t*>(
+             w.bases[static_cast<std::size_t>(target_rank)]) +
+         disp;
 }
 
 }  // namespace
@@ -201,6 +233,72 @@ Win Win::create(void* base, std::size_t bytes, const Comm& comm) {
   // Figure 5's on-demand costs concern *local* buffers used as RMA origins.
   ctx().mpi_reg().register_prepinned(base, bytes);
   return Win(std::move(impl));
+}
+
+Win Win::allocate_shared(std::size_t bytes, const Comm& comm) {
+  const int n = comm.size();
+  std::size_t mine = bytes;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(n));
+  comm.allgather(&mine, sizes.data(), sizeof(std::size_t));
+
+  SimCore& core = ctx().core();
+  std::uint64_t id = 0;
+  if (comm.rank() == 0) {
+    auto mk = std::make_shared<WinImpl>();
+    mk->comm = comm;
+    mk->shared = true;
+    mk->sizes = sizes;
+    mk->bases.assign(static_cast<std::size_t>(n), nullptr);
+    // One allocation per node: group the comm's ranks by the node their
+    // world rank lives on and carve each rank's segment, in comm-rank
+    // order, out of its node's block. Co-located ranks therefore share one
+    // contiguous mapping, which is what makes direct load/store meaningful.
+    const NetworkModel& nm = core.model();
+    std::vector<int> node(static_cast<std::size_t>(n));
+    std::map<int, std::size_t> node_bytes;
+    for (int r = 0; r < n; ++r) {
+      node[static_cast<std::size_t>(r)] =
+          nm.node_of(comm.group().world_rank(r));
+      node_bytes[node[static_cast<std::size_t>(r)]] +=
+          sizes[static_cast<std::size_t>(r)];
+    }
+    std::map<int, std::uint8_t*> cursor;
+    for (const auto& [nid, total] : node_bytes) {
+      mk->node_blocks.push_back(
+          std::make_unique<std::uint8_t[]>(total > 0 ? total : 1));
+      cursor[nid] = mk->node_blocks.back().get();
+    }
+    for (int r = 0; r < n; ++r) {
+      const std::size_t sz = sizes[static_cast<std::size_t>(r)];
+      std::uint8_t*& cur = cursor[node[static_cast<std::size_t>(r)]];
+      mk->bases[static_cast<std::size_t>(r)] = sz > 0 ? cur : nullptr;
+      cur += sz;
+    }
+    mk->targets.resize(static_cast<std::size_t>(n));
+    mk->locked_target.assign(static_cast<std::size_t>(n), -1);
+    {
+      std::lock_guard lk(core.mu());
+      mk->id = core.alloc_win_id_locked();
+      id = mk->id;
+      core.publish_obj_locked(SimCore::kWinPublishTag | id, std::move(mk));
+      core.poke();
+    }
+  }
+  comm.bcast(&id, sizeof id, 0);
+  std::shared_ptr<WinImpl> impl = std::static_pointer_cast<WinImpl>(
+      core.fetch_published_obj(SimCore::kWinPublishTag | id));
+  comm.barrier();
+  if (comm.rank() == 0) core.retire_published_obj(SimCore::kWinPublishTag | id);
+
+  // Shared mappings behave like MPI_Win_allocate memory: pre-pinned.
+  ctx().mpi_reg().register_prepinned(
+      impl->bases[static_cast<std::size_t>(comm.rank())],
+      impl->sizes[static_cast<std::size_t>(comm.rank())]);
+  return Win(std::move(impl));
+}
+
+bool Win::shared_memory() const noexcept {
+  return impl_ != nullptr && impl_->shared;
 }
 
 void Win::free() {
@@ -756,6 +854,113 @@ void Win::local_access_end(const void* ptr) const {
   std::lock_guard lk(core.mu());
   // Reports the access's pending violations: may raise Errc::rma_conflict.
   core.checker().local_end(w.id, s.rank, s.lo);
+}
+
+void Win::shm_put(const void* origin, std::size_t bytes, int target_rank,
+                  std::size_t target_disp) const {
+  shm_op(OpKind::put, Op::replace, BasicType::byte_, origin, bytes,
+         target_rank, target_disp);
+}
+
+void Win::shm_get(void* origin, std::size_t bytes, int target_rank,
+                  std::size_t target_disp) const {
+  shm_op(OpKind::get, Op::replace, BasicType::byte_, origin, bytes,
+         target_rank, target_disp);
+}
+
+void Win::shm_acc(Op op, BasicType type, const void* origin, std::size_t bytes,
+                  int target_rank, std::size_t target_disp) const {
+  shm_op(OpKind::acc, op, type, origin, bytes, target_rank, target_disp);
+}
+
+void Win::shm_op(OpKind kind, Op op, BasicType type, const void* origin,
+                 std::size_t bytes, int target_rank,
+                 std::size_t target_disp) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  RankContext& me = ctx();
+  const int myrank = detail::require_member(w, me);
+  if (bytes == 0) return;
+  me.fault().fault_point(me.clock());
+  const char* site = kind == OpKind::put   ? "win.shm_put"
+                     : kind == OpKind::get ? "win.shm_get"
+                                           : "win.shm_acc";
+  std::uint8_t* tptr = detail::require_shm(w, core, me, target_rank,
+                                           target_disp, bytes, site);
+  std::size_t count = 0;
+  if (kind == OpKind::acc) {
+    const std::size_t esz = basic_type_size(type);
+    if (bytes % esz != 0)
+      raise(Errc::invalid_argument,
+            "shm_acc length not a multiple of the element size");
+    count = bytes / esz;
+  }
+
+  std::lock_guard lk(core.mu());
+  core.check_failed_locked();
+  const auto lo = static_cast<std::ptrdiff_t>(target_disp);
+  const auto hi = lo + static_cast<std::ptrdiff_t>(bytes);
+  // The only record of this access: no epoch exists to attribute it to.
+  // Begin/copy/end execute atomically under the core lock, so the record
+  // only ever conflicts with RMA already in flight (recorded since its
+  // epoch's last flush), never with operations issued afterwards.
+  if (core.checker().enabled())
+    core.checker().shm_begin(w.id, target_rank, myrank, me.rank(),
+                             kind == OpKind::put   ? RmaChecker::OpKind::put
+                             : kind == OpKind::get ? RmaChecker::OpKind::get
+                                                   : RmaChecker::OpKind::acc,
+                             op, lo, hi, detail::trace_scope(me));
+  auto* obase = static_cast<std::uint8_t*>(const_cast<void*>(origin));
+  switch (kind) {
+    case OpKind::put:
+      std::memcpy(tptr, obase, bytes);
+      break;
+    case OpKind::get:
+      std::memcpy(obase, tptr, bytes);
+      break;
+    case OpKind::acc:
+      apply_op(op, type, tptr, obase, count);
+      break;
+  }
+  if (core.checker().enabled())
+    core.checker().shm_end(w.id, target_rank, myrank, lo);
+  // Direct load/store: no lock or flush round trips, just the intra-node
+  // copy. WinStats epoch counters are deliberately untouched -- the fast
+  // path completing without epochs is an observable property tests assert.
+  me.clock().advance(core.model().shm_copy_ns(bytes));
+  core.note_time_locked(me.clock().now_ns());
+}
+
+void Win::shm_access_begin(int target_rank, std::size_t target_disp,
+                           std::size_t bytes, bool write) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  if (!core.checker().enabled()) return;
+  RankContext& me = ctx();
+  const int myrank = detail::require_member(w, me);
+  if (bytes == 0) return;
+  detail::require_shm(w, core, me, target_rank, target_disp, bytes,
+                      "win.shm_access_begin");
+
+  std::lock_guard lk(core.mu());
+  const auto lo = static_cast<std::ptrdiff_t>(target_disp);
+  core.checker().shm_begin(
+      w.id, target_rank, myrank, me.rank(),
+      write ? RmaChecker::OpKind::put : RmaChecker::OpKind::get, Op::replace,
+      lo, lo + static_cast<std::ptrdiff_t>(bytes), detail::trace_scope(me));
+}
+
+void Win::shm_access_end(int target_rank, std::size_t target_disp) const {
+  WinImpl& w = *impl_;
+  SimCore& core = *w.comm.impl()->core;
+  if (!core.checker().enabled()) return;
+  RankContext& me = ctx();
+  const int myrank = detail::require_member(w, me);
+
+  std::lock_guard lk(core.mu());
+  // Reports the access's pending violations: may raise Errc::rma_conflict.
+  core.checker().shm_end(w.id, target_rank, myrank,
+                         static_cast<std::ptrdiff_t>(target_disp));
 }
 
 void* Win::base(int rank) const {

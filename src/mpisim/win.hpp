@@ -103,6 +103,19 @@ class Win {
   /// on the calling rank. \p base may be null iff bytes == 0.
   static Win create(void* base, std::size_t bytes, const Comm& comm);
 
+  /// Collectively allocate a shared-memory window exposing \p bytes on the
+  /// calling rank (MPI_Win_allocate_shared with a node-spanning twist: one
+  /// allocation per *node* of the NetworkModel's node map, with each
+  /// co-located rank's segment carved out of its node's block). Ranks the
+  /// model places on the same node may access each other's segments with
+  /// direct loads and stores -- shm_put/shm_get/shm_acc -- without opening
+  /// an epoch; cross-node access still requires ordinary RMA. The window
+  /// owns the memory; base(rank) exposes each segment.
+  static Win allocate_shared(std::size_t bytes, const Comm& comm);
+
+  /// True when the window was created by allocate_shared().
+  bool shared_memory() const noexcept;
+
   /// Collectively destroy the window. All epochs must be closed.
   void free();
 
@@ -178,6 +191,42 @@ class Win {
                         BasicType type, int target_rank,
                         std::size_t target_disp) const;
 
+  // ---- same-node direct access (shared-memory windows only) ----
+
+  /// Direct store of \p bytes from \p origin into the segment of co-located
+  /// \p target_rank at byte displacement \p target_disp. No epoch is taken
+  /// and no lock/flush round trip is charged -- only the intra-node copy
+  /// cost (NetworkModel::shm_copy_ns). Raises Errc::invalid_argument unless
+  /// the window is shared_memory() and the target is on the caller's node.
+  /// The RMA checker records the access (RmaChecker::shm_begin) and reports
+  /// races against in-flight RMA on the same bytes.
+  void shm_put(const void* origin, std::size_t bytes, int target_rank,
+               std::size_t target_disp) const;
+
+  /// Direct load counterpart of shm_put.
+  void shm_get(void* origin, std::size_t bytes, int target_rank,
+               std::size_t target_disp) const;
+
+  /// Direct accumulate: applies \p op element-wise (element type \p type)
+  /// into the co-located target's segment. Executed atomically with respect
+  /// to RMA accumulates (the CPU-atomic path), so it conflicts only under
+  /// the accumulate-mixing rules. \p bytes must be a multiple of the
+  /// element size.
+  void shm_acc(Op op, BasicType type, const void* origin, std::size_t bytes,
+               int target_rank, std::size_t target_disp) const;
+
+  /// Declare a held-open direct load/store of co-located \p target_rank's
+  /// segment [target_disp, target_disp + bytes): the shared-memory analogue
+  /// of local_access_begin for access that outlives one call (ARMCI access
+  /// epochs onto a same-node slice). The checker reports conflicting RMA
+  /// issued while the declaration is open.
+  void shm_access_begin(int target_rank, std::size_t target_disp,
+                        std::size_t bytes, bool write) const;
+
+  /// End the declaration opened at \p target_disp; reports its pending
+  /// violations (Errc::rma_conflict in abort mode).
+  void shm_access_end(int target_rank, std::size_t target_disp) const;
+
   // ---- direct local access declaration (RMA validity checking) ----
 
   /// Declare that the caller is about to load/store [ptr, ptr+bytes) of its
@@ -219,6 +268,9 @@ class Win {
               const Datatype& origin_type, int target_rank,
               std::size_t target_disp, std::size_t target_count,
               const Datatype& target_type, Op op) const;
+  void shm_op(OpKind kind, Op op, BasicType type, const void* origin,
+              std::size_t bytes, int target_rank,
+              std::size_t target_disp) const;
 
   std::shared_ptr<detail::WinImpl> impl_;
 };

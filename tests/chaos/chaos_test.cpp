@@ -504,6 +504,85 @@ TEST(ChaosTest, WaitNotifyHitsTheVirtualTimeDeadline) {
   EXPECT_EQ(res.ranks[0].kind, Kind::aborted) << res.ranks[0].what;
 }
 
+TEST(ChaosTest, Mpi3NbFlushMidBatchTransientAccumulatesExactlyOnce) {
+  // Regression for the MPI-3 flush_queue replay bug: a transient fault
+  // *inside* the batch (after some accumulates already issued) must resume
+  // from the failed op, not replay the whole batch -- replaying would apply
+  // the completed accumulates twice. The schedule is fully deterministic:
+  // rate 1.0 aimed at the per-op fault site, two consults skipped, one
+  // burst allowed, so on every rank exactly the 3rd op of its 4-op batch
+  // fails exactly once mid-flush.
+  mpisim::Config cfg;
+  cfg.nranks = 4;
+  cfg.platform = Platform::infiniband;
+  cfg.ranks_per_node = 1;  // all targets remote: ops defer into nb queues
+  cfg.fault.seed = chaos_seed();
+  cfg.fault.transient.rate = 1.0;
+  cfg.fault.transient.fail_count = 1;
+  cfg.fault.transient.stall_ns = 100.0;
+  cfg.fault.transient.site = "mpi3.nb_flush.op";
+  cfg.fault.transient.skip = 2;
+  cfg.fault.transient.max_bursts = 1;
+  Options opts;
+  opts.backend = Backend::mpi3;
+
+  constexpr std::size_t kSlots = 4;
+  const ChaosResult res = run_chaos(cfg, opts, [] {
+    const int me = mpisim::rank();
+    const int right = (me + 1) % mpisim::nranks();
+    constexpr std::size_t kSlot = sizeof(std::int64_t);
+    std::vector<void*> bases = malloc_world(kSlot * kSlots);
+    access_begin(bases[static_cast<std::size_t>(me)]);
+    std::memset(bases[static_cast<std::size_t>(me)], 0, kSlot * kSlots);
+    access_end(bases[static_cast<std::size_t>(me)]);
+    barrier();
+    char* rbase = static_cast<char*>(bases[static_cast<std::size_t>(right)]);
+    const std::int64_t one = 1, inc = 1;
+    for (std::size_t i = 0; i < kSlots; ++i)
+      nb_acc(AccType::int64, &one, &inc, rbase + i * kSlot, kSlot, right);
+    wait_proc(right);  // one coalesced flush; the fault fires mid-batch
+    barrier();
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      std::int64_t v = 0;
+      get(rbase + i * kSlot, &v, kSlot, right);
+      EXPECT_EQ(v, 1) << "slot " << i
+                      << (v > 1 ? ": accumulate applied more than once"
+                                : ": accumulate lost");
+    }
+    barrier();
+  });
+  expect_invariants(res);
+  EXPECT_TRUE(res.top_error.empty()) << res.top_error;
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(res.ranks[r].kind, Kind::completed)
+        << "rank " << r << ": " << res.ranks[r].what;
+    EXPECT_EQ(res.retries[r], 1u) << "rank " << r;
+    EXPECT_EQ(res.exhausted[r], 0u);
+  }
+}
+
+TEST(ChaosTest, SameNodeCrashMidDirectAccessAbortsSurvivors) {
+  // All four ranks share one node on the infiniband profile, so the ring
+  // traffic rides the shared-memory direct path; a peer crashing mid-run
+  // must still surface as classified outcomes (the fast path polls the
+  // failure flag before every direct access), never as a hang.
+  mpisim::Config cfg;
+  cfg.nranks = 4;
+  cfg.platform = Platform::infiniband;  // ranks_per_node = 8: co-located
+  cfg.fault.seed = chaos_seed();
+  cfg.fault.crashes = {{1, 2000.0}};
+  Options opts;
+  opts.backend = Backend::mpi3;
+
+  const ChaosResult res = run_chaos(cfg, opts, ring_workload(40));
+  expect_invariants(res);
+  EXPECT_FALSE(res.top_error.empty());
+  EXPECT_EQ(res.ranks[1].kind, Kind::crashed) << res.ranks[1].what;
+  for (const std::size_t r : {0u, 2u, 3u})
+    EXPECT_EQ(res.ranks[r].kind, Kind::aborted)
+        << "rank " << r << ": " << res.ranks[r].what;
+}
+
 TEST(ChaosTest, CombinedScheduleKeepsTheInvariant) {
   // Everything on at once: a crash, transient bursts, delivery delays, and
   // lock stalls, under a generous global wait deadline.

@@ -160,6 +160,90 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(8, 23, 64),
                        ::testing::Values(1, 2, 5, 8, 16)));
 
+// Node-aware mapping: a 4x4 grid over 16 ranks with 4 ranks per node must
+// assign each 2x2 brick of adjacent tiles to the four consecutive ranks of
+// one node, while still distributing every element exactly once.
+TEST(DistributionTest, NodeAwareMappingClustersOwnersByNode) {
+  const std::int64_t dims[] = {64, 64};
+  const int kRanksPerNode = 4;
+  Distribution d(dims, 16, {}, kRanksPerNode);
+  EXPECT_TRUE(d.node_clustered());
+  EXPECT_EQ(d.grid(), (std::vector<int>{4, 4}));
+
+  // Still a bijection: every rank owns exactly one block, blocks tile the
+  // array, and owner_of agrees with patch_of.
+  std::int64_t total = 0;
+  for (int p = 0; p < 16; ++p) {
+    const Patch b = d.patch_of(p);
+    total += b.num_elems();
+    EXPECT_EQ(d.owner_of(std::vector<std::int64_t>{b.lo[0], b.lo[1]}), p);
+    EXPECT_EQ(d.owner_of(std::vector<std::int64_t>{b.hi[0], b.hi[1]}), p);
+  }
+  EXPECT_EQ(total, 64 * 64);
+
+  // The clustering property: the four tiles of each 32x32 quadrant belong
+  // to the four ranks of one node.
+  for (std::int64_t qr : {0, 32}) {
+    for (std::int64_t qc : {0, 32}) {
+      std::set<int> nodes;
+      for (std::int64_t dr : {0, 16}) {
+        for (std::int64_t dc : {0, 16}) {
+          const int owner = d.owner_of(
+              std::vector<std::int64_t>{qr + dr, qc + dc});
+          nodes.insert(owner / kRanksPerNode);
+        }
+      }
+      EXPECT_EQ(nodes.size(), 1u)
+          << "quadrant (" << qr << "," << qc << ") spans several nodes";
+    }
+  }
+
+  // The linear mapping puts the 4 tiles of a quadrant on 2 nodes.
+  Distribution linear(dims, 16);
+  EXPECT_FALSE(linear.node_clustered());
+  std::set<int> linear_nodes;
+  for (std::int64_t dr : {0, 16})
+    for (std::int64_t dc : {0, 16})
+      linear_nodes.insert(
+          linear.owner_of(std::vector<std::int64_t>{dr, dc}) / kRanksPerNode);
+  EXPECT_GT(linear_nodes.size(), 1u);
+}
+
+// A node size that does not factor into the grid degrades gracefully to
+// the row-major order instead of leaving ranks unused.
+TEST(DistributionTest, NodeAwareMappingFallsBackWhenUnfactorable) {
+  const std::int64_t dims[] = {35};
+  Distribution d(dims, 7, {}, 4);  // 4 shares no factor with grid {7}
+  EXPECT_FALSE(d.node_clustered());
+  for (int p = 0; p < 7; ++p) {
+    const Patch b = d.patch_of(p);
+    EXPECT_EQ(d.owner_of(std::vector<std::int64_t>{b.lo[0]}), p);
+  }
+}
+
+TEST(DistributionTest, NodeAwareIntersectNamesPermutedOwners) {
+  const std::int64_t dims[] = {64, 64};
+  Distribution d(dims, 16, {}, 4);
+  Patch r;
+  r.lo = {0, 0};
+  r.hi = {63, 63};
+  std::set<int> procs;
+  std::int64_t covered = 0;
+  for (const auto& op : d.intersect(r)) {
+    procs.insert(op.proc);
+    covered += op.patch.num_elems();
+    // Each sub-patch must lie inside the block patch_of reports for the
+    // owner intersect() named -- the permutation is applied consistently.
+    const Patch b = d.patch_of(op.proc);
+    for (std::size_t dd = 0; dd < 2; ++dd) {
+      EXPECT_GE(op.patch.lo[dd], b.lo[dd]);
+      EXPECT_LE(op.patch.hi[dd], b.hi[dd]);
+    }
+  }
+  EXPECT_EQ(procs.size(), 16u);
+  EXPECT_EQ(covered, 64 * 64);
+}
+
 TEST(DistributionTest, ThreeDimensional) {
   const std::int64_t dims[] = {16, 16, 16};
   Distribution d(dims, 8);

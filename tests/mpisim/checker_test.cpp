@@ -308,6 +308,61 @@ TEST(CheckerTest, FlushResetsTrackingUnit) {
   });
 }
 
+// Direction 1: remote RMA already in flight, then a same-node direct access
+// touches the same bytes. The shm fast path must be checked like a local
+// access: the conflicting store is reported at shm_end, classified local.
+TEST(CheckerTest, ShmAccessAgainstInFlightRmaAborts) {
+  Config cfg = abort_cfg(2);
+  cfg.ranks_per_node = 2;  // co-locate both ranks: the shm path is legal
+  run(cfg, [] {
+    Win win = Win::allocate_shared(8 * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    if (rank() == 0) {
+      win.lock(LockType::shared, 1);
+      win.put(src, sizeof src, 1, 0);  // in flight: not yet flushed
+    }
+    world().barrier();
+    if (rank() == 1) {
+      // Direct store into the bytes the unflushed put targets.
+      const std::string msg =
+          expect_conflict([&] { win.shm_put(src, sizeof src, 1, 0); });
+      EXPECT_NE(msg.find("direct"), std::string::npos) << msg;
+      EXPECT_EQ(my_counts().local, 1u);
+    }
+    world().barrier();
+    if (rank() == 0) win.unlock(1);
+    world().barrier();
+    win.free();
+  });
+}
+
+// Direction 2: a held-open same-node direct access (shm_access_begin), then
+// remote RMA lands on the declared bytes. The RMA origin is the violator;
+// its epoch close reports the conflict.
+TEST(CheckerTest, RmaAgainstOpenShmAccessAborts) {
+  Config cfg = abort_cfg(2);
+  cfg.ranks_per_node = 2;
+  run(cfg, [] {
+    Win win = Win::allocate_shared(8 * sizeof(double), world());
+    const double src[2] = {1.0, 2.0};
+    if (rank() == 1)
+      win.shm_access_begin(1, 0, sizeof src, /*write=*/true);  // own segment
+    world().barrier();
+    if (rank() == 0) {
+      win.lock(LockType::shared, 1);
+      win.put(src, sizeof src, 1, 0);  // lands on the open declaration
+      const std::string msg = expect_conflict([&] { win.unlock(1); });
+      EXPECT_NE(msg.find("direct"), std::string::npos) << msg;
+      EXPECT_EQ(my_counts().local, 1u);
+      win.unlock(1);  // record retired; releases the lock
+    }
+    world().barrier();
+    if (rank() == 1) win.shm_access_end(1, 0);
+    world().barrier();
+    win.free();
+  });
+}
+
 TEST(CheckerTest, WarnModeCountsAndCompletes) {
   Config cfg = abort_cfg(2);
   cfg.rma_check = RmaCheck::warn;

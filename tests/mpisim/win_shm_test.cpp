@@ -1,0 +1,153 @@
+// Tests for node-spanning shared-memory windows (Win::allocate_shared) and
+// the same-node direct access operations: segment layout, data movement,
+// the intra-node time charge, and the validation negatives (non-shared
+// window, cross-node target, bounds, accumulate alignment).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/mpisim/win.hpp"
+
+namespace mpisim {
+namespace {
+
+Config shm_cfg(int nranks, int ranks_per_node,
+               Platform platform = Platform::ideal) {
+  Config cfg;
+  cfg.nranks = nranks;
+  cfg.platform = platform;
+  cfg.ranks_per_node = ranks_per_node;
+  return cfg;
+}
+
+template <typename Fn>
+Errc expect_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const MpiError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected MpiError";
+  return Errc::internal;
+}
+
+TEST(WinShmTest, AllocateSharedCarvesPerRankSegments) {
+  run(shm_cfg(4, 4), [] {
+    Win win = Win::allocate_shared(32, world());
+    EXPECT_TRUE(win.shared_memory());
+    // Every segment is visible to every co-located rank, and carved from
+    // one block: distinct, non-overlapping, and contiguous in comm order.
+    for (int r = 0; r < 4; ++r) EXPECT_NE(win.base(r), nullptr);
+    for (int r = 1; r < 4; ++r)
+      EXPECT_EQ(static_cast<std::uint8_t*>(win.base(r)),
+                static_cast<std::uint8_t*>(win.base(r - 1)) + 32);
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(WinShmTest, ShmPutGetAccRoundTrip) {
+  run(shm_cfg(2, 2), [] {
+    Win win = Win::allocate_shared(8 * sizeof(std::int64_t), world());
+    std::memset(win.base(rank()), 0, 8 * sizeof(std::int64_t));
+    world().barrier();
+    if (rank() == 0) {
+      const std::int64_t v[2] = {41, -7};
+      win.shm_put(v, sizeof v, 1, 0);
+      const std::int64_t one = 1;
+      win.shm_acc(Op::sum, BasicType::int64, &one, sizeof one, 1, 0);
+      std::int64_t back[2] = {0, 0};
+      win.shm_get(back, sizeof back, 1, 0);
+      EXPECT_EQ(back[0], 42);
+      EXPECT_EQ(back[1], -7);
+    }
+    world().barrier();
+    // The target observes the stores directly through its own segment.
+    if (rank() == 1) {
+      std::int64_t local[2];
+      std::memcpy(local, win.base(1), sizeof local);
+      EXPECT_EQ(local[0], 42);
+      EXPECT_EQ(local[1], -7);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(WinShmTest, ShmCopyChargesIntraNodeCostOnly) {
+  // On the infiniband profile the intra-node copy charges shm_copy_ns --
+  // latency plus bytes over the shm bandwidth -- and nothing else (no lock
+  // or flush round trips).
+  run(shm_cfg(2, 2, Platform::infiniband), [] {
+    Win win = Win::allocate_shared(4096, world());
+    world().barrier();
+    if (rank() == 0) {
+      std::vector<std::uint8_t> buf(4096, 0xab);
+      const double before = clock().now_ns();
+      win.shm_put(buf.data(), buf.size(), 1, 0);
+      EXPECT_DOUBLE_EQ(clock().now_ns() - before,
+                       model().shm_copy_ns(buf.size()));
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(WinShmTest, ShmOpsRequireASharedWindow) {
+  run(shm_cfg(2, 2), [] {
+    std::vector<double> mem(8, 0.0);
+    Win win = Win::create(mem.data(), mem.size() * sizeof(double), world());
+    EXPECT_FALSE(win.shared_memory());
+    world().barrier();
+    if (rank() == 0) {
+      double v = 1.0;
+      EXPECT_EQ(expect_error([&] { win.shm_put(&v, sizeof v, 1, 0); }),
+                Errc::invalid_argument);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(WinShmTest, ShmOpsRejectCrossNodeTargets) {
+  run(shm_cfg(2, 1), [] {  // every rank its own node
+    Win win = Win::allocate_shared(64, world());
+    world().barrier();
+    if (rank() == 0) {
+      double v = 1.0;
+      EXPECT_EQ(expect_error([&] { win.shm_put(&v, sizeof v, 1, 0); }),
+                Errc::invalid_argument);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+TEST(WinShmTest, ShmOpsRejectOutOfBoundsAndMisalignment) {
+  run(shm_cfg(2, 2), [] {
+    Win win = Win::allocate_shared(64, world());
+    world().barrier();
+    if (rank() == 0) {
+      std::vector<std::uint8_t> buf(128, 0);
+      EXPECT_EQ(expect_error([&] { win.shm_put(buf.data(), 128, 1, 0); }),
+                Errc::window_bounds);
+      EXPECT_EQ(expect_error([&] { win.shm_get(buf.data(), 8, 1, 60); }),
+                Errc::window_bounds);
+      // Accumulate length must be a whole number of elements.
+      EXPECT_EQ(expect_error([&] {
+                  win.shm_acc(Op::sum, BasicType::int64, buf.data(), 12, 1, 0);
+                }),
+                Errc::invalid_argument);
+    }
+    world().barrier();
+    win.free();
+  });
+}
+
+}  // namespace
+}  // namespace mpisim
