@@ -768,6 +768,23 @@ void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc) {
 }
 
 // ---------------------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------------------
+
+bool is_failed(int proc) {
+  state();  // ARMCI must be initialized on the calling process
+  mpisim::SimCore& core = mpisim::ctx().core();
+  if (proc < 0 || proc >= core.config().nranks)
+    mpisim::raise(Errc::invalid_argument, "is_failed: process out of range");
+  return core.is_failed(proc);
+}
+
+std::vector<int> failed_ranks() {
+  state();
+  return mpisim::ctx().core().failed_ranks();
+}
+
+// ---------------------------------------------------------------------------
 // Direct local access and access modes
 // ---------------------------------------------------------------------------
 

@@ -236,6 +236,18 @@ void unlock(int mutex, int proc);
 void rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra, int proc);
 
 // ---------------------------------------------------------------------------
+// Failure detection (survivable mode, mpisim::FaultPlan::survivable)
+// ---------------------------------------------------------------------------
+
+/// True if process \p proc has been detected as failed. Always false unless
+/// the runtime runs in survivable mode; operations addressed to a failed
+/// process raise Errc::crashed instead of hanging.
+bool is_failed(int proc);
+
+/// Absolute ids of every process that has failed so far, ascending.
+std::vector<int> failed_ranks();
+
+// ---------------------------------------------------------------------------
 // Direct local access (paper §V-E, §VIII-A extension)
 // ---------------------------------------------------------------------------
 

@@ -224,19 +224,34 @@ void NativeBackend::mutexes_destroy() {
 void NativeBackend::mutex_lock(int m, int proc) {
   mpisim::RankContext& me = mpisim::ctx();
   mpisim::SimCore& core = me.core();
+  std::unique_lock lk(core.mu());
+  // The host's helper thread services mutex requests; a dead host cannot.
+  core.check_target_alive_locked(proc, "native.mutex_lock");
   auto* host = static_cast<ProcState*>(core.rank_ctx(proc).user_state);
   if (host == nullptr || m < 0 ||
       m >= static_cast<int>(host->native_mutexes.size()))
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
 
-  std::unique_lock lk(core.mu());
   auto& mx = host->native_mutexes[static_cast<std::size_t>(m)];
   mx.queue.push_back(me.rank());
+  int reclaimed_from = -1;
   core.wait(lk, [&] {
+    if (core.survivable()) {
+      // A dead holder never unlocks and a dead waiter never takes its
+      // turn: reclaim the one, strip the others.
+      if (mx.holder != -1 && core.is_dead_locked(mx.holder)) {
+        reclaimed_from = mx.holder;
+        mx.holder = -1;
+      }
+      while (!mx.queue.empty() && mx.queue.front() != me.rank() &&
+             core.is_dead_locked(mx.queue.front()))
+        mx.queue.pop_front();
+    }
     return mx.holder == -1 && !mx.queue.empty() && mx.queue.front() == me.rank();
   }, "native.mutex");
   mx.queue.pop_front();
   mx.holder = me.rank();
+  if (reclaimed_from >= 0) core.note_death_observed_locked(reclaimed_from);
   lk.unlock();
   mpisim::clock().advance(2.0 * mpisim::model().p2p_ns(0));
 }
@@ -244,12 +259,13 @@ void NativeBackend::mutex_lock(int m, int proc) {
 void NativeBackend::mutex_unlock(int m, int proc) {
   mpisim::RankContext& me = mpisim::ctx();
   mpisim::SimCore& core = me.core();
+  std::unique_lock lk(core.mu());
+  core.check_target_alive_locked(proc, "native.mutex_unlock");
   auto* host = static_cast<ProcState*>(core.rank_ctx(proc).user_state);
   if (host == nullptr || m < 0 ||
       m >= static_cast<int>(host->native_mutexes.size()))
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
 
-  std::unique_lock lk(core.mu());
   auto& mx = host->native_mutexes[static_cast<std::size_t>(m)];
   if (mx.holder != me.rank())
     mpisim::raise(Errc::invalid_argument, "unlock of a mutex not held");

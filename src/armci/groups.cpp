@@ -42,6 +42,14 @@ PGroup PGroup::create_collective(std::span<const int> members,
   return PGroup(std::move(c), std::move(g));
 }
 
+PGroup PGroup::shrink(const PGroup& parent) {
+  if (!parent.valid())
+    mpisim::raise(Errc::invalid_argument, "shrink of an invalid group");
+  mpisim::Comm shrunk = parent.comm().shrink();
+  mpisim::Group g = shrunk.group();
+  return PGroup(std::move(shrunk), std::move(g));
+}
+
 PGroup PGroup::create_noncollective(std::span<const int> members, int tag) {
   // Recursive intercommunicator creation and merging (paper §V-A; Dinan et
   // al., EuroMPI'11): the sorted member list is split in halves; each half

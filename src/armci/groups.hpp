@@ -42,6 +42,13 @@ class PGroup {
   /// disambiguates concurrent constructions.
   static PGroup create_noncollective(std::span<const int> members, int tag);
 
+  /// Survivable-mode recovery: collectively build the subgroup of
+  /// \p parent's members that are still alive, backed by a ULFM-style
+  /// shrink of the parent communicator. Collective over the parent's
+  /// *surviving* members only -- dead members are excused, which is what
+  /// distinguishes this from create_collective after a failure.
+  static PGroup shrink(const PGroup& parent);
+
   bool valid() const noexcept { return comm_.valid(); }
 
   /// Number of members.

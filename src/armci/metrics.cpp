@@ -161,9 +161,11 @@ std::string metrics_json() {
   // Locality classification of contiguous op targets (third append call:
   // the previous format string is near its 512-byte buffer).
   append(out,
-         "\"ops_self\":%llu,\"ops_same_node\":%llu,\"ops_remote\":%llu},",
+         "\"ops_self\":%llu,\"ops_same_node\":%llu,\"ops_remote\":%llu,"
+         "\"failovers\":%llu,\"replica_writes\":%llu},",
          (unsigned long long)s.ops_self, (unsigned long long)s.ops_same_node,
-         (unsigned long long)s.ops_remote);
+         (unsigned long long)s.ops_remote, (unsigned long long)s.failovers,
+         (unsigned long long)s.replica_writes);
 
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";
@@ -222,6 +224,12 @@ std::string metrics_json() {
            (unsigned long long)c.acc_mix, (unsigned long long)c.local,
            (unsigned long long)c.discipline);
   }
+
+  // Survivable-mode recovery gauge: virtual time between the most recently
+  // observed peer death and this rank noticing it (failure-aware site or
+  // read failover). -1 until a death has been observed here.
+  append(out, "\"recovery\":{\"detect_latency_ns\":%.3f},",
+         mpisim::ctx().last_detect_latency_ns);
 
   append(out, "\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu}}",
          tr.enabled() ? "true" : "false",

@@ -1,5 +1,7 @@
 #include "src/armci/mutex.hpp"
 
+#include <mutex>
+
 #include "src/armci/epoch_guard.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/runtime.hpp"
@@ -19,9 +21,10 @@ QueueingMutexSet QueueingMutexSet::create(const mpisim::Comm& comm, int count,
   set.comm_ = comm.dup();  // private tag space for notification messages
   set.count_ = count;
   set.tag_base_ = tag_base;
-  const std::size_t n = static_cast<std::size_t>(comm.size());
+  // Row layout: nproc request flags plus the survivable-mode holder byte.
+  const std::size_t stride = static_cast<std::size_t>(comm.size()) + 1;
   set.bytes_ = std::make_shared<std::vector<std::uint8_t>>(
-      static_cast<std::size_t>(count) * n, 0);
+      static_cast<std::size_t>(count) * stride, 0);
   set.win_ = mpisim::Win::create(
       set.bytes_->empty() ? nullptr : set.bytes_->data(), set.bytes_->size(),
       comm);
@@ -35,6 +38,15 @@ void QueueingMutexSet::destroy() {
   count_ = 0;
 }
 
+void QueueingMutexSet::put_holder(int m, int host, std::uint8_t value) {
+  const std::size_t stride = static_cast<std::size_t>(comm_.size()) + 1;
+  const std::size_t hoff = static_cast<std::size_t>(m) * stride +
+                           static_cast<std::size_t>(comm_.size());
+  EpochGuard eg(win_, LockType::exclusive, host);
+  win_.put(&value, 1, host, hoff);
+  eg.release();
+}
+
 void QueueingMutexSet::lock(int m, int host) {
   if (m < 0 || m >= count_)
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
@@ -42,10 +54,13 @@ void QueueingMutexSet::lock(int m, int host) {
                 static_cast<std::uint64_t>(m));
   const int n = comm_.size();
   const int me = comm_.rank();
-  const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const bool surv = mpisim::ctx().core().survivable();
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  const std::size_t row = static_cast<std::size_t>(m) * stride;
 
-  // One exclusive epoch: set B[me] = 1 and fetch every other entry. The
-  // put and the two gets touch disjoint bytes, so this is a legal epoch.
+  // One exclusive epoch: set B[me] = 1 and fetch every other entry (plus,
+  // in survivable mode, the holder byte). The put and the gets touch
+  // disjoint bytes, so this is a legal epoch.
   std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
   const std::uint8_t one = 1;
   {
@@ -59,15 +74,89 @@ void QueueingMutexSet::lock(int m, int host) {
     eg.release();
   }
 
+  bool contended = false;
+  int dead_seen = -1;
   for (int i = 0; i < n; ++i) {
-    if (i != me && others[static_cast<std::size_t>(i)] != 0) {
-      // Enqueued: wait locally for the current holder to forward the lock.
-      std::uint8_t token = 0;
+    if (i == me || others[static_cast<std::size_t>(i)] == 0) continue;
+    // A dead rank's request flag is permanent litter; it must not make us
+    // wait for a token that can never arrive.
+    if (surv && comm_.is_failed(i)) {
+      dead_seen = i;
+      continue;
+    }
+    contended = true;
+    break;
+  }
+  if (!contended) {
+    // No other live requester: the lock is ours. Publish the holder byte so
+    // waiters can reclaim it if we die while holding.
+    if (surv) {
+      if (dead_seen >= 0) {
+        // Skipping the dead rank's flag (possibly reclaiming the mutex it
+        // held) is an act of failure detection: charge the detector bound
+        // and stamp the latency gauge, as the blocked-waiter path does.
+        mpisim::SimCore& core = mpisim::ctx().core();
+        std::lock_guard lk(core.mu());
+        core.note_death_observed_locked(comm_.world_rank(dead_seen));
+      }
+      put_holder(m, host, static_cast<std::uint8_t>(me + 1));
+    }
+    return;
+  }
+
+  std::uint8_t token = 0;
+  if (!surv) {
+    // Enqueued: wait locally for the current holder to forward the lock.
+    comm_.recv(&token, 1, mpisim::kAnySource, tag_base_ + m);
+    return;
+  }
+  for (;;) {
+    try {
+      // The releaser publishes H = me + 1 before sending, so a received
+      // token means the holder byte already names us.
       comm_.recv(&token, 1, mpisim::kAnySource, tag_base_ + m);
       return;
+    } catch (const mpisim::MpiError& e) {
+      if (e.code() != Errc::crashed) throw;
     }
+    // A peer died while we were queued. Refetch the row to learn whether
+    // the dead rank held this mutex; epochs are serialized, so every woken
+    // waiter sees a consistent snapshot.
+    std::vector<std::uint8_t> rowbuf(stride, 0);
+    {
+      EpochGuard eg(win_, LockType::exclusive, host);
+      win_.get(rowbuf.data(), stride, host, row);
+      eg.release();
+    }
+    const int holder = static_cast<int>(rowbuf[static_cast<std::size_t>(n)]) - 1;
+    if (holder == me) {
+      // The releaser handed the lock to us and died before (or while) the
+      // token was delivered: the published holder byte is authoritative.
+      comm_.failure_ack();
+      return;
+    }
+    if (holder >= 0 && comm_.is_failed(holder)) {
+      // Reclaim: the first live requester circularly after the dead holder
+      // becomes the new holder; everyone computes the same successor from
+      // the serialized snapshot.
+      int successor = -1;
+      for (int k = 1; k <= n; ++k) {
+        const int i = (holder + k) % n;
+        if (rowbuf[static_cast<std::size_t>(i)] != 0 && !comm_.is_failed(i)) {
+          successor = i;
+          break;
+        }
+      }
+      if (successor == me) {
+        put_holder(m, host, static_cast<std::uint8_t>(me + 1));
+        comm_.failure_ack();
+        return;
+      }
+    }
+    // Holder alive (a death elsewhere woke us) or handoff in progress:
+    // acknowledge the death epoch and keep waiting.
+    comm_.failure_ack();
   }
-  // No other requester: the lock is ours.
 }
 
 void QueueingMutexSet::unlock(int m, int host) {
@@ -77,7 +166,9 @@ void QueueingMutexSet::unlock(int m, int host) {
                 static_cast<std::uint64_t>(m));
   const int n = comm_.size();
   const int me = comm_.rank();
-  const std::size_t row = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const bool surv = mpisim::ctx().core().survivable();
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  const std::size_t row = static_cast<std::size_t>(m) * stride;
 
   std::vector<std::uint8_t> others(static_cast<std::size_t>(n), 0);
   const std::uint8_t zero = 0;
@@ -93,15 +184,27 @@ void QueueingMutexSet::unlock(int m, int host) {
   }
 
   // Fair handoff: scan circularly starting at me+1 and forward the lock to
-  // the first enqueued requester, if any.
+  // the first enqueued requester, if any. Survivable mode skips dead
+  // requesters (their flags are litter) and publishes the holder byte
+  // before the token send, so the handoff survives our own crash.
   for (int k = 1; k < n; ++k) {
     const int i = (me + k) % n;
-    if (others[static_cast<std::size_t>(i)] != 0) {
+    if (others[static_cast<std::size_t>(i)] == 0) continue;
+    if (surv && comm_.is_failed(i)) continue;
+    if (surv) put_holder(m, host, static_cast<std::uint8_t>(i + 1));
+    try {
       const std::uint8_t token = 1;
       comm_.send(&token, 1, i, tag_base_ + m);
       return;
+    } catch (const mpisim::MpiError& e) {
+      if (!surv || e.code() != Errc::crashed) throw;
+      // The chosen successor died between the epoch and the send. Its own
+      // wake-up (or another waiter's) reclaims from the published holder
+      // byte; still try the remaining requesters so an uncontended row
+      // ends free.
     }
   }
+  if (surv) put_holder(m, host, 0);
 }
 
 }  // namespace armci

@@ -17,6 +17,20 @@
 ///
 /// This is the most scalable one-sided mutual exclusion algorithm known for
 /// MPI-2 RMA, and it also backs the per-GMR RMW mutex.
+///
+/// Survivable mode (mpisim::FaultPlan::survivable) extends each byte vector
+/// with a *holder byte* H at index nproc (H == holder + 1, 0 == free),
+/// published by the acquirer on a direct claim and by the releaser before
+/// the token send on a handoff. When a peer dies, every waiter blocked in
+/// the token receive is woken with Errc::crashed (once per death epoch); it
+/// refetches the row, and if H names a dead rank the first live requester
+/// circularly after the dead holder claims the lock -- so a mutex held by a
+/// crashed process is reclaimed within the failure-detection bound instead
+/// of hanging to the deadlock deadline. Residual windows that stay
+/// unrecoverable (and are documented in DESIGN.md): a crash between the
+/// request epoch and the holder-byte publication, and a handoff token in
+/// flight from a releaser that then dies while a *new* requester arrives
+/// mid-recovery.
 
 #include <cstdint>
 #include <memory>
@@ -55,12 +69,16 @@ class QueueingMutexSet {
   void unlock(int m, int host);
 
  private:
+  /// Publish the holder byte of mutex \p m on \p host (survivable mode).
+  void put_holder(int m, int host, std::uint8_t value);
+
   mpisim::Comm comm_;
   mpisim::Win win_;
   int count_ = 0;
   int tag_base_ = 0;
   /// Backing storage for this member's hosted byte vectors
-  /// (count * nproc bytes), shared so copies of the handle stay valid.
+  /// (count * (nproc + 1) bytes: nproc request flags plus the holder byte),
+  /// shared so copies of the handle stay valid.
   std::shared_ptr<std::vector<std::uint8_t>> bytes_;
 };
 

@@ -26,12 +26,51 @@
 
 namespace armci {
 
+/// Virtual-time delay charged before retry number \p attempt (0-based).
+///
+/// Default: pure exponential, base * 2^min(attempt, 10). With
+/// opts.retry_jitter > 0 the schedule becomes *decorrelated jitter*
+/// (Brooker's "FullJitter/DecorrelatedJitter" family): each delay is drawn
+/// uniformly from [base, min(cap, 3 * prev * jitter)], where prev is the
+/// previous delay and cap is the exponential ceiling (base * 2^10). The
+/// uniform draw comes from the rank's deterministic fault RNG, so runs are
+/// reproducible per seed while concurrent ranks' retry storms decorrelate.
+/// \p prev carries the previous delay across attempts (in: last delay or
+/// base on the first attempt; out: the chosen delay).
+inline double retry_delay_ns(const Options& opts, double u, int attempt,
+                             double* prev) {
+  const double base = opts.retry_backoff_ns;
+  const double cap = std::ldexp(base, 10);
+  double delay = std::ldexp(base, std::min(attempt, 10));
+  if (opts.retry_jitter > 0.0) {
+    const double hi = std::min(cap, 3.0 * (*prev) * opts.retry_jitter);
+    delay = hi <= base ? base : base + u * (hi - base);
+  }
+  *prev = delay;
+  return delay;
+}
+
+/// Total backoff an exhausted with_retry() scope charges under the default
+/// exponential schedule (used by tests to bound the deadline).
+inline double retry_total_backoff_ns(const Options& opts) {
+  double total = 0.0;
+  for (int a = 0; a < opts.transient_max_retries; ++a)
+    total += std::ldexp(opts.retry_backoff_ns, std::min(a, 10));
+  return total;
+}
+
 /// Run \p body, retrying up to st.opts.transient_max_retries times on
-/// Errc::transient with exponential backoff charged to virtual time.
-/// \p site names the operation for the fault injector's diagnostics.
+/// Errc::transient with backoff charged to virtual time (see
+/// retry_delay_ns for the schedule). A nonzero opts.retry_deadline_ns
+/// additionally bounds the *cumulative* backoff of this scope: when the
+/// next delay would push the total past the deadline, the error propagates
+/// as retry_exhausted even if attempts remain. \p site names the operation
+/// for the fault injector's diagnostics.
 template <typename Body>
 auto with_retry(ProcState& st, const char* site, Body&& body) {
   mpisim::RankContext& me = mpisim::ctx();
+  double prev = st.opts.retry_backoff_ns;
+  double slept = 0.0;
   for (int attempt = 0;; ++attempt) {
     try {
       me.fault().maybe_transient(me.clock(), site);
@@ -43,9 +82,17 @@ auto with_retry(ProcState& st, const char* site, Body&& body) {
         ++st.stats.retry_exhausted;
         throw;
       }
+      const double u =
+          st.opts.retry_jitter > 0.0 ? me.fault().draw_unit() : 0.0;
+      const double delay = retry_delay_ns(st.opts, u, attempt, &prev);
+      if (st.opts.retry_deadline_ns > 0.0 &&
+          slept + delay > st.opts.retry_deadline_ns) {
+        ++st.stats.retry_exhausted;
+        throw;
+      }
       ++st.stats.retries;
-      me.clock().advance(
-          std::ldexp(st.opts.retry_backoff_ns, std::min(attempt, 10)));
+      slept += delay;
+      me.clock().advance(delay);
     }
   }
 }

@@ -71,6 +71,12 @@ struct Stats {
   std::uint64_t retries = 0;
   std::uint64_t retry_exhausted = 0;
 
+  // Survivable-mode recovery (mpisim::FaultPlan::survivable): GA reads
+  // transparently redirected to a buddy replica because the owner died, and
+  // write-through copies pushed to replica tiles of replicated arrays.
+  std::uint64_t failovers = 0;
+  std::uint64_t replica_writes = 0;
+
   // Nonblocking aggregation engine (nb.hpp): nb_* API calls, how many were
   // deferred into a queue vs executed eagerly, queue drains forced by a
   // conflicting enqueue (location consistency), total queue drains, and

@@ -82,6 +82,17 @@ struct Options {
   /// Virtual-time backoff charged before the first retry; doubles per
   /// attempt (capped at 2^10 times this base).
   double retry_backoff_ns = 500.0;
+  /// Decorrelated jitter factor for the retry backoff: > 0 replaces the
+  /// deterministic exponential delay with a draw uniform in
+  /// [backoff, min(cap, 3 * previous_delay * jitter)] from the rank's
+  /// deterministic fault RNG, decorrelating retry storms across ranks while
+  /// keeping runs reproducible per seed. 0 = pure exponential (default).
+  double retry_jitter = 0.0;
+  /// Cap on the *cumulative* virtual time one with_retry() scope may spend
+  /// backing off. Once the total would exceed it, the transient error
+  /// propagates (counted in Stats::retry_exhausted) even if attempts
+  /// remain. 0 = no deadline (default).
+  double retry_deadline_ns = 0.0;
   /// Defer nb_* operations into per-(GMR, target) queues and coalesce each
   /// queue into a single epoch at the next completion point (nb.hpp). Off,
   /// every nb_* op executes eagerly like its blocking counterpart.

@@ -1,5 +1,6 @@
 #include "src/ga/ga.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/armci/armci.hpp"
@@ -22,37 +23,36 @@ using detail::GaImpl;
 GlobalArray::GlobalArray(std::shared_ptr<GaImpl> impl)
     : impl_(std::move(impl)) {}
 
-GlobalArray GlobalArray::create(const std::string& name,
-                                std::span<const std::int64_t> dims,
-                                ElemType type,
-                                std::span<const std::int64_t> chunk,
-                                NodeMapping mapping) {
-  auto impl = std::make_shared<GaImpl>();
-  impl->name = name;
-  impl->type = type;
-  impl->dims.assign(dims.begin(), dims.end());
-  impl->dist = Distribution(dims, mpisim::nranks(), chunk,
-                            mapping == NodeMapping::node_aware
-                                ? mpisim::model().ranks_per_node()
-                                : 0);
-  impl->my_patch = impl->dist.patch_of(mpisim::rank());
-
-  const std::size_t bytes =
-      static_cast<std::size_t>(impl->my_patch.num_elems()) * elem_size(type);
-  impl->bases = armci::malloc_world(bytes);
-  if (bytes > 0) std::memset(impl->bases[static_cast<std::size_t>(mpisim::rank())], 0, bytes);
-  armci::barrier();
-  return GlobalArray(std::move(impl));
-}
-
 namespace {
 
-/// Shared tail of the create() variants: allocate and zero the local block.
+/// Shared tail of the create() variants: compute the per-rank block sizes,
+/// allocate the local block (plus the buddy replica for replicated arrays)
+/// and zero it. Collective over the world; in survivable mode dead ranks
+/// are excused by the FT collectives underneath.
 std::shared_ptr<GaImpl> finish_create(std::shared_ptr<GaImpl> impl) {
-  impl->my_patch = impl->dist.patch_of(mpisim::rank());
-  const std::size_t bytes =
-      static_cast<std::size_t>(impl->my_patch.num_elems()) *
-      elem_size(impl->type);
+  const int nprocs = detail::dist_nprocs(*impl);
+  const std::size_t esz = elem_size(impl->type);
+  impl->block_bytes.assign(static_cast<std::size_t>(nprocs), 0);
+  for (int r = 0; r < nprocs; ++r)
+    impl->block_bytes[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(impl->dist.patch_of(r).num_elems()) * esz;
+
+  const int me = detail::dist_rank_of(*impl, mpisim::rank());
+  if (me >= 0) {
+    impl->my_patch = impl->dist.patch_of(me);
+  } else {
+    const std::size_t nd = static_cast<std::size_t>(impl->dist.ndim());
+    impl->my_patch.lo.assign(nd, 0);
+    impl->my_patch.hi.assign(nd, -1);  // empty: not in the distribution map
+  }
+
+  std::size_t bytes =
+      me >= 0 ? impl->block_bytes[static_cast<std::size_t>(me)] : 0;
+  if (detail::replicated(*impl) && me >= 0) {
+    // This rank is the buddy of its ring predecessor: append its replica.
+    const int pred = (me + nprocs - 1) % nprocs;
+    bytes += impl->block_bytes[static_cast<std::size_t>(pred)];
+  }
   impl->bases = armci::malloc_world(bytes);
   if (bytes > 0)
     std::memset(impl->bases[static_cast<std::size_t>(mpisim::rank())], 0,
@@ -62,6 +62,23 @@ std::shared_ptr<GaImpl> finish_create(std::shared_ptr<GaImpl> impl) {
 }
 
 }  // namespace
+
+GlobalArray GlobalArray::create(const std::string& name,
+                                std::span<const std::int64_t> dims,
+                                ElemType type,
+                                std::span<const std::int64_t> chunk,
+                                NodeMapping mapping, Resilience resilience) {
+  auto impl = std::make_shared<GaImpl>();
+  impl->name = name;
+  impl->type = type;
+  impl->dims.assign(dims.begin(), dims.end());
+  impl->dist = Distribution(dims, mpisim::nranks(), chunk,
+                            mapping == NodeMapping::node_aware
+                                ? mpisim::model().ranks_per_node()
+                                : 0);
+  impl->resilience = resilience;
+  return GlobalArray(finish_create(std::move(impl)));
+}
 
 GlobalArray GlobalArray::create_irregular(
     const std::string& name, std::span<const std::int64_t> dims,
@@ -84,6 +101,8 @@ GlobalArray GlobalArray::duplicate(const std::string& name,
   impl->type = g.impl_->type;
   impl->dims = g.impl_->dims;
   impl->dist = g.impl_->dist;  // identical distribution, irregular or not
+  impl->resilience = g.impl_->resilience;
+  impl->procs = g.impl_->procs;
   return GlobalArray(finish_create(std::move(impl)));
 }
 
@@ -102,15 +121,23 @@ const std::vector<std::int64_t>& GlobalArray::dims() const {
 ElemType GlobalArray::type() const { return impl_->type; }
 
 Patch GlobalArray::distribution(int proc) const {
-  return impl_->dist.patch_of(proc);
+  const int r = detail::dist_rank_of(*impl_, proc);
+  if (r >= 0) return impl_->dist.patch_of(r);
+  const std::size_t nd = static_cast<std::size_t>(impl_->dist.ndim());
+  Patch empty;
+  empty.lo.assign(nd, 0);
+  empty.hi.assign(nd, -1);
+  return empty;
 }
 
 int GlobalArray::locate(std::span<const std::int64_t> subscript) const {
-  return impl_->dist.owner_of(subscript);
+  return detail::abs_proc(*impl_, impl_->dist.owner_of(subscript));
 }
 
 std::vector<OwnedPatch> GlobalArray::locate_region(const Patch& region) const {
-  return impl_->dist.intersect(region);
+  std::vector<OwnedPatch> out = impl_->dist.intersect(region);
+  for (OwnedPatch& op : out) op.proc = detail::abs_proc(*impl_, op.proc);
+  return out;
 }
 
 namespace detail {
@@ -164,7 +191,9 @@ armci::Request region_xfer_issue(GaImpl& ga, XferKind kind,
   armci::Request req;
   int owners = 0;
   std::uint64_t batches = 0;
+  const bool repl = detail::replicated(ga);
   for (const OwnedPatch& op : ga.dist.intersect(region)) {
+    const int owner_abs = detail::abs_proc(ga, op.proc);
     const Patch block = ga.dist.patch_of(op.proc);
     std::vector<std::int64_t> blk_ext(nd);
     for (std::size_t d = 0; d < nd; ++d) blk_ext[d] = block.extent(d);
@@ -181,9 +210,20 @@ armci::Request region_xfer_issue(GaImpl& ga, XferKind kind,
                  buf_strides[d];
     }
     auto* remote =
-        static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(op.proc)]) +
+        static_cast<std::uint8_t*>(
+            ga.bases[static_cast<std::size_t>(owner_abs)]) +
         rem_off;
     auto* local = static_cast<std::uint8_t*>(buf) + loc_off;
+
+    // Buddy replica of this block (replicated arrays): same layout, stored
+    // on the ring successor after its own block.
+    const int buddy = repl ? detail::buddy_of(ga, op.proc) : -1;
+    const int buddy_abs = repl ? detail::abs_proc(ga, buddy) : -1;
+    std::uint8_t* replica = nullptr;
+    if (repl && ga.bases[static_cast<std::size_t>(buddy_abs)] != nullptr)
+      replica = static_cast<std::uint8_t*>(
+                    ga.bases[static_cast<std::size_t>(buddy_abs)]) +
+                ga.block_bytes[static_cast<std::size_t>(buddy)] + rem_off;
 
     // ARMCI strided notation: count[0] in bytes over the innermost
     // dimension; stride level i covers dimension nd-2-i.
@@ -208,23 +248,55 @@ armci::Request region_xfer_issue(GaImpl& ga, XferKind kind,
       }
     }
 
-    armci::Request r;
-    switch (kind) {
-      case XferKind::put:
-        r = armci::nb_put_strided(local, remote, spec, op.proc);
-        break;
-      case XferKind::get:
-        r = armci::nb_get_strided(remote, local, spec, op.proc);
-        break;
-      case XferKind::acc:
-        r = armci::nb_acc_strided(ga.type == ElemType::dbl
-                                      ? armci::AccType::float64
-                                      : armci::AccType::int64,
-                                  alpha, local, remote, spec, op.proc);
-        break;
+    const armci::AccType at = ga.type == ElemType::dbl
+                                  ? armci::AccType::float64
+                                  : armci::AccType::int64;
+    const bool owner_dead = repl && armci::is_failed(owner_abs);
+    const bool buddy_dead =
+        repl && (replica == nullptr || armci::is_failed(buddy_abs));
+
+    if (kind == XferKind::get) {
+      armci::Request r;
+      if (owner_dead && !buddy_dead) {
+        // Transparent failover: serve the read from the buddy replica and
+        // record the detection latency of the owner's death.
+        r = armci::nb_get_strided(replica, local, spec, buddy_abs);
+        ++armci::state().stats.failovers;
+        mpisim::SimCore& core = mpisim::ctx().core();
+        std::lock_guard lk(core.mu());
+        core.note_death_observed_locked(owner_abs);
+      } else {
+        // Owner alive (or nothing to fail over to: surface the error the
+        // way a non-replicated access would).
+        r = armci::nb_get_strided(remote, local, spec, owner_abs);
+      }
+      if (!r.test()) ++batches;
+      req.merge(r);
+      ++owners;
+      continue;
     }
-    if (!r.test()) ++batches;  // deferred, not eager: one per-owner batch
-    req.merge(r);
+
+    // put/acc: primary write unless the owner is gone, plus the
+    // write-through replica copy that keeps failover reads exact.
+    if (!owner_dead) {
+      armci::Request r;
+      if (kind == XferKind::put)
+        r = armci::nb_put_strided(local, remote, spec, owner_abs);
+      else
+        r = armci::nb_acc_strided(at, alpha, local, remote, spec, owner_abs);
+      if (!r.test()) ++batches;  // deferred, not eager: one per-owner batch
+      req.merge(r);
+    }
+    if (repl && !buddy_dead) {
+      armci::Request r;
+      if (kind == XferKind::put)
+        r = armci::nb_put_strided(local, replica, spec, buddy_abs);
+      else
+        r = armci::nb_acc_strided(at, alpha, local, replica, spec, buddy_abs);
+      if (!r.test()) ++batches;
+      req.merge(r);
+      ++armci::state().stats.replica_writes;
+    }
     ++owners;
   }
   detail::count_multi_owner(owners, batches);
@@ -292,6 +364,7 @@ std::int64_t GlobalArray::read_inc(std::span<const std::int64_t> subscript,
   if (ga.type != ElemType::int64)
     mpisim::raise(Errc::invalid_argument, "read_inc requires an int64 array");
   const int proc = ga.dist.owner_of(subscript);
+  const int proc_abs = detail::abs_proc(ga, proc);
   const Patch block = ga.dist.patch_of(proc);
   const std::size_t nd = static_cast<std::size_t>(ga.dist.ndim());
   std::vector<std::int64_t> ext(nd);
@@ -301,15 +374,60 @@ std::int64_t GlobalArray::read_inc(std::span<const std::int64_t> subscript,
   std::size_t off = 0;
   for (std::size_t d = 0; d < nd; ++d)
     off += static_cast<std::size_t>(subscript[d] - block.lo[d]) * strides[d];
-  auto* remote =
-      static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(proc)]) +
-      off;
+  auto* remote = static_cast<std::uint8_t*>(
+                     ga.bases[static_cast<std::size_t>(proc_abs)]) +
+                 off;
   std::int64_t old = 0;
-  armci::rmw(armci::RmwOp::fetch_and_add_long, &old, remote, inc, proc);
+  armci::rmw(armci::RmwOp::fetch_and_add_long, &old, remote, inc, proc_abs);
   return old;
 }
 
 void GlobalArray::sync() const { armci::barrier(); }
+
+void GlobalArray::rebuild() {
+  GaImpl& old = *impl_;
+  if (old.access_depth != 0)
+    mpisim::raise(Errc::invalid_argument,
+                  "rebuild with a direct-access epoch open");
+  // Settle in-flight traffic and agree on the survivor set. The FT world
+  // barrier excuses dead ranks, so every survivor leaves it having
+  // observed at least the deaths that preceded its entry.
+  armci::barrier();
+  const std::vector<int> dead = armci::failed_ranks();
+  std::vector<int> live;
+  for (int r = 0; r < mpisim::nranks(); ++r)
+    if (std::find(dead.begin(), dead.end(), r) == dead.end())
+      live.push_back(r);
+
+  // New distribution over the survivors, same policy as create().
+  auto fresh = std::make_shared<GaImpl>();
+  fresh->name = old.name;
+  fresh->type = old.type;
+  fresh->dims = old.dims;
+  fresh->dist = Distribution(old.dims, static_cast<int>(live.size()));
+  fresh->resilience = old.resilience;
+  if (static_cast<int>(live.size()) != mpisim::nranks()) fresh->procs = live;
+  fresh = finish_create(std::move(fresh));
+
+  // Owner-computes copy: every survivor reads its new block from the old
+  // array -- failing over to buddy replicas where the owner died -- and
+  // writes it through the new array's put path, which also populates the
+  // new replicas.
+  GlobalArray fresh_handle(fresh);
+  if (fresh->my_patch.num_elems() > 0) {
+    std::vector<std::uint8_t> tmp(
+        static_cast<std::size_t>(fresh->my_patch.num_elems()) *
+        elem_size(fresh->type));
+    region_xfer(old, XferKind::get, fresh->my_patch, tmp.data(), {}, nullptr);
+    fresh_handle.put(fresh->my_patch, tmp.data());
+  }
+  armci::barrier();
+
+  // Release the old storage and swing every handle copy to the new state.
+  armci::free(old.bases[static_cast<std::size_t>(mpisim::rank())]);
+  *impl_ = std::move(*fresh);
+  armci::barrier();
+}
 
 // ---------------------------------------------------------------------------
 // AtomicCounter

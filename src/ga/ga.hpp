@@ -43,6 +43,16 @@ enum class NodeMapping {
   node_aware,  ///< cluster adjacent tiles on ranks the platform co-locates
 };
 
+/// Fault-tolerance policy for create() (survivable mode,
+/// mpisim::FaultPlan::survivable).
+enum class Resilience {
+  none,       ///< classic GA: an owner's death loses its block
+  replicate,  ///< buddy replication: every block is mirrored on the next
+              ///< rank in the distribution ring; puts/accumulates write
+              ///< through to the replica and gets transparently fail over
+              ///< to it when the owner has died
+};
+
 namespace detail {
 struct GaImpl;
 }
@@ -62,7 +72,8 @@ class GlobalArray {
   static GlobalArray create(const std::string& name,
                             std::span<const std::int64_t> dims, ElemType type,
                             std::span<const std::int64_t> chunk = {},
-                            NodeMapping mapping = NodeMapping::linear);
+                            NodeMapping mapping = NodeMapping::linear,
+                            Resilience resilience = Resilience::none);
 
   /// Collective: like create() but with an explicit irregular distribution
   /// (GA_Create_irregular): \p block_starts[d] lists the first index of
@@ -196,6 +207,15 @@ class GlobalArray {
 
   /// Collective barrier + fence (GA_Sync).
   void sync() const;
+
+  /// Survivable-mode recovery (collective over the *surviving* processes):
+  /// redistribute the array over the live process set. Each survivor
+  /// fetches its new block from the old array -- reading through buddy
+  /// replicas where an owner died -- into a fresh allocation, then the old
+  /// storage is released. Requires replication (or no dead owners) for the
+  /// content to be complete; all copies of the handle observe the rebuilt
+  /// array.
+  void rebuild();
 
   /// Matrix multiply C = alpha * op(A) * op(B) + beta * C for 2-d double
   /// arrays, transa/transb in {'n', 't'} (GA_Dgemm, owner-computes with

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "src/armci/armci.hpp"
+#include "src/armci/state.hpp"
 #include "src/ga/ga.hpp"
 #include "src/ga/ga_impl.hpp"
 #include "src/ga/layout.hpp"
@@ -44,7 +45,7 @@ void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
   // conservative and the direct/deferred paths treat overlapping
   // destination segments in one descriptor as erroneous.
   std::vector<std::uint8_t*> remotes(static_cast<std::size_t>(n));
-  std::vector<int> owners_of(static_cast<std::size_t>(n));
+  std::vector<int> owners_of(static_cast<std::size_t>(n));  // dist ranks
   std::map<const void*, std::int64_t> last_writer;
   for (std::int64_t i = 0; i < n; ++i) {
     const std::span<const std::int64_t> idx =
@@ -52,32 +53,84 @@ void element_xfer(detail::GaImpl& ga, ElemXfer kind, void* values,
     const int proc = ga.dist.owner_of(idx);
     const Patch block = ga.dist.patch_of(proc);
     auto* remote =
-        static_cast<std::uint8_t*>(ga.bases[static_cast<std::size_t>(proc)]) +
+        static_cast<std::uint8_t*>(
+            ga.bases[static_cast<std::size_t>(detail::abs_proc(ga, proc))]) +
         detail::element_offset(block, idx, esz);
     remotes[static_cast<std::size_t>(i)] = remote;
     owners_of[static_cast<std::size_t>(i)] = proc;
     if (kind == ElemXfer::put) last_writer[remote] = i;
   }
 
-  // Bucket elements by owner, preserving per-owner order. Duplicates are
-  // dropped only for scatter; gather reads a duplicate into each of its
-  // (distinct) destinations, and scatter_acc applies every contribution --
-  // accumulation is commutative, so all duplicates must land.
+  // Buddy-replica address of an element (replicated arrays): same offset
+  // within the owner's block, stored on the ring successor after its own
+  // block. Null when the buddy holds no storage.
+  const bool repl = detail::replicated(ga);
+  auto replica_of = [&](int owner, std::uint8_t* remote) -> std::uint8_t* {
+    const int buddy = detail::buddy_of(ga, owner);
+    auto* bbase = static_cast<std::uint8_t*>(
+        ga.bases[static_cast<std::size_t>(detail::abs_proc(ga, buddy))]);
+    if (bbase == nullptr) return nullptr;
+    auto* obase = static_cast<std::uint8_t*>(
+        ga.bases[static_cast<std::size_t>(detail::abs_proc(ga, owner))]);
+    return bbase + ga.block_bytes[static_cast<std::size_t>(buddy)] +
+           static_cast<std::size_t>(remote - obase);
+  };
+
+  // Bucket elements by the absolute process each transfer is issued to,
+  // preserving per-owner order. Duplicates are dropped only for scatter;
+  // gather reads a duplicate into each of its (distinct) destinations, and
+  // scatter_acc applies every contribution -- accumulation is commutative,
+  // so all duplicates must land. Replicated arrays write through to the
+  // buddy replica and fail gets over to it when the owner has died.
   std::map<int, armci::Giov> per_owner;
+  bool observed_death = false;
+  int dead_owner_abs = -1;
   for (std::int64_t i = 0; i < n; ++i) {
     auto* remote = remotes[static_cast<std::size_t>(i)];
-    if (kind == ElemXfer::put && last_writer[remote] != i) continue;
     auto* local = static_cast<std::uint8_t*>(values) +
                   static_cast<std::size_t>(i) * esz;
-    armci::Giov& g = per_owner[owners_of[static_cast<std::size_t>(i)]];
-    g.bytes = esz;
+    const int owner = owners_of[static_cast<std::size_t>(i)];
+    const int owner_abs = detail::abs_proc(ga, owner);
+    std::uint8_t* rep = repl ? replica_of(owner, remote) : nullptr;
+    const int buddy_abs =
+        repl ? detail::abs_proc(ga, detail::buddy_of(ga, owner)) : -1;
+    const bool owner_dead = repl && armci::is_failed(owner_abs);
+    const bool buddy_dead =
+        repl && (rep == nullptr || armci::is_failed(buddy_abs));
+
     if (kind == ElemXfer::get) {
-      g.src.push_back(remote);
+      armci::Giov& g = (owner_dead && !buddy_dead) ? per_owner[buddy_abs]
+                                                   : per_owner[owner_abs];
+      g.bytes = esz;
+      g.src.push_back((owner_dead && !buddy_dead) ? rep : remote);
       g.dst.push_back(local);
-    } else {
+      if (owner_dead && !buddy_dead) {
+        ++armci::state().stats.failovers;
+        observed_death = true;
+        dead_owner_abs = owner_abs;
+      }
+      continue;
+    }
+
+    if (kind == ElemXfer::put && last_writer[remote] != i) continue;
+    if (!owner_dead) {
+      armci::Giov& g = per_owner[owner_abs];
+      g.bytes = esz;
       g.src.push_back(local);
       g.dst.push_back(remote);
     }
+    if (repl && !buddy_dead) {
+      armci::Giov& g = per_owner[buddy_abs];
+      g.bytes = esz;
+      g.src.push_back(local);
+      g.dst.push_back(rep);
+      ++armci::state().stats.replica_writes;
+    }
+  }
+  if (observed_death) {
+    mpisim::SimCore& core = mpisim::ctx().core();
+    std::lock_guard lk(core.mu());
+    core.note_death_observed_locked(dead_owner_abs);
   }
 
   // One nonblocking IOV batch per owner, one covering wait: the
@@ -221,7 +274,11 @@ GlobalArray::Selected GlobalArray::select_elem(SelectOp op) const {
   std::vector<Cand> all(static_cast<std::size_t>(mpisim::nranks()));
   mpisim::world().allgather(&mine, all.data(), sizeof(Cand));
   Cand best = mine;
-  for (const Cand& c : all) {
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    // A dead rank's slot was excused by the FT allgather and holds a
+    // zero-initialized candidate; it must not win the selection.
+    if (mpisim::ctx().core().is_failed(static_cast<int>(r))) continue;
+    const Cand& c = all[r];
     const bool better =
         op == SelectOp::max
             ? (c.value > best.value ||

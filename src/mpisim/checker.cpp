@@ -136,6 +136,15 @@ void RmaChecker::epoch_flushed(std::uint64_t win, int target, int origin) {
   report(ep.pending);
 }
 
+void RmaChecker::epoch_abandoned(std::uint64_t win, int target, int origin) {
+  if (!enabled()) return;
+  auto wit = wins_.find(win);
+  if (wit == wins_.end()) return;
+  auto tit = wit->second.targets.find(target);
+  if (tit == wit->second.targets.end()) return;
+  tit->second.open.erase(origin);
+}
+
 void RmaChecker::window_freed(std::uint64_t win) { wins_.erase(win); }
 
 bool RmaChecker::conflict_with(const Sets& s, OpKind kind, Op op,

@@ -136,6 +136,12 @@ class RmaChecker {
   /// tracking unit (operations separated by a flush no longer conflict).
   void epoch_flushed(std::uint64_t win, int target, int origin);
 
+  /// The epoch's origin died before completing it (survivable mode): drop
+  /// the epoch silently -- no violation report, no ghost handoff. The dead
+  /// rank's in-flight accesses never completed, and survivors must not be
+  /// charged with conflicts against an origin that no longer exists.
+  void epoch_abandoned(std::uint64_t win, int target, int origin);
+
   /// Window destroyed: drop all its state.
   void window_freed(std::uint64_t win);
 

@@ -58,6 +58,22 @@ std::vector<std::uint8_t> system_recv(SimCore& core, int src_world, int tag) {
   return std::move(m.payload);
 }
 
+/// Survivable mode: a collective round may complete once every member has
+/// either arrived or died -- the survivors must not block forever on a
+/// dead peer. Caller must hold the global lock.
+bool round_satisfied_locked(const CollCtx& cc, const CommImpl& c) {
+  for (int r = 0; r < c.group.size(); ++r) {
+    if (cc.present[static_cast<std::size_t>(r)] != 0) continue;
+    if (!c.core->is_dead_locked(c.group.world_rank(r))) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void throw_revoked(const char* site) {
+  throw MpiError(Errc::revoked, std::string("mpisim: ") + site +
+                                    " on a revoked communicator");
+}
+
 }  // namespace
 
 Comm::Comm(std::shared_ptr<CommImpl> impl) : impl_(std::move(impl)) {}
@@ -111,6 +127,8 @@ void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) const {
   me.clock().advance(core.model().p2p_ns(0));
 
   std::unique_lock lk(core.mu());
+  if (c.revoked) throw_revoked("comm.send");
+  core.check_target_alive_locked(dest_world, "comm.send");
   core.note_time_locked(me.clock().now_ns());
   core.mailbox(dest_world).push(std::move(m));
   core.poke();
@@ -123,8 +141,42 @@ Status Comm::recv(void* buf, std::size_t capacity, int src, int tag) const {
   me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
+  if (c.revoked) throw_revoked("comm.recv");
   Mailbox& mb = core.mailbox(me.rank());
-  core.wait(lk, [&] { return mb.has_match(c.id, src, tag); }, "comm.recv");
+  // Failure-aware wait: wake not only on a match but also on revocation
+  // and on the death of the awaited sender (specific source), or -- for
+  // wildcard receives -- on any death not yet covered by failure_ack()
+  // (the sender we are waiting for might be the one that died). The
+  // predicate only flags; the throw happens after wait() returns so the
+  // core's blocked-rank accounting stays balanced.
+  int dead_src = -1;
+  bool was_revoked = false;
+  core.wait(lk,
+            [&] {
+              if (mb.has_match(c.id, src, tag)) return true;
+              if (c.revoked) {
+                was_revoked = true;
+                return true;
+              }
+              if (core.survivable()) {
+                if (src != kAnySource) {
+                  const Group& g = c.is_inter ? c.remote_group : c.group;
+                  const int w = g.world_rank(src);
+                  if (core.is_dead_locked(w)) {
+                    dead_src = w;
+                    return true;
+                  }
+                } else if (core.death_epoch_locked() >
+                           me.acked_death_epoch) {
+                  dead_src = core.latest_dead_locked();
+                  return true;
+                }
+              }
+              return false;
+            },
+            "comm.recv");
+  if (was_revoked) throw_revoked("comm.recv");
+  if (dead_src >= 0) core.observe_death_locked(dead_src, "comm.recv");
   Message m = mb.pop_match(c.id, src, tag);
   lk.unlock();
 
@@ -225,23 +277,60 @@ void Comm::collective_round(
   const int myrank = rank();
 
   std::unique_lock lk(core.mu());
+  if (c.revoked) throw_revoked("comm.collective");
   CollCtx& cc = c.coll;
   const std::uint64_t my_gen = cc.gen;
   cc.inbufs[static_cast<std::size_t>(myrank)] = in;
   cc.outbufs[static_cast<std::size_t>(myrank)] = out;
   cc.incounts[static_cast<std::size_t>(myrank)] = count;
+  cc.present[static_cast<std::size_t>(myrank)] = 1;
   cc.max_clock_ns = std::max(cc.max_clock_ns, me.clock().now_ns());
   core.note_time_locked(me.clock().now_ns());
+  ++cc.arrived;
 
-  if (++cc.arrived == n) {
+  // Complete the round: null the buffer slots of members that never
+  // arrived (dead; their pointers are stale from earlier rounds) so
+  // leader functions skip them, fold the detector bound of each dead
+  // member into the departure clock, run the leader body, and open the
+  // next generation. Caller holds the global lock.
+  const auto complete_locked = [&] {
+    double detect_ns = cc.max_clock_ns;
+    if (core.survivable()) {
+      for (int r = 0; r < n; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (cc.present[ri] != 0) continue;
+        cc.inbufs[ri] = nullptr;
+        cc.outbufs[ri] = nullptr;
+        cc.incounts[ri] = 0;
+        detect_ns = std::max(
+            detect_ns, core.detection_bound_locked(c.group.world_rank(r)));
+      }
+    }
     if (leader_fn) leader_fn(cc, c.group);
-    cc.result_clock_ns = cc.max_clock_ns + cost_ns;
+    cc.result_clock_ns = detect_ns + cost_ns;
     cc.arrived = 0;
     cc.max_clock_ns = 0.0;
+    std::fill(cc.present.begin(), cc.present.end(), 0);
     ++cc.gen;
     core.poke();
+  };
+
+  if (cc.arrived == n ||
+      (core.survivable() && round_satisfied_locked(cc, c))) {
+    complete_locked();
   } else {
-    core.wait(lk, [&] { return cc.gen != my_gen; }, "comm.collective");
+    // Survivable mode: a waiter may become the completer when the last
+    // missing member dies rather than arrives (the death poke wakes it).
+    core.wait(lk,
+              [&] {
+                if (cc.gen != my_gen) return true;
+                if (core.survivable() && round_satisfied_locked(cc, c)) {
+                  complete_locked();
+                  return true;
+                }
+                return false;
+              },
+              "comm.collective");
   }
   me.clock().advance_to(cc.result_clock_ns);
 }
@@ -256,10 +345,12 @@ void Comm::bcast(void* buf, std::size_t bytes, int root) const {
   collective_round(buf, buf, bytes, cost,
                    [root, bytes](CollCtx& cc, const Group& g) {
                      const void* src = cc.outbufs[static_cast<std::size_t>(root)];
+                     if (src == nullptr) return;  // root died; data is gone
                      for (int r = 0; r < g.size(); ++r) {
                        if (r == root) continue;
-                       std::memcpy(cc.outbufs[static_cast<std::size_t>(r)], src,
-                                   bytes);
+                       void* dst = cc.outbufs[static_cast<std::size_t>(r)];
+                       if (dst == nullptr) continue;  // dead member
+                       std::memcpy(dst, src, bytes);
                      }
                    });
 }
@@ -272,9 +363,18 @@ void Comm::reduce(const void* in, void* out, std::size_t count, BasicType t,
       in, out, count, cost, [=](CollCtx& cc, const Group& g) {
         auto* dst = static_cast<std::uint8_t*>(
             cc.outbufs[static_cast<std::size_t>(root)]);
-        std::memcpy(dst, cc.inbufs[0], bytes);
-        for (int r = 1; r < g.size(); ++r)
-          apply_op(op, t, dst, cc.inbufs[static_cast<std::size_t>(r)], count);
+        if (dst == nullptr) return;  // root died; nowhere to reduce into
+        bool first = true;
+        for (int r = 0; r < g.size(); ++r) {
+          const void* src = cc.inbufs[static_cast<std::size_t>(r)];
+          if (src == nullptr) continue;  // dead member contributes nothing
+          if (first) {
+            std::memcpy(dst, src, bytes);
+            first = false;
+          } else {
+            apply_op(op, t, dst, src, count);
+          }
+        }
       });
 }
 
@@ -286,13 +386,22 @@ void Comm::allreduce(const void* in, void* out, std::size_t count, BasicType t,
   collective_round(
       in, out, count, cost, [=](CollCtx& cc, const Group& g) {
         std::vector<std::uint8_t> acc(bytes);
-        std::memcpy(acc.data(), cc.inbufs[0], bytes);
-        for (int r = 1; r < g.size(); ++r)
-          apply_op(op, t, acc.data(), cc.inbufs[static_cast<std::size_t>(r)],
-                   count);
-        for (int r = 0; r < g.size(); ++r)
-          std::memcpy(cc.outbufs[static_cast<std::size_t>(r)], acc.data(),
-                      bytes);
+        bool first = true;
+        for (int r = 0; r < g.size(); ++r) {
+          const void* src = cc.inbufs[static_cast<std::size_t>(r)];
+          if (src == nullptr) continue;  // dead member contributes nothing
+          if (first) {
+            std::memcpy(acc.data(), src, bytes);
+            first = false;
+          } else {
+            apply_op(op, t, acc.data(), src, count);
+          }
+        }
+        if (first) return;  // no live contributions at all
+        for (int r = 0; r < g.size(); ++r) {
+          void* dst = cc.outbufs[static_cast<std::size_t>(r)];
+          if (dst != nullptr) std::memcpy(dst, acc.data(), bytes);
+        }
       });
 }
 
@@ -302,11 +411,14 @@ void Comm::allgather(const void* in, void* out, std::size_t bytes) const {
   collective_round(
       in, out, bytes, cost, [bytes](CollCtx& cc, const Group& g) {
         for (int r = 0; r < g.size(); ++r) {
+          const void* src = cc.inbufs[static_cast<std::size_t>(r)];
+          if (src == nullptr) continue;  // dead member's slice stays as-is
           for (int w = 0; w < g.size(); ++w) {
-            auto* dst = static_cast<std::uint8_t*>(
-                            cc.outbufs[static_cast<std::size_t>(w)]) +
-                        static_cast<std::size_t>(r) * bytes;
-            std::memcpy(dst, cc.inbufs[static_cast<std::size_t>(r)], bytes);
+            auto* base = static_cast<std::uint8_t*>(
+                cc.outbufs[static_cast<std::size_t>(w)]);
+            if (base == nullptr) continue;
+            std::memcpy(base + static_cast<std::size_t>(r) * bytes, src,
+                        bytes);
           }
         }
       });
@@ -328,14 +440,16 @@ void Comm::allgatherv(const void* in, std::size_t my_bytes, void* out,
   collective_round(
       in, out, my_bytes, cost, [&](CollCtx& cc, const Group& g) {
         for (int r = 0; r < g.size(); ++r) {
+          const void* src = cc.inbufs[static_cast<std::size_t>(r)];
+          if (src == nullptr) continue;  // dead member's slice stays as-is
           require_internal(cc.incounts[static_cast<std::size_t>(r)] ==
                                counts[static_cast<std::size_t>(r)],
                            "allgatherv inconsistent counts");
           for (int w = 0; w < g.size(); ++w) {
-            auto* dst = static_cast<std::uint8_t*>(
-                            cc.outbufs[static_cast<std::size_t>(w)]) +
-                        offsets[static_cast<std::size_t>(r)];
-            std::memcpy(dst, cc.inbufs[static_cast<std::size_t>(r)],
+            auto* base = static_cast<std::uint8_t*>(
+                cc.outbufs[static_cast<std::size_t>(w)]);
+            if (base == nullptr) continue;
+            std::memcpy(base + offsets[static_cast<std::size_t>(r)], src,
                         counts[static_cast<std::size_t>(r)]);
           }
         }
@@ -349,11 +463,13 @@ void Comm::alltoall(const void* in, void* out, std::size_t bytes) const {
         for (int r = 0; r < g.size(); ++r) {
           const auto* src =
               static_cast<const std::uint8_t*>(cc.inbufs[static_cast<std::size_t>(r)]);
+          if (src == nullptr) continue;  // dead member sends nothing
           for (int w = 0; w < g.size(); ++w) {
-            auto* dst = static_cast<std::uint8_t*>(
-                            cc.outbufs[static_cast<std::size_t>(w)]) +
-                        static_cast<std::size_t>(r) * bytes;
-            std::memcpy(dst, src + static_cast<std::size_t>(w) * bytes, bytes);
+            auto* base = static_cast<std::uint8_t*>(
+                cc.outbufs[static_cast<std::size_t>(w)]);
+            if (base == nullptr) continue;
+            std::memcpy(base + static_cast<std::size_t>(r) * bytes,
+                        src + static_cast<std::size_t>(w) * bytes, bytes);
           }
         }
       });
@@ -366,14 +482,20 @@ void Comm::scan(const void* in, void* out, std::size_t count, BasicType t,
   collective_round(
       in, out, count, cost, [=](CollCtx& cc, const Group& g) {
         std::vector<std::uint8_t> acc(bytes);
+        bool first = true;
         for (int r = 0; r < g.size(); ++r) {
-          if (r == 0)
-            std::memcpy(acc.data(), cc.inbufs[0], bytes);
-          else
-            apply_op(op, t, acc.data(), cc.inbufs[static_cast<std::size_t>(r)],
-                     count);
-          std::memcpy(cc.outbufs[static_cast<std::size_t>(r)], acc.data(),
-                      bytes);
+          const void* src = cc.inbufs[static_cast<std::size_t>(r)];
+          if (src != nullptr) {
+            if (first) {
+              std::memcpy(acc.data(), src, bytes);
+              first = false;
+            } else {
+              apply_op(op, t, acc.data(), src, count);
+            }
+          }
+          void* dst = cc.outbufs[static_cast<std::size_t>(r)];
+          if (dst != nullptr && !first)
+            std::memcpy(dst, acc.data(), bytes);
         }
       });
 }
@@ -394,6 +516,8 @@ std::shared_ptr<CommImpl> make_intracomm(SimCore& core, std::uint64_t id,
   impl->coll.inbufs.resize(n);
   impl->coll.outbufs.resize(n);
   impl->coll.incounts.resize(n);
+  impl->coll.present.assign(n, 0);
+  impl->shrink_calls.assign(n, 0);
   return impl;
 }
 
@@ -417,9 +541,11 @@ Comm Comm::dup() const {
                    [&core](CollCtx& cc, const Group& g) {
                      auto impl = make_intracomm(
                          core, core.alloc_comm_id_locked(), g);
-                     for (int r = 0; r < g.size(); ++r)
-                       *static_cast<std::shared_ptr<CommImpl>*>(
-                           cc.outbufs[static_cast<std::size_t>(r)]) = impl;
+                     for (int r = 0; r < g.size(); ++r) {
+                       void* slot = cc.outbufs[static_cast<std::size_t>(r)];
+                       if (slot == nullptr) continue;  // dead member
+                       *static_cast<std::shared_ptr<CommImpl>*>(slot) = impl;
+                     }
                    });
   return Comm(std::move(result));
 }
@@ -443,6 +569,7 @@ Comm Comm::split(int color, int key) const {
         for (int r = 0; r < g.size(); ++r) {
           const auto* in =
               static_cast<const In*>(cc.inbufs[static_cast<std::size_t>(r)]);
+          if (in == nullptr) continue;  // dead member joins no color
           entries.push_back({in->color, in->key, r});
         }
         std::sort(entries.begin(), entries.end(), [](const Entry& a,
@@ -463,10 +590,12 @@ Comm Comm::split(int color, int key) const {
               members.push_back(g.world_rank(entries[k].grank));
             auto impl = make_intracomm(core, core.alloc_comm_id_locked(),
                                        Group(std::move(members)));
-            for (std::size_t k = i; k < j; ++k)
-              *static_cast<std::shared_ptr<CommImpl>*>(
-                  cc.outbufs[static_cast<std::size_t>(entries[k].grank)]) =
-                  impl;
+            for (std::size_t k = i; k < j; ++k) {
+              void* slot =
+                  cc.outbufs[static_cast<std::size_t>(entries[k].grank)];
+              if (slot == nullptr) continue;
+              *static_cast<std::shared_ptr<CommImpl>*>(slot) = impl;
+            }
           }
           i = j;
         }
@@ -485,9 +614,9 @@ Comm Comm::create(const Group& subgroup) const {
                 ? make_intracomm(core, core.alloc_comm_id_locked(), subgroup)
                 : nullptr;
         for (int r = 0; r < g.size(); ++r) {
-          if (impl && subgroup.contains(g.world_rank(r)))
-            *static_cast<std::shared_ptr<CommImpl>*>(
-                cc.outbufs[static_cast<std::size_t>(r)]) = impl;
+          void* slot = cc.outbufs[static_cast<std::size_t>(r)];
+          if (slot != nullptr && impl && subgroup.contains(g.world_rank(r)))
+            *static_cast<std::shared_ptr<CommImpl>*>(slot) = impl;
         }
       });
   return Comm(std::move(result));
@@ -606,6 +735,95 @@ Comm Comm::merge(bool high) const {
   Comm merged(std::move(impl));
   merged.barrier();
   return merged;
+}
+
+// ---------------------------------------------------------------------------
+// ULFM-style fault-tolerance primitives
+// ---------------------------------------------------------------------------
+
+bool Comm::is_failed(int r) const {
+  CommImpl& c = *impl_;
+  return c.core->is_failed(c.group.world_rank(r));
+}
+
+void Comm::revoke() const {
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+  Tracer& tr = me.tracer();
+  if (tr.enabled()) {
+    tr.begin(TraceCat::fault, "fault.revoke", c.id);
+    tr.end(TraceCat::fault, "fault.revoke", c.id);
+  }
+  std::lock_guard lk(core.mu());
+  c.revoked = true;
+  core.note_time_locked(me.clock().now_ns());
+  core.poke();  // blocked receivers must wake and observe the revocation
+}
+
+Comm Comm::shrink() const {
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
+  Tracer& tr = me.tracer();
+  if (tr.enabled()) {
+    tr.begin(TraceCat::fault, "fault.shrink", c.id);
+    tr.end(TraceCat::fault, "fault.shrink", c.id);
+  }
+
+  // Snapshot the survivor set and this round's sequence number under the
+  // lock: liveness is global shared state, so every live member calling
+  // this collective sees the same set (assuming no new failure mid-shrink;
+  // see DESIGN.md for the failure model).
+  std::vector<int> live;
+  std::uint32_t seq = 0;
+  {
+    std::lock_guard lk(core.mu());
+    for (int wr : c.group.members())
+      if (!core.is_dead_locked(wr)) live.push_back(wr);
+    const int myrank = c.group.rank_of_world(me.rank());
+    if (myrank < 0)
+      raise(Errc::rank_out_of_range, "shrink caller not in communicator");
+    seq = c.shrink_calls[static_cast<std::size_t>(myrank)]++;
+  }
+  require_internal(!live.empty(), "shrink with no survivors");
+
+  // The lowest-ranked survivor builds the shrunken shared state; the rest
+  // fetch it. No parent-comm collectives are used, so shrink() works on a
+  // revoked communicator (as ULFM requires).
+  const std::uint64_t key =
+      (3ull << 62) | (c.id << 16) | (seq & 0xffffu);
+  std::shared_ptr<CommImpl> impl;
+  if (live.front() == me.rank()) {
+    std::unique_lock lk(core.mu());
+    impl = make_intracomm(core, core.alloc_comm_id_locked(), Group(live));
+    core.publish_comm_locked(key, impl);
+    core.poke();
+  } else {
+    impl = core.fetch_published_comm(key);
+  }
+  Comm out(std::move(impl));
+  out.barrier();  // synchronize the survivors' clocks on the new comm
+  return out;
+}
+
+bool Comm::agree(bool flag) const {
+  // Fault-tolerant AND-agreement: allreduce(min) completes over the live
+  // members in survivable mode, so survivors reach the same verdict even
+  // when peers died before contributing.
+  std::int32_t v = flag ? 1 : 0;
+  std::int32_t out = 1;
+  allreduce(&v, &out, 1, BasicType::int32, Op::min);
+  failure_ack();
+  return out != 0;
+}
+
+void Comm::failure_ack() const {
+  SimCore& core = *impl_->core;
+  RankContext& me = ctx();
+  std::lock_guard lk(core.mu());
+  me.acked_death_epoch = core.death_epoch_locked();
 }
 
 }  // namespace mpisim

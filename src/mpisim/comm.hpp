@@ -34,6 +34,11 @@ struct CollCtx {
   std::vector<const void*> inbufs;
   std::vector<void*> outbufs;
   std::vector<std::size_t> incounts;  ///< per-rank scalar argument slot
+  /// Per group rank: arrived in the current round? Survivable mode
+  /// completes a round once every member is present *or dead*; the
+  /// completer nulls the absent members' buffer slots so leader functions
+  /// skip them (stale pointers from prior rounds must never be read).
+  std::vector<std::uint8_t> present;
 };
 
 /// Shared state of one communicator, identical on every member rank.
@@ -45,6 +50,13 @@ struct CommImpl {
   // Intercommunicator support.
   bool is_inter = false;
   Group remote_group;
+
+  // Survivable-failure support (guarded by the global lock).
+  bool revoked = false;  ///< sticky ULFM-style revocation flag
+  /// Per group rank: number of shrink() calls made, used to derive the
+  /// publication key of each shrink round (collective, so all live members
+  /// agree on the sequence number).
+  std::vector<std::uint32_t> shrink_calls;
 
   CollCtx coll;
 };
@@ -184,6 +196,33 @@ class Comm {
   /// Merge an intercommunicator into an intracommunicator. The group that
   /// passes high=true is ordered after the other. Collective over both sides.
   Comm merge(bool high) const;
+
+  // ---- ULFM-style fault-tolerance primitives (survivable mode) ----
+
+  /// True when the member \p r (local group rank) has been declared dead.
+  bool is_failed(int r) const;
+
+  /// Mark this communicator revoked (MPIX_Comm_revoke): sticky; blocked
+  /// receives on it wake with Errc::revoked and later point-to-point and
+  /// collective entries raise Errc::revoked. Noncollective — any member
+  /// may call it after observing a failure.
+  void revoke() const;
+
+  /// Build a new intracommunicator over the surviving members
+  /// (MPIX_Comm_shrink). Collective over the *live* members; works on a
+  /// revoked communicator. The lowest-ranked survivor constructs the new
+  /// shared state and publishes it for the rest.
+  Comm shrink() const;
+
+  /// Fault-tolerant AND-agreement (MPIX_Comm_agree): returns the logical
+  /// AND of every live member's \p flag, completing over the survivors
+  /// even when members died. Acknowledges observed failures on return.
+  bool agree(bool flag) const;
+
+  /// Acknowledge all failures observed so far (MPIX_Comm_failure_ack):
+  /// any-source receives stop raising Errc::crashed for already-observed
+  /// deaths and may complete against messages from live senders.
+  void failure_ack() const;
 
   /// Shared-state accessor (simulator internals and Window).
   const std::shared_ptr<CommImpl>& impl() const noexcept { return impl_; }

@@ -33,7 +33,9 @@ enum class Errc {
   aborted,             ///< another rank failed; collective shutdown
   wait_timeout,        ///< blocking wait hit its deadline or a deadlock
   transient,           ///< injected retryable fault (fault.hpp)
-  crashed,             ///< this rank was killed by the fault plan
+  crashed,             ///< this rank was killed by the fault plan, or the
+                       ///< operation's target rank is dead (survivable mode)
+  revoked,             ///< communicator revoked (ULFM-style Comm::revoke)
 };
 
 /// Human-readable name of an error class.

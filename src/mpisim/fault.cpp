@@ -4,18 +4,25 @@
 #include <string>
 
 #include "src/mpisim/error.hpp"
+#include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 
 namespace mpisim {
 
-void FaultInjector::configure(const FaultPlan& plan, int rank) {
+void FaultInjector::configure(const FaultPlan& plan, int rank, SimCore* core,
+                              Tracer* tracer) {
   rank_ = rank;
   enabled_ = plan.enabled();
-  if (!enabled_) return;
+  core_ = core;
+  tracer_ = tracer;
+  survivable_ = plan.survivable;
 
   // Decorrelate the per-rank streams: rank 0 with seed S must not replay
-  // rank 1's draws with seed S - 1.
+  // rank 1's draws with seed S - 1. Seeded even for disabled plans so
+  // draw_unit() consumers (retry jitter) stay deterministic.
   rng_ = plan.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(
                                                   rank) + 1));
+  if (!enabled_) return;
 
   crash_at_ns_ = -1.0;
   for (const RankCrashSpec& c : plan.crashes) {
@@ -55,6 +62,17 @@ void FaultInjector::fault_point_slow(const SimClock& clock) {
   if (crash_at_ns_ < 0.0 || clock.now_ns() < crash_at_ns_) return;
   const double at = crash_at_ns_;
   crash_at_ns_ = -1.0;  // crash exactly once
+  if (tracer_ != nullptr) {
+    tracer_->begin(TraceCat::fault, "fault.crash",
+                   static_cast<std::uint64_t>(rank_));
+    tracer_->end(TraceCat::fault, "fault.crash",
+                 static_cast<std::uint64_t>(rank_));
+  }
+  // Survivable mode: record the death in the core *before* unwinding, so
+  // peers blocked on this rank wake with Errc::crashed instead of waiting
+  // for the victim's thread to exit.
+  if (survivable_ && core_ != nullptr)
+    core_->rank_crashed(rank_, clock.now_ns());
   throw MpiError(Errc::crashed,
                  "rank " + std::to_string(rank_) +
                      " crashed by fault plan (scheduled at " +
@@ -73,6 +91,12 @@ void FaultInjector::maybe_transient_slow(SimClock& clock, const char* site) {
     if (next_unit() >= rate_) return;
     if (bounded_bursts_) --max_bursts_;
     pending_failures_ = fail_count_;
+    if (tracer_ != nullptr) {
+      tracer_->begin(TraceCat::fault, "fault.transient_burst",
+                     static_cast<std::uint64_t>(fail_count_));
+      tracer_->end(TraceCat::fault, "fault.transient_burst",
+                   static_cast<std::uint64_t>(fail_count_));
+    }
   }
   --pending_failures_;
   ++transients_;

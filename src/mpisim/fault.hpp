@@ -27,6 +27,9 @@
 
 namespace mpisim {
 
+class SimCore;
+class Tracer;
+
 /// Kill one rank at (or after) a virtual time.
 struct RankCrashSpec {
   int rank = -1;        ///< victim world rank
@@ -77,6 +80,23 @@ struct FaultPlan {
   double lock_stall_rate = 0.0;
   double lock_stall_ns = 0.0;
 
+  /// Survivable-failure mode: a scheduled crash marks the victim dead in
+  /// the core instead of tearing down the whole run. Blocked peers that
+  /// depend on the dead rank observe Errc::crashed (after the detection
+  /// period below) rather than the blanket Errc::aborted, collectives
+  /// complete over the live members, and the layers above may recover
+  /// (ULFM-style shrink/agree, ARMCI mutex reclaim, GA replica failover).
+  /// Off by default: the victim's escaped exception aborts the run as
+  /// before. Intentionally NOT part of enabled() -- survivable alone
+  /// schedules no faults.
+  bool survivable = false;
+
+  /// Failure-detection period (virtual ns): how long after a rank's death
+  /// any observer's clock is advanced before it may raise Errc::crashed
+  /// about that rank. Models an eventually-perfect heartbeat detector
+  /// piggybacked on the virtual clock without per-message heartbeats.
+  double detect_period_ns = 1000.0;
+
   bool enabled() const noexcept {
     return !crashes.empty() || transient.rate > 0.0 || delay_rate > 0.0 ||
            lock_stall_rate > 0.0;
@@ -89,8 +109,11 @@ class FaultInjector {
  public:
   FaultInjector() = default;
 
-  /// Bind this injector to \p rank's slice of \p plan.
-  void configure(const FaultPlan& plan, int rank);
+  /// Bind this injector to \p rank's slice of \p plan. \p core (may be
+  /// null in unit tests) receives the death notification when a survivable
+  /// crash fires; \p tracer (may be null) gets fault-category trace events.
+  void configure(const FaultPlan& plan, int rank, SimCore* core = nullptr,
+                 Tracer* tracer = nullptr);
 
   bool enabled() const noexcept { return enabled_; }
 
@@ -118,6 +141,11 @@ class FaultInjector {
   /// Number of transient faults raised so far on this rank.
   std::uint64_t transients_raised() const noexcept { return transients_; }
 
+  /// Uniform draw in [0, 1) from this rank's private stream. Seeded even
+  /// when the plan is disabled, so deterministic consumers outside the
+  /// injector (retry-backoff jitter) always have a stream to draw from.
+  double draw_unit() noexcept { return next_unit(); }
+
  private:
   void fault_point_slow(const SimClock& clock);
   void maybe_transient_slow(SimClock& clock, const char* site);
@@ -130,6 +158,9 @@ class FaultInjector {
   bool enabled_ = false;
   int rank_ = -1;
   std::uint64_t rng_ = 0;
+  SimCore* core_ = nullptr;    ///< death sink for survivable crashes
+  Tracer* tracer_ = nullptr;   ///< fault-event trace sink
+  bool survivable_ = false;
 
   double crash_at_ns_ = -1.0;  ///< < 0: no crash scheduled for this rank
 

@@ -38,13 +38,15 @@ std::shared_ptr<CommImpl> make_world_impl(SimCore& core, int nranks,
   impl->coll.inbufs.resize(n);
   impl->coll.outbufs.resize(n);
   impl->coll.incounts.resize(n);
+  impl->coll.present.assign(n, 0);
+  impl->shrink_calls.assign(n, 0);
   return impl;
 }
 
 }  // namespace
 
 RankContext::RankContext(SimCore& core, int rank) : core_(&core), rank_(rank) {
-  fault_.configure(core.config().fault, rank);
+  fault_.configure(core.config().fault, rank, &core, &tracer_);
 }
 
 RankContext::~RankContext() = default;
@@ -59,6 +61,8 @@ SimCore::SimCore(const Config& cfg)
   running_ = cfg.nranks;
   in_wait_.assign(static_cast<std::size_t>(cfg.nranks), 0);
   pred_seen_gen_.assign(static_cast<std::size_t>(cfg.nranks), 0);
+  dead_.assign(static_cast<std::size_t>(cfg.nranks), 0);
+  death_ns_.assign(static_cast<std::size_t>(cfg.nranks), 0.0);
   ranks_.reserve(static_cast<std::size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r)
     ranks_.push_back(std::make_unique<RankContext>(*this, r));
@@ -132,6 +136,62 @@ void SimCore::throw_wait_timeout(const char* site, bool deadlock,
           std::to_string(latest_ns_) + " ns)");
 }
 
+void SimCore::rank_crashed(int rank, double now_ns) noexcept {
+  std::lock_guard lk(mu_);
+  if (rank < 0 || rank >= cfg_.nranks ||
+      dead_[static_cast<std::size_t>(rank)] != 0)
+    return;
+  dead_[static_cast<std::size_t>(rank)] = 1;
+  death_ns_[static_cast<std::size_t>(rank)] = now_ns;
+  latest_dead_ = rank;
+  ++death_epoch_;
+  note_time_locked(now_ns);
+  // A death can satisfy failure-aware wait predicates (recv from the dead
+  // rank, collectives completing over the survivors), so it is progress.
+  poke();
+}
+
+bool SimCore::is_failed(int r) {
+  std::lock_guard lk(mu_);
+  return is_dead_locked(r);
+}
+
+std::vector<int> SimCore::failed_ranks() {
+  std::lock_guard lk(mu_);
+  std::vector<int> out;
+  for (int r = 0; r < cfg_.nranks; ++r)
+    if (dead_[static_cast<std::size_t>(r)] != 0) out.push_back(r);
+  return out;
+}
+
+void SimCore::note_death_observed_locked(int dead_rank) {
+  require_internal(t_ctx != nullptr && is_dead_locked(dead_rank),
+                   "observe_death on a live rank");
+  const double died_at = death_ns_[static_cast<std::size_t>(dead_rank)];
+  // The observer cannot learn of the death before the detector bound.
+  t_ctx->clock().advance_to(detection_bound_locked(dead_rank));
+  note_time_locked(t_ctx->clock().now_ns());
+  t_ctx->last_detect_latency_ns = t_ctx->clock().now_ns() - died_at;
+  Tracer& tr = t_ctx->tracer();
+  if (tr.enabled()) {
+    tr.begin(TraceCat::fault, "fault.detect",
+             static_cast<std::uint64_t>(dead_rank));
+    tr.end(TraceCat::fault, "fault.detect",
+           static_cast<std::uint64_t>(dead_rank));
+  }
+}
+
+void SimCore::observe_death_locked(int dead_rank, const char* site) {
+  note_death_observed_locked(dead_rank);
+  throw MpiError(
+      Errc::crashed,
+      std::string("mpisim: ") + site + ": rank " +
+          std::to_string(dead_rank) + " is dead (died at " +
+          std::to_string(death_ns_[static_cast<std::size_t>(dead_rank)]) +
+          " ns, detected at " + std::to_string(t_ctx->clock().now_ns()) +
+          " ns)");
+}
+
 void SimCore::rank_exited() noexcept {
   std::lock_guard lk(mu_);
   --running_;
@@ -199,6 +259,14 @@ void* rank_thread_main(void* p) {
   t_ctx = &me;
   try {
     (*arg->fn)();
+  } catch (const MpiError& e) {
+    // A survivable crash is an expected, per-rank failure: the victim is
+    // already marked dead, peers observe Errc::crashed at their own
+    // failure-aware sites, and the run continues over the survivors.
+    // Anything else still tears the run down.
+    if (!(e.code() == Errc::crashed && core.survivable() &&
+          core.is_failed(me.rank())))
+      core.abort(std::current_exception());
   } catch (...) {
     core.abort(std::current_exception());
   }

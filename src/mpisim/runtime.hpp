@@ -111,6 +111,15 @@ class RankContext {
   /// Cleanup hook invoked when the rank thread finishes (even on error).
   std::function<void()> user_state_cleanup;
 
+  /// Virtual-time latency of this rank's most recent failure observation
+  /// (observation clock minus the victim's death time; < 0 until this rank
+  /// observes a death). Survivable mode's detection-latency gauge.
+  double last_detect_latency_ns = -1.0;
+  /// Death epoch acknowledged via Comm::failure_ack(): any-source receives
+  /// raise Errc::crashed once per unacknowledged epoch (ULFM
+  /// MPI_Comm_failure_ack semantics), then proceed.
+  std::uint64_t acked_death_epoch = 0;
+
  private:
   SimCore* core_;
   int rank_;
@@ -220,6 +229,64 @@ class SimCore {
     if (aborted_) throw_aborted();
   }
 
+  // ---- Survivable-failure support (Config::fault.survivable) ----
+
+  /// True when scheduled crashes mark the victim dead instead of aborting
+  /// the whole run.
+  bool survivable() const noexcept { return cfg_.fault.survivable; }
+
+  /// Record that \p rank died at virtual time \p now_ns and wake every
+  /// blocked waiter so failure-aware predicates can observe it. Called by
+  /// the victim's FaultInjector before its crash exception unwinds.
+  void rank_crashed(int rank, double now_ns) noexcept;
+
+  /// True when \p r has been declared dead. Caller must hold mu().
+  bool is_dead_locked(int r) const noexcept {
+    return r >= 0 && r < static_cast<int>(dead_.size()) &&
+           dead_[static_cast<std::size_t>(r)] != 0;
+  }
+
+  /// Locking convenience around is_dead_locked().
+  bool is_failed(int r);
+
+  /// World ranks declared dead so far, ascending.
+  std::vector<int> failed_ranks();
+
+  /// Monotone count of deaths; any-source receives compare it against the
+  /// caller's acked_death_epoch. Caller must hold mu().
+  std::uint64_t death_epoch_locked() const noexcept { return death_epoch_; }
+
+  /// Most recently declared dead rank (diagnostics; -1 if none). Caller
+  /// must hold mu().
+  int latest_dead_locked() const noexcept { return latest_dead_; }
+
+  /// Virtual time by which every rank's detector has declared \p r dead.
+  /// Caller must hold mu(); \p r must be dead.
+  double detection_bound_locked(int r) const noexcept {
+    return death_ns_[static_cast<std::size_t>(r)] +
+           cfg_.fault.detect_period_ns;
+  }
+
+  /// The calling rank observes \p dead_rank's death without failing: its
+  /// clock advances to the detector bound and its detection-latency gauge
+  /// is stamped (read-failover sites survive the death, so no throw).
+  /// Caller must hold mu() and be a rank thread.
+  void note_death_observed_locked(int dead_rank);
+
+  /// The calling rank observes \p dead_rank's death: its clock advances to
+  /// the detector bound (death time + FaultPlan::detect_period_ns), its
+  /// detection-latency gauge is stamped, and Errc::crashed is raised.
+  /// Caller must hold mu() and be a rank thread.
+  [[noreturn]] void observe_death_locked(int dead_rank, const char* site);
+
+  /// Raise Errc::crashed via observe_death_locked() when \p target is
+  /// dead; otherwise no-op. The survivable-mode analogue of
+  /// check_failed_locked() for operations addressing one specific rank.
+  void check_target_alive_locked(int target, const char* site) {
+    if (survivable() && is_dead_locked(target))
+      observe_death_locked(target, site);
+  }
+
   /// Fold \p now_ns into the global high-water virtual time that wait
   /// deadlines measure against. Caller must hold mu().
   void note_time_locked(double now_ns) noexcept {
@@ -312,6 +379,10 @@ class SimCore {
   bool deadlocked_ = false;    ///< sticky: quiescence was detected
   std::uint64_t progress_gen_ = 0;  ///< bumped by every poke()
   double latest_ns_ = 0.0;     ///< high-water published virtual time
+  std::vector<std::uint8_t> dead_;  ///< per rank: declared dead? (survivable)
+  std::vector<double> death_ns_;    ///< per rank: virtual death time
+  std::uint64_t death_epoch_ = 0;   ///< total deaths so far
+  int latest_dead_ = -1;            ///< most recently declared dead rank
   std::vector<std::uint8_t> in_wait_;  ///< per rank: inside wait()?
   /// Per rank: progress generation at its last false predicate evaluation.
   std::vector<std::uint64_t> pred_seen_gen_;

@@ -10,6 +10,7 @@ const char* trace_cat_name(TraceCat cat) noexcept {
     case TraceCat::backend: return "backend";
     case TraceCat::window: return "window";
     case TraceCat::mutex: return "mutex";
+    case TraceCat::fault: return "fault";
   }
   return "?";
 }

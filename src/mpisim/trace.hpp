@@ -29,6 +29,8 @@ enum class TraceCat : std::uint8_t {
   backend,  ///< backend transfer methods
   window,   ///< RMA window lock/unlock/flush
   mutex,    ///< queueing-mutex protocol steps
+  fault,    ///< injected faults and recovery actions (crash, transient
+            ///< burst, detector suspicion, shrink)
 };
 
 const char* trace_cat_name(TraceCat cat) noexcept;

@@ -45,11 +45,33 @@ struct WinImpl {
 
 namespace {
 
+/// Survivor-side lock-state cleanup: a dead rank can neither complete the
+/// epochs it holds nor consume the grants it queued for, so both would
+/// stall every later requester forever. Abandon its open epochs (silently
+/// -- see RmaChecker::epoch_abandoned) and drop its queued requests.
+/// Caller must hold the global lock.
+void purge_dead_locked(SimCore& core, WinImpl& w, int target) {
+  TargetState& ts = w.targets[static_cast<std::size_t>(target)];
+  for (auto it = ts.open.begin(); it != ts.open.end();) {
+    const int world = w.comm.group().world_rank(it->first);
+    if (core.is_dead_locked(world)) {
+      core.checker().epoch_abandoned(w.id, target, it->first);
+      it = ts.open.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(ts.waiters, [&](const std::pair<int, LockType>& wtr) {
+    return core.is_dead_locked(w.comm.group().world_rank(wtr.first));
+  });
+}
+
 /// Grant as many queued lock requests as compatibility allows (FIFO).
 /// Registers each granted epoch with the RMA checker here -- not after the
 /// waiter's wait() returns -- so a ghost handoff by an epoch closing in
 /// between already sees the new epoch as concurrent.
 void grant_locked(SimCore& core, WinImpl& w, int target) {
+  if (core.survivable()) purge_dead_locked(core, w, target);
   TargetState& ts = w.targets[static_cast<std::size_t>(target)];
   while (!ts.waiters.empty()) {
     auto [origin, type] = ts.waiters.front();
@@ -330,6 +352,10 @@ void Win::lock(LockType type, int target_rank) const {
   me.fault().fault_point(me.clock());
 
   std::unique_lock lk(core.mu());
+  // A dead target's window memory may already be released by its cleanup
+  // hook; fail the epoch with Errc::crashed before queueing for it.
+  core.check_target_alive_locked(w.comm.group().world_rank(target_rank),
+                                 "win.lock");
   if (w.locked_target[static_cast<std::size_t>(myrank)] != -1) {
     core.checker().note_discipline(me.rank());
     raise(Errc::double_lock,
@@ -344,7 +370,21 @@ void Win::lock(LockType type, int target_rank) const {
   ts.waiters.emplace_back(myrank, type);
   detail::grant_locked(core, w, target_rank);
   core.poke();
-  core.wait(lk, [&] { return ts.open.contains(myrank); }, "win.lock");
+  core.wait(lk,
+            [&] {
+              if (ts.open.contains(myrank)) return true;
+              if (!core.survivable()) return false;
+              // The blocking holder may have died: purge and regrant. Only
+              // poke when something actually changed, so an unchanged
+              // predicate still counts toward quiescence detection.
+              const std::size_t open_n = ts.open.size();
+              const std::size_t wait_n = ts.waiters.size();
+              detail::grant_locked(core, w, target_rank);
+              if (ts.open.size() != open_n || ts.waiters.size() != wait_n)
+                core.poke();
+              return ts.open.contains(myrank);
+            },
+            "win.lock");
   w.locked_target[static_cast<std::size_t>(myrank)] = target_rank;
 
   // Virtual time: a lock round trip; exclusive epochs additionally serialize
@@ -588,6 +628,8 @@ void Win::get_accumulate(const void* origin, void* result, std::size_t count,
 
   std::unique_lock lk(core.mu());
   core.check_failed_locked();
+  core.check_target_alive_locked(w.comm.group().world_rank(target_rank),
+                                 "win.rma");
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())
@@ -644,6 +686,8 @@ void Win::compare_and_swap(const void* origin, const void* compare,
 
   std::unique_lock lk(core.mu());
   core.check_failed_locked();
+  core.check_target_alive_locked(w.comm.group().world_rank(target_rank),
+                                 "win.rma");
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())
@@ -697,6 +741,8 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
 
   std::unique_lock lk(core.mu());
   core.check_failed_locked();
+  core.check_target_alive_locked(w.comm.group().world_rank(target_rank),
+                                 "win.rma");
   TargetState& ts = w.targets[static_cast<std::size_t>(target_rank)];
   auto eit = ts.open.find(myrank);
   if (eit == ts.open.end())
@@ -898,6 +944,8 @@ void Win::shm_op(OpKind kind, Op op, BasicType type, const void* origin,
 
   std::lock_guard lk(core.mu());
   core.check_failed_locked();
+  core.check_target_alive_locked(w.comm.group().world_rank(target_rank),
+                                 "win.shm_op");
   const auto lo = static_cast<std::ptrdiff_t>(target_disp);
   const auto hi = lo + static_cast<std::ptrdiff_t>(bytes);
   // The only record of this access: no epoch exists to attribute it to.

@@ -1,0 +1,178 @@
+// Retry backoff schedule tests: the default exponential delay, the
+// decorrelated-jitter variant (Options::retry_jitter), and the cumulative
+// backoff deadline (Options::retry_deadline_ns) that bounds how long one
+// with_retry() scope may keep a caller waiting even when attempts remain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/armci/armci.hpp"
+#include "src/armci/retry.hpp"
+#include "src/mpisim/runtime.hpp"
+
+namespace armci {
+namespace {
+
+using mpisim::Errc;
+using mpisim::Platform;
+
+// ---------------------------------------------------------------------------
+// retry_delay_ns (pure schedule function)
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoffTest, DefaultScheduleIsCappedExponential) {
+  Options o;  // retry_backoff_ns = 500, jitter off
+  double prev = o.retry_backoff_ns;
+  EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.0, 0, &prev), 500.0);
+  EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.0, 1, &prev), 1000.0);
+  EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.0, 4, &prev), 8000.0);
+  // The exponent saturates at 10: attempt 10 and beyond charge the cap.
+  EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.0, 10, &prev), 500.0 * 1024);
+  EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.0, 37, &prev), 500.0 * 1024);
+}
+
+TEST(RetryBackoffTest, DecorrelatedJitterStaysInsideItsEnvelope) {
+  // Brooker-style decorrelated jitter: each delay is uniform in
+  // [base, min(cap, 3 * prev * jitter)], so the whole sequence is bounded
+  // below by the base and above by the exponential cap, whatever the
+  // uniform draws are.
+  Options o;
+  o.retry_jitter = 1.0;
+  const double base = o.retry_backoff_ns;
+  const double cap = std::ldexp(base, 10);
+  for (const double u : {0.0, 0.25, 0.75, 0.999}) {
+    double prev = base;
+    double hi = 3.0 * base;  // envelope for attempt 0
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      const double d = retry_delay_ns(o, u, attempt, &prev);
+      EXPECT_GE(d, base) << "u=" << u << " attempt=" << attempt;
+      EXPECT_LE(d, std::min(cap, hi)) << "u=" << u << " attempt=" << attempt;
+      EXPECT_DOUBLE_EQ(prev, d);  // the draw seeds the next envelope
+      hi = 3.0 * d;
+    }
+  }
+}
+
+TEST(RetryBackoffTest, SmallJitterFactorDegeneratesToTheBase) {
+  // When 3 * prev * jitter never exceeds the base, the interval collapses
+  // and every delay is exactly the base (no amplification, still bounded).
+  Options o;
+  o.retry_jitter = 0.1;  // 3 * 500 * 0.1 = 150 < 500
+  double prev = o.retry_backoff_ns;
+  for (int attempt = 0; attempt < 5; ++attempt)
+    EXPECT_DOUBLE_EQ(retry_delay_ns(o, 0.9, attempt, &prev), 500.0);
+}
+
+TEST(RetryBackoffTest, TotalBackoffIsTheExponentialSeries) {
+  Options o;  // 5 retries at 500 * 2^a
+  EXPECT_DOUBLE_EQ(retry_total_backoff_ns(o),
+                   500.0 * (1 + 2 + 4 + 8 + 16));
+  o.transient_max_retries = 12;  // attempts 0..10 ramp, attempt 11 is capped
+  EXPECT_DOUBLE_EQ(retry_total_backoff_ns(o),
+                   500.0 * ((1 << 11) - 1) + 500.0 * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// with_retry integration (deterministic injected transients)
+// ---------------------------------------------------------------------------
+
+/// Deterministic schedule: the first consult of the mpi.contig fault site
+/// starts a burst of \p fail_count failures; everything else is untouched.
+mpisim::Config contig_fault_cfg(int fail_count) {
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = Platform::infiniband;
+  cfg.ranks_per_node = 1;  // keep the put on the remote mpi.contig path
+  cfg.fault.seed = 11;
+  cfg.fault.transient.rate = 1.0;
+  cfg.fault.transient.fail_count = fail_count;
+  cfg.fault.transient.stall_ns = 50.0;
+  cfg.fault.transient.site = "mpi.contig";
+  cfg.fault.transient.max_bursts = 1;
+  return cfg;
+}
+
+TEST(RetryDeadlineTest, DeadlineCutsRetriesShortEvenWithAttemptsLeft) {
+  // The first retry would charge 500 ns of backoff; a 100 ns cumulative
+  // deadline forbids it, so the transient propagates as exhausted after
+  // zero retries despite transient_max_retries = 5.
+  mpisim::run(contig_fault_cfg(/*fail_count=*/1), [] {
+    Options o;
+    o.retry_deadline_ns = 100.0;
+    init(o);
+    std::vector<void*> bases = malloc_world(64);
+    barrier();
+    if (mpisim::rank() == 0) {
+      char buf[64] = {};
+      try {
+        put(buf, bases[1], sizeof buf, 1);
+        ADD_FAILURE() << "the deadline should have surfaced the transient";
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::transient) << e.what();
+      }
+      EXPECT_EQ(stats().transient_faults, 1u);
+      EXPECT_EQ(stats().retries, 0u);
+      EXPECT_EQ(stats().retry_exhausted, 1u);
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+TEST(RetryDeadlineTest, GenerousDeadlineNeverFires) {
+  // Three failures cost 500 + 1000 + 2000 ns of backoff; a deadline equal
+  // to the full exponential budget never triggers, so the op recovers.
+  mpisim::run(contig_fault_cfg(/*fail_count=*/3), [] {
+    Options o;
+    o.retry_deadline_ns = retry_total_backoff_ns(o);
+    init(o);
+    std::vector<void*> bases = malloc_world(64);
+    barrier();
+    if (mpisim::rank() == 0) {
+      char buf[64] = {};
+      put(buf, bases[1], sizeof buf, 1);
+      EXPECT_EQ(stats().transient_faults, 3u);
+      EXPECT_EQ(stats().retries, 3u);
+      EXPECT_EQ(stats().retry_exhausted, 0u);
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+TEST(RetryDeadlineTest, JitteredRetriesRecoverAndStayBounded) {
+  // With jitter on, the three backoff delays are drawn from the rank's
+  // deterministic fault stream; the op still recovers, and the virtual
+  // time spent backing off stays inside the decorrelated-jitter envelope
+  // (sum of 3 * prev amplifications: at most 500 * (3 + 9 + 27)).
+  mpisim::run(contig_fault_cfg(/*fail_count=*/3), [] {
+    Options o;
+    o.retry_jitter = 1.0;
+    init(o);
+    std::vector<void*> bases = malloc_world(64);
+    barrier();
+    if (mpisim::rank() == 0) {
+      const double t0 = mpisim::clock().now_ns();
+      char buf[64] = {};
+      put(buf, bases[1], sizeof buf, 1);
+      const double elapsed = mpisim::clock().now_ns() - t0;
+      EXPECT_EQ(stats().retries, 3u);
+      EXPECT_EQ(stats().retry_exhausted, 0u);
+      EXPECT_GE(elapsed, 3 * 500.0);  // three delays, each >= the base
+      EXPECT_LE(elapsed, 500.0 * (3 + 9 + 27) + 3 * 50.0 + 1e5)
+          << "jittered backoff escaped its envelope";
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+}  // namespace
+}  // namespace armci
