@@ -232,10 +232,23 @@ void NativeBackend::mutex_lock(int m, int proc) {
       m >= static_cast<int>(host->native_mutexes.size()))
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
 
-  auto& mx = host->native_mutexes[static_cast<std::size_t>(m)];
-  mx.queue.push_back(me.rank());
+  host->native_mutexes[static_cast<std::size_t>(m)].queue.push_back(me.rank());
   int reclaimed_from = -1;
+  bool host_gone = false;
+  // The host's death deletes its ProcState (user_state_cleanup runs under
+  // mu() when its rank thread exits), so never hold a reference across a
+  // wait: re-resolve the mutex row on every predicate evaluation and bail
+  // out first when the host is gone. The predicate only flags; the throw
+  // happens after wait() returns so the blocked-rank accounting stays
+  // balanced (same pattern as comm.recv).
   core.wait(lk, [&] {
+    auto* h = static_cast<ProcState*>(core.rank_ctx(proc).user_state);
+    if (h == nullptr || m >= static_cast<int>(h->native_mutexes.size()) ||
+        (core.survivable() && core.is_dead_locked(proc))) {
+      host_gone = true;
+      return true;
+    }
+    auto& mx = h->native_mutexes[static_cast<std::size_t>(m)];
     if (core.survivable()) {
       // A dead holder never unlocks and a dead waiter never takes its
       // turn: reclaim the one, strip the others.
@@ -249,6 +262,14 @@ void NativeBackend::mutex_lock(int m, int proc) {
     }
     return mx.holder == -1 && !mx.queue.empty() && mx.queue.front() == me.rank();
   }, "native.mutex");
+  if (host_gone) {
+    if (core.survivable() && core.is_dead_locked(proc))
+      core.observe_death_locked(proc, "native.mutex_lock");  // throws crashed
+    mpisim::raise(Errc::invalid_argument,
+                  "mutex set destroyed or host exited while locking");
+  }
+  auto& mx = static_cast<ProcState*>(core.rank_ctx(proc).user_state)
+                 ->native_mutexes[static_cast<std::size_t>(m)];
   mx.queue.pop_front();
   mx.holder = me.rank();
   if (reclaimed_from >= 0) core.note_death_observed_locked(reclaimed_from);

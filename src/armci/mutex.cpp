@@ -47,6 +47,18 @@ void QueueingMutexSet::put_holder(int m, int host, std::uint8_t value) {
   eg.release();
 }
 
+void QueueingMutexSet::clear_holder_if(int m, int host, std::uint8_t expected) {
+  const std::size_t stride = static_cast<std::size_t>(comm_.size()) + 1;
+  const std::size_t hoff = static_cast<std::size_t>(m) * stride +
+                           static_cast<std::size_t>(comm_.size());
+  const std::uint8_t zero = 0;
+  std::uint8_t prev = 0;
+  EpochGuard eg(win_, LockType::exclusive, host);
+  win_.compare_and_swap(&zero, &expected, &prev, mpisim::BasicType::byte_,
+                        host, hoff);
+  eg.release();
+}
+
 void QueueingMutexSet::lock(int m, int host) {
   if (m < 0 || m >= count_)
     mpisim::raise(Errc::invalid_argument, "mutex index out of range");
@@ -187,11 +199,15 @@ void QueueingMutexSet::unlock(int m, int host) {
   // the first enqueued requester, if any. Survivable mode skips dead
   // requesters (their flags are litter) and publishes the holder byte
   // before the token send, so the handoff survives our own crash.
+  std::uint8_t published = static_cast<std::uint8_t>(me + 1);
   for (int k = 1; k < n; ++k) {
     const int i = (me + k) % n;
     if (others[static_cast<std::size_t>(i)] == 0) continue;
     if (surv && comm_.is_failed(i)) continue;
-    if (surv) put_holder(m, host, static_cast<std::uint8_t>(i + 1));
+    if (surv) {
+      put_holder(m, host, static_cast<std::uint8_t>(i + 1));
+      published = static_cast<std::uint8_t>(i + 1);
+    }
     try {
       const std::uint8_t token = 1;
       comm_.send(&token, 1, i, tag_base_ + m);
@@ -204,7 +220,13 @@ void QueueingMutexSet::unlock(int m, int host) {
       // ends free.
     }
   }
-  if (surv) put_holder(m, host, 0);
+  // No live requester in the snapshot: free the lock -- but conditionally.
+  // A new requester whose claim epoch ran after our flag-clearing epoch has
+  // already claimed the lock and published (or is about to publish) its own
+  // holder byte; an unconditional H = 0 here would mark a held lock free
+  // and strand a later crash recovery. The compare-and-swap only clears H
+  // while it still carries the value this releaser last published.
+  if (surv) clear_holder_if(m, host, published);
 }
 
 }  // namespace armci

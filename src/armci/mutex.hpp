@@ -26,11 +26,14 @@
 /// refetches the row, and if H names a dead rank the first live requester
 /// circularly after the dead holder claims the lock -- so a mutex held by a
 /// crashed process is reclaimed within the failure-detection bound instead
-/// of hanging to the deadlock deadline. Residual windows that stay
-/// unrecoverable (and are documented in DESIGN.md): a crash between the
-/// request epoch and the holder-byte publication, and a handoff token in
-/// flight from a releaser that then dies while a *new* requester arrives
-/// mid-recovery.
+/// of hanging to the deadlock deadline. A releaser that finds no live
+/// requester frees the lock with a *conditional* clear (compare-and-swap on
+/// H against the value it last published): a new requester whose claim
+/// epoch raced in after the releaser's flag-clearing epoch keeps its own
+/// holder byte intact. Residual windows that stay unrecoverable (and are
+/// documented in DESIGN.md): a crash between the request epoch and the
+/// holder-byte publication, and a handoff token in flight from a releaser
+/// that then dies while a *new* requester arrives mid-recovery.
 
 #include <cstdint>
 #include <memory>
@@ -71,6 +74,10 @@ class QueueingMutexSet {
  private:
   /// Publish the holder byte of mutex \p m on \p host (survivable mode).
   void put_holder(int m, int host, std::uint8_t value);
+
+  /// Atomically clear the holder byte iff it still equals \p expected
+  /// (survivable mode): keeps a racing claimant's publication intact.
+  void clear_holder_if(int m, int host, std::uint8_t expected);
 
   mpisim::Comm comm_;
   mpisim::Win win_;

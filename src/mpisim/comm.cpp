@@ -264,7 +264,7 @@ void Comm::wait_all(std::span<Request> reqs) {
 // Collectives
 // ---------------------------------------------------------------------------
 
-void Comm::collective_round(
+bool Comm::collective_round(
     const void* in, void* out, std::size_t count, double cost_ns,
     const std::function<void(CollCtx&, const Group&)>& leader_fn) const {
   // On intercommunicators this rendezvous runs over the *local* group
@@ -306,6 +306,7 @@ void Comm::collective_round(
             detect_ns, core.detection_bound_locked(c.group.world_rank(r)));
       }
     }
+    cc.dep_dead = false;
     if (leader_fn) leader_fn(cc, c.group);
     cc.result_clock_ns = detect_ns + cost_ns;
     cc.arrived = 0;
@@ -333,6 +334,10 @@ void Comm::collective_round(
               "comm.collective");
   }
   me.clock().advance_to(cc.result_clock_ns);
+  // Safe to read after the wait: the next round on this comm cannot
+  // complete (and overwrite the flag) until every live member -- including
+  // this one -- has arrived at it, i.e. has left this call.
+  return cc.dep_dead;
 }
 
 void Comm::barrier() const {
@@ -340,30 +345,52 @@ void Comm::barrier() const {
                    ctx().core().model().barrier_ns(size()), nullptr);
 }
 
+namespace {
+
+/// A rooted collective completed over the survivors but its dependency
+/// rank (bcast source / reduce destination) was dead: raise Errc::crashed
+/// on every surviving caller rather than returning stale buffers. The
+/// detection bound was already folded into the round's result clock, so
+/// the observation advances nothing; it stamps the latency gauge and the
+/// trace event before throwing.
+void raise_dead_root(CommImpl& c, int root, const char* site) {
+  std::lock_guard lk(c.core->mu());
+  c.core->observe_death_locked(c.group.world_rank(root), site);  // throws
+}
+
+}  // namespace
+
 void Comm::bcast(void* buf, std::size_t bytes, int root) const {
   const double cost = ctx().core().model().tree_collective_ns(bytes, size());
-  collective_round(buf, buf, bytes, cost,
-                   [root, bytes](CollCtx& cc, const Group& g) {
-                     const void* src = cc.outbufs[static_cast<std::size_t>(root)];
-                     if (src == nullptr) return;  // root died; data is gone
-                     for (int r = 0; r < g.size(); ++r) {
-                       if (r == root) continue;
-                       void* dst = cc.outbufs[static_cast<std::size_t>(r)];
-                       if (dst == nullptr) continue;  // dead member
-                       std::memcpy(dst, src, bytes);
-                     }
-                   });
+  const bool root_dead = collective_round(
+      buf, buf, bytes, cost, [root, bytes](CollCtx& cc, const Group& g) {
+        const void* src = cc.outbufs[static_cast<std::size_t>(root)];
+        if (src == nullptr) {  // root died; data is gone
+          cc.dep_dead = true;
+          return;
+        }
+        for (int r = 0; r < g.size(); ++r) {
+          if (r == root) continue;
+          void* dst = cc.outbufs[static_cast<std::size_t>(r)];
+          if (dst == nullptr) continue;  // dead member
+          std::memcpy(dst, src, bytes);
+        }
+      });
+  if (root_dead) raise_dead_root(*impl_, root, "comm.bcast");
 }
 
 void Comm::reduce(const void* in, void* out, std::size_t count, BasicType t,
                   Op op, int root) const {
   const std::size_t bytes = count * basic_type_size(t);
   const double cost = ctx().core().model().tree_collective_ns(bytes, size());
-  collective_round(
+  const bool root_dead = collective_round(
       in, out, count, cost, [=](CollCtx& cc, const Group& g) {
         auto* dst = static_cast<std::uint8_t*>(
             cc.outbufs[static_cast<std::size_t>(root)]);
-        if (dst == nullptr) return;  // root died; nowhere to reduce into
+        if (dst == nullptr) {  // root died; nowhere to reduce into
+          cc.dep_dead = true;
+          return;
+        }
         bool first = true;
         for (int r = 0; r < g.size(); ++r) {
           const void* src = cc.inbufs[static_cast<std::size_t>(r)];
@@ -376,6 +403,7 @@ void Comm::reduce(const void* in, void* out, std::size_t count, BasicType t,
           }
         }
       });
+  if (root_dead) raise_dead_root(*impl_, root, "comm.reduce");
 }
 
 void Comm::allreduce(const void* in, void* out, std::size_t count, BasicType t,
@@ -791,9 +819,12 @@ Comm Comm::shrink() const {
 
   // The lowest-ranked survivor builds the shrunken shared state; the rest
   // fetch it. No parent-comm collectives are used, so shrink() works on a
-  // revoked communicator (as ULFM requires).
-  const std::uint64_t key =
-      (3ull << 62) | (c.id << 16) | (seq & 0xffffu);
+  // revoked communicator (as ULFM requires). Key layout: [63:62] publish
+  // namespace tag, [61:32] comm id, [31:0] per-comm shrink sequence --
+  // explicit widths, checked, so neither field can silently clobber the
+  // other and fetch a stale publication.
+  require_internal(c.id < (1ull << 30), "comm id overflows shrink key");
+  const std::uint64_t key = (3ull << 62) | (c.id << 32) | seq;
   std::shared_ptr<CommImpl> impl;
   if (live.front() == me.rank()) {
     std::unique_lock lk(core.mu());

@@ -39,6 +39,11 @@ struct CollCtx {
   /// completer nulls the absent members' buffer slots so leader functions
   /// skip them (stale pointers from prior rounds must never be read).
   std::vector<std::uint8_t> present;
+  /// Set by a rooted collective's leader function when the rank the result
+  /// depends on (bcast source, reduce destination) is dead this round:
+  /// survivors raise Errc::crashed instead of silently keeping stale
+  /// buffers (ULFM: a collective that depends on a failed process fails).
+  bool dep_dead = false;
 };
 
 /// Shared state of one communicator, identical on every member rank.
@@ -231,8 +236,10 @@ class Comm {
   /// Run one rendezvous collective round: every member contributes
   /// (in, out, count); the last arriver executes \p leader_fn while holding
   /// the global lock, then everyone's clock advances to the common result
-  /// time (max arrival + \p cost_ns).
-  void collective_round(
+  /// time (max arrival + \p cost_ns). Returns this round's
+  /// CollCtx::dep_dead verdict (true when a rooted collective's dependency
+  /// rank was dead; always false for unrooted collectives).
+  bool collective_round(
       const void* in, void* out, std::size_t count, double cost_ns,
       const std::function<void(CollCtx&, const Group&)>& leader_fn) const;
 

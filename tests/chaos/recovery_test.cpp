@@ -280,6 +280,42 @@ TEST_P(RecoveryBackendTest, MutexHeldByCrashedRankReclaimedWithinBound) {
   EXPECT_GE(observers->load(), 1);
 }
 
+TEST_P(RecoveryBackendTest, WaitersOnMutexHostedByCrashedRankRaiseCrashed) {
+  // Regression: a mutex *hosted* on the crashed rank (here also held by it)
+  // strands waiters against state that dies with the host -- survivors must
+  // observe Errc::crashed instead of hanging. On the native backend the
+  // waiters' wait predicate used to keep dereferencing the host's ProcState
+  // after user_state_cleanup freed it (use-after-free).
+  constexpr int kN = 4;
+  constexpr int kVictim = 2;
+  Options opts;
+  opts.backend = GetParam();
+  auto raised = std::make_shared<std::atomic<int>>(0);
+
+  const RecoveryResult res = run_survivable(kN, kVictim, opts, [raised] {
+    const int me = mpisim::rank();
+    create_mutexes(1);
+    barrier();
+    if (me == kVictim) lock(0, kVictim);  // hold our own hosted mutex
+    barrier();  // every survivor sees the victim holding it
+    if (me == kVictim) {
+      crash_self();
+      return;
+    }
+    try {
+      lock(0, kVictim);
+      ADD_FAILURE() << "lock on a dead host's mutex completed";
+    } catch (const mpisim::MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+      raised->fetch_add(1);
+    }
+    barrier();  // dead member excused
+    destroy_mutexes();
+  });
+  expect_recovered(res, kVictim);
+  EXPECT_EQ(raised->load(), kN - 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, RecoveryBackendTest,
                          ::testing::Values(Backend::mpi, Backend::native,
                                            Backend::mpi3),

@@ -104,7 +104,14 @@ TEST(SurvivableTest, AnySourceRecvRaisesOncePerEpochUntilAcked) {
   run(survivable_cfg(3, {{victim, kCrashAt}}), [&] {
     if (rank() == victim) crash_now();
     await_death(victim);
+    // Rank 1 must not send until rank 0 has provably taken the
+    // unacked-failure branch: match-first wildcard semantics (load-bearing
+    // for the mutex token protocol) mean an already-delivered message from
+    // a live sender completes the recv normally, so an unsynchronized send
+    // would race the raise.
     if (rank() == 1) {
+      char go = 0;
+      world().recv(&go, 1, 0, 10);
       const std::int32_t v = 42;
       world().send(&v, sizeof v, 0, 9);
     }
@@ -121,10 +128,43 @@ TEST(SurvivableTest, AnySourceRecvRaisesOncePerEpochUntilAcked) {
       }
       // ... and complete normally against live senders once acknowledged.
       world().failure_ack();
+      const char go = 1;
+      world().send(&go, 1, 1, 10);
       const Status st = world().recv(&v, sizeof v, kAnySource, 9);
       EXPECT_EQ(v, 42);
       EXPECT_EQ(st.source, 1);
     }
+    world().barrier();
+  });
+}
+
+TEST(SurvivableTest, RootedCollectiveWithDeadRootRaisesCrashed) {
+  const int victim = 1;
+  run(survivable_cfg(3, {{victim, kCrashAt}}), [&] {
+    if (rank() == victim) crash_now();
+    await_death(victim);
+    // ULFM: a collective that depends on a failed process must fail on the
+    // survivors -- silently completing would hand them stale buffers.
+    std::int32_t v = 7;
+    try {
+      world().bcast(&v, sizeof v, victim);
+      ADD_FAILURE() << "bcast from a dead root completed";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+    }
+    EXPECT_EQ(v, 7);  // the survivor's buffer is untouched, and it knows
+    std::int32_t out = -1;
+    try {
+      world().reduce(&v, &out, 1, BasicType::int32, Op::sum, victim);
+      ADD_FAILURE() << "reduce into a dead root completed";
+    } catch (const MpiError& e) {
+      EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+    }
+    EXPECT_EQ(out, -1);
+    // Rooted collectives with a live root still complete over survivors.
+    std::int32_t b = rank() == 0 ? 33 : 0;
+    world().bcast(&b, sizeof b, 0);
+    EXPECT_EQ(b, 33);
     world().barrier();
   });
 }
