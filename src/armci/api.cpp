@@ -110,6 +110,9 @@ const Stats& stats() {
   st.stats.rma_conflicts =
       mpisim::ctx().core().checker().counts(mpisim::rank()).total() -
       st.rma_conflicts_baseline;
+  st.stats.rma_races =
+      mpisim::ctx().core().hb().counts(mpisim::rank()).total() -
+      st.rma_races_baseline;
   return st.stats;
 }
 
@@ -119,6 +122,8 @@ void reset_stats() {
   ProcState& st = state();
   st.rma_conflicts_baseline =
       mpisim::ctx().core().checker().counts(mpisim::rank()).total();
+  st.rma_races_baseline =
+      mpisim::ctx().core().hb().counts(mpisim::rank()).total();
   st.stats = Stats{};
   st.metrics.reset();
 }
@@ -675,8 +680,22 @@ void put_notify(const void* src, void* dst, std::size_t bytes, int* flag,
   // (§V-F); the native backend needs an explicit fence between the two.
   put(src, dst, bytes, proc);
   fence(proc);
-  put(&value, flag, sizeof value, proc);
-  fence(proc);
+  // Happens-before: release the notify channel (keyed by the flag address)
+  // after the payload is published and before the flag lands, so a waiter
+  // that observes the flag always acquires the payload's publication. The
+  // flag word itself is a synchronization object, exempt from race
+  // checking -- its ordering is exactly this channel edge.
+  mpisim::SimCore& core = mpisim::ctx().core();
+  if (core.hb().enabled()) {
+    std::lock_guard lk(core.mu());
+    core.hb().channel_release(reinterpret_cast<std::uintptr_t>(flag),
+                              mpisim::ctx().rank());
+  }
+  {
+    mpisim::HbChecker::MuteScope mute;
+    put(&value, flag, sizeof value, proc);
+    fence(proc);
+  }
 }
 
 void wait_notify(const int* flag, int value) {
@@ -690,17 +709,28 @@ void wait_notify(const int* flag, int value) {
   for (;;) {
     if (core.aborted())
       mpisim::raise(Errc::aborted, "wait_notify: peer failure");
-    st.backend->access_begin(loc);
     int v;
     {
-      // The remote flag write lands as a memcpy under the simulator's
-      // global lock (the stand-in for the target NIC); polling under the
-      // same lock gives data-then-flag delivery a real happens-before
-      // edge, so the payload the flag guards is visible too.
-      std::lock_guard lk(core.mu());
-      v = *flag;
+      // Sync-word access: mute the race detector for the poll itself (the
+      // flag is ordered by the notify channel, not by data-race rules).
+      mpisim::HbChecker::MuteScope mute;
+      st.backend->access_begin(loc);
+      {
+        // The remote flag write lands as a memcpy under the simulator's
+        // global lock (the stand-in for the target NIC); polling under the
+        // same lock gives data-then-flag delivery a real happens-before
+        // edge, so the payload the flag guards is visible too.
+        std::lock_guard lk(core.mu());
+        v = *flag;
+        // Acquire the producer's channel release: orders every payload
+        // access after this wait against the publications that preceded
+        // the notify.
+        if (v == value)
+          core.hb().channel_acquire(reinterpret_cast<std::uintptr_t>(flag),
+                                    mpisim::rank());
+      }
+      st.backend->access_end(loc);
     }
-    st.backend->access_end(loc);
     if (v == value) return;
     if (deadline_ns > 0.0 && mpisim::clock().now_ns() - t0 > deadline_ns)
       mpisim::raise(Errc::wait_timeout,

@@ -29,6 +29,14 @@ void charge_native_op(mpisim::RmaKind kind, std::size_t bytes,
       kind, bytes, nseg, mpisim::Path::native, 0, pinned, mpisim::nranks()));
 }
 
+/// Happens-before channel key for a native mutex: the host rank and index
+/// name the token; the tag bit keeps the key space disjoint from the
+/// flag-address keys used by notify/wait.
+std::uint64_t native_mutex_hb_key(int proc, int m) {
+  return (1ull << 62) | (static_cast<std::uint64_t>(proc) << 32) |
+         static_cast<std::uint32_t>(m);
+}
+
 }  // namespace
 
 void NativeBackend::gmr_created(Gmr& gmr) {
@@ -46,13 +54,30 @@ bool NativeBackend::local_pinned(const void* p, std::size_t bytes) const {
   return mpisim::ctx().native_reg().is_registered(p, bytes);
 }
 
-void NativeBackend::move_segment(OneSided kind, void* remote, void* local,
-                                 std::size_t bytes, AccType at,
-                                 const void* scale) const {
+void NativeBackend::move_segment(OneSided kind, const Gmr& gmr,
+                                 int target_rank, std::size_t offset,
+                                 void* remote, void* local, std::size_t bytes,
+                                 AccType at, const void* scale) const {
   // Direct access; the simulator's global lock stands in for the target
   // NIC/CHT applying the operation atomically with respect to other ops.
-  std::lock_guard lk(mpisim::ctx().core().mu());
-  mpisim::ctx().core().check_failed_locked();
+  mpisim::SimCore& core = mpisim::ctx().core();
+  std::lock_guard lk(core.mu());
+  core.check_failed_locked();
+  if (core.hb().enabled()) {
+    // No window backs native memory: key the shadow space off the GMR id.
+    const auto hk = kind == OneSided::put   ? mpisim::RmaChecker::OpKind::put
+                    : kind == OneSided::get ? mpisim::RmaChecker::OpKind::get
+                                            : mpisim::RmaChecker::OpKind::acc;
+    const auto lo = static_cast<std::ptrdiff_t>(offset);
+    core.hb().direct_op(
+        mpisim::HbChecker::kNativeSpace | gmr.id,
+        gmr.group.absolute_id(target_rank), gmr.group.rank(),
+        mpisim::ctx().rank(), hk,
+        kind == OneSided::acc ? mpisim::Op::sum : mpisim::Op::replace, lo,
+        lo + static_cast<std::ptrdiff_t>(bytes),
+        mpisim::tracer().enabled() ? mpisim::tracer().current_scope()
+                                   : nullptr);
+  }
   switch (kind) {
     case OneSided::put:
       std::memcpy(remote, local, bytes);
@@ -72,7 +97,8 @@ void NativeBackend::contig(OneSided kind, const GmrLoc& loc, void* local,
   auto* remote = static_cast<std::uint8_t*>(
                      loc.gmr->bases[static_cast<std::size_t>(loc.target_rank)]) +
                  loc.offset;
-  move_segment(kind, remote, local, bytes, at, scale);
+  move_segment(kind, *loc.gmr, loc.target_rank, loc.offset, remote, local,
+               bytes, at, scale);
 
   const mpisim::RmaKind rk = kind == OneSided::put  ? mpisim::RmaKind::put
                              : kind == OneSided::get ? mpisim::RmaKind::get
@@ -99,7 +125,8 @@ void NativeBackend::iov(OneSided kind, std::span<const Giov> vec, int proc,
           static_cast<std::uint8_t*>(
               loc.gmr->bases[static_cast<std::size_t>(loc.target_rank)]) +
           loc.offset;
-      move_segment(kind, remote, local, g.bytes, at, scale);
+      move_segment(kind, *loc.gmr, loc.target_rank, loc.offset, remote, local,
+                   g.bytes, at, scale);
       pinned = pinned && local_pinned(local, g.bytes);
     }
     const mpisim::RmaKind rk = kind == OneSided::put  ? mpisim::RmaKind::put
@@ -140,7 +167,8 @@ void NativeBackend::strided(OneSided kind, const void* src, void* dst,
   while (it.next(so, to)) {
     const std::size_t roff = is_get ? so : to;
     const std::size_t loff = is_get ? to : so;
-    move_segment(kind, remote_base + roff,
+    move_segment(kind, *loc.gmr, loc.target_rank, loc.offset + roff,
+                 remote_base + roff,
                  static_cast<std::uint8_t*>(local_base) + loff, spec.count[0],
                  at, scale);
     pinned = pinned &&
@@ -170,15 +198,28 @@ void NativeBackend::fence_all() {
 void NativeBackend::rmw(RmwOp op, void* ploc, void* prem, std::int64_t extra,
                         int proc) {
   TraceScope ts(mpisim::tracer(), TraceCat::backend, "native.rmw");
-  st_->table.require(proc, prem,
-                     (op == RmwOp::fetch_and_add_long ||
-                      op == RmwOp::swap_long)
-                         ? 8
-                         : 4);
+  const std::size_t bytes = (op == RmwOp::fetch_and_add_long ||
+                             op == RmwOp::swap_long)
+                                ? 8
+                                : 4;
+  const GmrLoc loc = st_->table.require(proc, prem, bytes);
   // Host-side atomic (CHT service): one critical section, one round trip.
   {
-    std::lock_guard lk(mpisim::ctx().core().mu());
-    mpisim::ctx().core().check_failed_locked();
+    mpisim::SimCore& core = mpisim::ctx().core();
+    std::lock_guard lk(core.mu());
+    core.check_failed_locked();
+    if (core.hb().enabled()) {
+      // Accumulate-class atomic: fetch_and_add mixes with itself (sum),
+      // swap behaves like an atomic replace -- mixing the two is a race.
+      const bool is_swap = op == RmwOp::swap || op == RmwOp::swap_long;
+      const auto lo = static_cast<std::ptrdiff_t>(loc.offset);
+      core.hb().direct_op(
+          mpisim::HbChecker::kNativeSpace | loc.gmr->id,
+          loc.gmr->group.absolute_id(loc.target_rank), loc.gmr->group.rank(),
+          mpisim::ctx().rank(), mpisim::RmaChecker::OpKind::acc,
+          is_swap ? mpisim::Op::replace : mpisim::Op::sum, lo,
+          lo + static_cast<std::ptrdiff_t>(bytes), "native.rmw");
+    }
     switch (op) {
       case RmwOp::fetch_and_add: {
         auto* r = static_cast<std::int32_t*>(prem);
@@ -272,6 +313,9 @@ void NativeBackend::mutex_lock(int m, int proc) {
                  ->native_mutexes[static_cast<std::size_t>(m)];
   mx.queue.pop_front();
   mx.holder = me.rank();
+  // Critical-section edge: acquire the clock the previous holder released
+  // at unlock (a dead holder never released -- correctly no edge).
+  core.hb().channel_acquire(native_mutex_hb_key(proc, m), me.rank());
   if (reclaimed_from >= 0) core.note_death_observed_locked(reclaimed_from);
   lk.unlock();
   mpisim::clock().advance(2.0 * mpisim::model().p2p_ns(0));
@@ -290,6 +334,7 @@ void NativeBackend::mutex_unlock(int m, int proc) {
   auto& mx = host->native_mutexes[static_cast<std::size_t>(m)];
   if (mx.holder != me.rank())
     mpisim::raise(Errc::invalid_argument, "unlock of a mutex not held");
+  core.hb().channel_release(native_mutex_hb_key(proc, m), me.rank());
   mx.holder = -1;
   core.poke();
   lk.unlock();

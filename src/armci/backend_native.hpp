@@ -50,8 +50,12 @@ class NativeBackend final : public CommBackend {
   void access_end(const GmrLoc& loc) override;
 
  private:
-  /// Move one segment directly (under the simulator's global lock).
-  void move_segment(OneSided kind, void* remote, void* local,
+  /// Move one segment directly (under the simulator's global lock). The
+  /// <gmr, target_rank, offset> locate the remote bytes for the race
+  /// detector: native transfers never open an epoch, so each segment is
+  /// checked and published as one atomic direct access.
+  void move_segment(OneSided kind, const Gmr& gmr, int target_rank,
+                    std::size_t offset, void* remote, void* local,
                     std::size_t bytes, AccType at, const void* scale) const;
 
   /// True if the local buffer came from the pre-pinned pool (ARMCI_Malloc /

@@ -225,6 +225,20 @@ std::string metrics_json() {
            (unsigned long long)c.discipline);
   }
 
+  // Happens-before race detector (mpisim hb.hpp, MPISIM_RMA_CHECK=race):
+  // this rank's race counters by class, plus summaries dropped by the
+  // shadow-store cap. All zero on a correctly synchronized run.
+  {
+    const mpisim::HbRaceCounts r =
+        mpisim::ctx().core().hb().counts(mpisim::rank());
+    append(out,
+           "\"rma_race\":{\"ww\":%llu,\"rw\":%llu,\"acc_mix\":%llu,"
+           "\"shm\":%llu,\"dead_origin\":%llu,\"overflow\":%llu},",
+           (unsigned long long)r.ww, (unsigned long long)r.rw,
+           (unsigned long long)r.acc_mix, (unsigned long long)r.shm,
+           (unsigned long long)r.dead_origin, (unsigned long long)r.overflow);
+  }
+
   // Survivable-mode recovery gauge: virtual time between the most recently
   // observed peer death and this rank noticing it (failure-aware site or
   // read failover). -1 until a death has been observed here.

@@ -66,6 +66,10 @@ struct ProcState {
   /// counters are cumulative per run, Stats::rma_conflicts is relative.
   std::uint64_t rma_conflicts_baseline = 0;
 
+  /// Race-detector violation total at the last reset_stats() (same
+  /// cumulative-to-relative conversion for Stats::rma_races).
+  std::uint64_t rma_races_baseline = 0;
+
   /// Per-op latency histograms (see metrics.hpp), on when opts.metrics.
   MetricsRegistry metrics;
 

@@ -64,6 +64,12 @@ struct Stats {
   // on every correct run; synced from the checker's counters by stats().
   std::uint64_t rma_conflicts = 0;
 
+  // Happens-before races attributed to this process since the last
+  // reset_stats() (mpisim::HbChecker, MPISIM_RMA_CHECK=race): conflicting
+  // access pairs unordered by any synchronization edge. Zero on every
+  // correctly synchronized run; synced from the detector by stats().
+  std::uint64_t rma_races = 0;
+
   // Fault handling (mpisim::FaultPlan injection): transient faults hit,
   // epochs retried after one, and operations that exhausted their retry
   // budget and surfaced the error.

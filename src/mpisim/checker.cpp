@@ -1,6 +1,7 @@
 #include "src/mpisim/checker.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "src/mpisim/error.hpp"
@@ -30,8 +31,18 @@ const char* rma_check_name(RmaCheck m) noexcept {
     case RmaCheck::off: return "off";
     case RmaCheck::warn: return "warn";
     case RmaCheck::abort: return "abort";
+    case RmaCheck::race: return "race";
   }
   return "?";
+}
+
+bool parse_rma_check(const char* text, RmaCheck* out) noexcept {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "off") == 0) { *out = RmaCheck::off; return true; }
+  if (std::strcmp(text, "warn") == 0) { *out = RmaCheck::warn; return true; }
+  if (std::strcmp(text, "abort") == 0) { *out = RmaCheck::abort; return true; }
+  if (std::strcmp(text, "race") == 0) { *out = RmaCheck::race; return true; }
+  return false;
 }
 
 const char* rma_violation_name(RmaViolation v) noexcept {
@@ -234,7 +245,9 @@ void RmaChecker::report(std::vector<Violation>& pending) {
                    rma_violation_name(x.cls), x.msg.c_str());
     return;
   }
-  if (mode_ == RmaCheck::abort) {
+  // race includes abort: the HB detector adds cross-epoch coverage on top
+  // of the epoch-local rules, it never relaxes them.
+  if (mode_ == RmaCheck::abort || mode_ == RmaCheck::race) {
     std::string msg = v.front().msg;
     if (v.size() > 1)
       msg += " (+" + std::to_string(v.size() - 1) + " more violations)";

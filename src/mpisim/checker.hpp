@@ -67,10 +67,17 @@ namespace mpisim {
 enum class RmaCheck {
   off,   ///< record nothing (unless check_conflicts is on)
   warn,  ///< print each violation to stderr at epoch completion and count it
-  abort  ///< raise Errc::rma_conflict at epoch completion
+  abort, ///< raise Errc::rma_conflict at epoch completion
+  race   ///< abort, plus the vector-clock happens-before detector (hb.hpp)
+         ///< raising Errc::rma_race on cross-epoch unordered conflicts
 };
 
 const char* rma_check_name(RmaCheck m) noexcept;
+
+/// Parse an MPISIM_RMA_CHECK value. Returns false (and leaves \p out
+/// untouched) for anything other than off|warn|abort|race, so callers can
+/// reject typos loudly instead of silently running unchecked.
+bool parse_rma_check(const char* text, RmaCheck* out) noexcept;
 
 /// Violation classes (counter buckets; also named in diagnostics).
 enum class RmaViolation {

@@ -41,6 +41,7 @@ void system_send(SimCore& core, int dest_world, int tag,
   me.clock().advance(core.model().p2p_ns(0));
   std::unique_lock lk(core.mu());
   core.note_time_locked(me.clock().now_ns());
+  if (core.hb().enabled()) m.vc = core.hb().send_snapshot(me.rank());
   core.mailbox(dest_world).push(std::move(m));
   core.poke();
 }
@@ -53,6 +54,7 @@ std::vector<std::uint8_t> system_recv(SimCore& core, int src_world, int tag) {
   core.wait(lk, [&] { return mb.has_match(kSystemChannel, src_world, tag); },
             "comm.system_recv");
   Message m = mb.pop_match(kSystemChannel, src_world, tag);
+  core.hb().recv_join(me.rank(), m.vc);
   me.clock().advance_to(m.send_ts_ns +
                         core.model().p2p_ns(m.payload.size()));
   return std::move(m.payload);
@@ -130,6 +132,7 @@ void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) const {
   if (c.revoked) throw_revoked("comm.send");
   core.check_target_alive_locked(dest_world, "comm.send");
   core.note_time_locked(me.clock().now_ns());
+  if (core.hb().enabled()) m.vc = core.hb().send_snapshot(me.rank());
   core.mailbox(dest_world).push(std::move(m));
   core.poke();
 }
@@ -178,6 +181,7 @@ Status Comm::recv(void* buf, std::size_t capacity, int src, int tag) const {
   if (was_revoked) throw_revoked("comm.recv");
   if (dead_src >= 0) core.observe_death_locked(dead_src, "comm.recv");
   Message m = mb.pop_match(c.id, src, tag);
+  core.hb().recv_join(me.rank(), m.vc);
   lk.unlock();
 
   if (m.payload.size() > capacity)
@@ -286,6 +290,7 @@ bool Comm::collective_round(
   cc.present[static_cast<std::size_t>(myrank)] = 1;
   cc.max_clock_ns = std::max(cc.max_clock_ns, me.clock().now_ns());
   core.note_time_locked(me.clock().now_ns());
+  if (core.hb().enabled()) core.hb().coll_arrive(cc.hb_acc, me.rank());
   ++cc.arrived;
 
   // Complete the round: null the buffer slots of members that never
@@ -308,6 +313,8 @@ bool Comm::collective_round(
     }
     cc.dep_dead = false;
     if (leader_fn) leader_fn(cc, c.group);
+    cc.hb_result = std::move(cc.hb_acc);
+    cc.hb_acc.clear();
     cc.result_clock_ns = detect_ns + cost_ns;
     cc.arrived = 0;
     cc.max_clock_ns = 0.0;
@@ -334,6 +341,7 @@ bool Comm::collective_round(
               "comm.collective");
   }
   me.clock().advance_to(cc.result_clock_ns);
+  if (core.hb().enabled()) core.hb().coll_depart(me.rank(), cc.hb_result);
   // Safe to read after the wait: the next round on this comm cannot
   // complete (and overwrite the flag) until every live member -- including
   // this one -- has arrived at it, i.e. has left this call.
@@ -810,6 +818,10 @@ Comm Comm::shrink() const {
     std::lock_guard lk(core.mu());
     for (int wr : c.group.members())
       if (!core.is_dead_locked(wr)) live.push_back(wr);
+    // Recovery edge: shrinking acknowledges every observed death, so the
+    // survivors acquire the dead ranks' final clocks (post-shrink accesses
+    // to data the dead published are ordered, not dead_origin races).
+    core.hb().ack_deaths(me.rank());
     const int myrank = c.group.rank_of_world(me.rank());
     if (myrank < 0)
       raise(Errc::rank_out_of_range, "shrink caller not in communicator");
@@ -855,6 +867,7 @@ void Comm::failure_ack() const {
   RankContext& me = ctx();
   std::lock_guard lk(core.mu());
   me.acked_death_epoch = core.death_epoch_locked();
+  core.hb().ack_deaths(me.rank());
 }
 
 }  // namespace mpisim

@@ -44,6 +44,12 @@ struct CollCtx {
   /// survivors raise Errc::crashed instead of silently keeping stale
   /// buffers (ULFM: a collective that depends on a failed process fails).
   bool dep_dead = false;
+  /// Happens-before accumulator (hb.hpp): every arrival joins its vector
+  /// clock here; the completer moves it to hb_result, which every departer
+  /// acquires. Safe as a single result slot: the next round cannot
+  /// complete before every live member departed this one.
+  std::vector<std::uint64_t> hb_acc;
+  std::vector<std::uint64_t> hb_result;
 };
 
 /// Shared state of one communicator, identical on every member rank.

@@ -189,6 +189,44 @@ void ConflictTree::insert_merge(std::uintptr_t lo, std::uintptr_t hi) {
   if (ok) ++size_;
 }
 
+void ConflictTree::insert_coalesce(std::uintptr_t lo, std::uintptr_t hi) {
+  if (lo > hi) return;
+  // Widen the probe by one on each side (clamped at the type bounds) so
+  // touching neighbours are absorbed too, but insert only the union of the
+  // ranges actually found -- the probe widening must not leak into storage.
+  for (;;) {
+    const std::uintptr_t probe_lo = lo == 0 ? lo : lo - 1;
+    const std::uintptr_t probe_hi = hi == std::uintptr_t(-1) ? hi : hi + 1;
+    const Node* o = find_overlap_node(root_, probe_lo, probe_hi);
+    if (o == nullptr) break;
+    lo = std::min(lo, o->lo);
+    hi = std::max(hi, o->hi);
+    bool removed = false;
+    root_ = erase_node(root_, o->lo, removed);
+    if (removed) --size_;
+  }
+  bool ok = false;
+  root_ = insert_node(root_, lo, hi, ok);
+  if (ok) ++size_;
+}
+
+namespace {
+
+void visit_node(const Node* n,
+                const std::function<void(std::uintptr_t, std::uintptr_t)>& fn) {
+  if (n == nullptr) return;
+  visit_node(n->left, fn);
+  fn(n->lo, n->hi);
+  visit_node(n->right, fn);
+}
+
+}  // namespace
+
+void ConflictTree::visit(
+    const std::function<void(std::uintptr_t, std::uintptr_t)>& fn) const {
+  visit_node(root_, fn);
+}
+
 bool ConflictTree::conflicts(std::uintptr_t lo, std::uintptr_t hi) const {
   if (lo > hi) return false;
   return find_overlap_node(root_, lo, hi) != nullptr;

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace mpisim {
 
@@ -57,6 +58,18 @@ class ConflictTree {
   /// never fails -- it is the accumulation primitive of the RMA checker,
   /// which records coverage and must keep recording after an overlap.
   void insert_merge(std::uintptr_t lo, std::uintptr_t hi);
+
+  /// insert_merge() that additionally absorbs stored ranges *adjacent* to
+  /// [lo, hi] (other.hi + 1 == lo or hi + 1 == other.lo). Accumulation
+  /// primitive of the happens-before shadow store (hb.hpp), which coalesces
+  /// neighbouring same-class intervals to bound checker memory.
+  void insert_coalesce(std::uintptr_t lo, std::uintptr_t hi);
+
+  /// In-order traversal: invoke \p fn(lo, hi) for every stored range in
+  /// ascending order. Lets the happens-before detector union one coverage
+  /// tree into another when merging access summaries.
+  void visit(
+      const std::function<void(std::uintptr_t, std::uintptr_t)>& fn) const;
 
   /// True if [lo, hi] overlaps a stored range (no insertion).
   bool conflicts(std::uintptr_t lo, std::uintptr_t hi) const;

@@ -15,6 +15,7 @@ const char* errc_name(Errc e) noexcept {
     case Errc::not_locked: return "not_locked";
     case Errc::conflicting_access: return "conflicting_access";
     case Errc::rma_conflict: return "rma_conflict";
+    case Errc::rma_race: return "rma_race";
     case Errc::comm_mismatch: return "comm_mismatch";
     case Errc::aborted: return "aborted";
     case Errc::wait_timeout: return "wait_timeout";

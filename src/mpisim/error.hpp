@@ -29,6 +29,8 @@ enum class Errc {
   conflicting_access,  ///< conflicting RMA accesses within/between epochs
   rma_conflict,        ///< deferred rma_check violation reported at
                        ///< unlock/flush/local-access-end (checker.hpp)
+  rma_race,            ///< conflicting accesses unordered by happens-before
+                       ///< (vector-clock race detector, hb.hpp)
   comm_mismatch,       ///< operation on the wrong communicator kind
   aborted,             ///< another rank failed; collective shutdown
   wait_timeout,        ///< blocking wait hit its deadline or a deadlock

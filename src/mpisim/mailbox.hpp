@@ -26,6 +26,10 @@ struct Message {
   int tag = 0;
   std::vector<std::uint8_t> payload;
   double send_ts_ns = 0.0;  ///< sender's virtual clock at send
+  /// Sender's vector clock at send, joined by the matching receive
+  /// (happens-before piggyback, hb.hpp). Empty unless the race detector
+  /// is enabled.
+  std::vector<std::uint64_t> vc;
 };
 
 /// Completion information returned by receives.

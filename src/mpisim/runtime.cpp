@@ -4,8 +4,8 @@
 #include <pthread.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "src/mpisim/comm.hpp"
 
@@ -15,15 +15,22 @@ namespace {
 
 thread_local RankContext* t_ctx = nullptr;
 
-/// Config::rma_check, unless MPISIM_RMA_CHECK overrides it (off|warn|abort;
-/// anything else is ignored). The env hook lets CI rerun the whole suite in
-/// abort mode with no code changes.
+/// Config::rma_check, unless MPISIM_RMA_CHECK overrides it
+/// (off|warn|abort|race). The env hook lets CI rerun the whole suite in
+/// abort or race mode with no code changes. An unknown value is almost
+/// certainly a typo of an *enabling* level, so it must not silently run
+/// unchecked at the config default: warn loudly and force off, making the
+/// misconfiguration visible in any log that compares checked runs.
 RmaCheck effective_rma_check(const Config& cfg) {
   const char* env = std::getenv("MPISIM_RMA_CHECK");
   if (env != nullptr) {
-    if (std::strcmp(env, "off") == 0) return RmaCheck::off;
-    if (std::strcmp(env, "warn") == 0) return RmaCheck::warn;
-    if (std::strcmp(env, "abort") == 0) return RmaCheck::abort;
+    RmaCheck parsed = RmaCheck::off;
+    if (parse_rma_check(env, &parsed)) return parsed;
+    std::fprintf(stderr,
+                 "mpisim: unknown MPISIM_RMA_CHECK value \"%s\" "
+                 "(expected off|warn|abort|race); checker disabled\n",
+                 env);
+    return RmaCheck::off;
   }
   return cfg.rma_check;
 }
@@ -56,6 +63,8 @@ SimCore::SimCore(const Config& cfg)
       prof_(platform_profile(cfg.platform)),
       model_(prof_, cfg.ranks_per_node),
       checker_(effective_rma_check(cfg), cfg.check_conflicts, cfg.nranks),
+      hb_(effective_rma_check(cfg) == RmaCheck::race, cfg.nranks,
+          cfg.rma_check_max_intervals),
       mailboxes_(static_cast<std::size_t>(cfg.nranks)) {
   if (cfg.nranks < 1) raise(Errc::invalid_argument, "nranks < 1");
   running_ = cfg.nranks;
@@ -143,6 +152,9 @@ void SimCore::rank_crashed(int rank, double now_ns) noexcept {
     return;
   dead_[static_cast<std::size_t>(rank)] = 1;
   death_ns_[static_cast<std::size_t>(rank)] = now_ns;
+  // Freeze the victim's vector clock: its final value is what recovery
+  // edges (failure_ack / agree / shrink) hand to the survivors.
+  hb_.note_death(rank);
   latest_dead_ = rank;
   ++death_epoch_;
   note_time_locked(now_ns);

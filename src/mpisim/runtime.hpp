@@ -37,6 +37,7 @@
 #include "src/mpisim/clock.hpp"
 #include "src/mpisim/error.hpp"
 #include "src/mpisim/fault.hpp"
+#include "src/mpisim/hb.hpp"
 #include "src/mpisim/mailbox.hpp"
 #include "src/mpisim/netmodel.hpp"
 #include "src/mpisim/platform.hpp"
@@ -59,9 +60,17 @@ struct Config {
   /// RMA validity checker mode (checker.hpp): record every RMA byte
   /// interval and declared direct local access, and report MPI-2 conflict
   /// violations when the access epoch completes. warn (the default) prints
-  /// to stderr and counts; abort raises Errc::rma_conflict. Overridable at
-  /// run time by the MPISIM_RMA_CHECK environment variable (off|warn|abort).
+  /// to stderr and counts; abort raises Errc::rma_conflict; race adds the
+  /// vector-clock happens-before detector (hb.hpp), raising Errc::rma_race
+  /// on cross-epoch unordered conflicts. Overridable at run time by the
+  /// MPISIM_RMA_CHECK environment variable (off|warn|abort|race; unknown
+  /// values warn on stderr and fall back to off).
   RmaCheck rma_check = RmaCheck::warn;
+  /// Cap on the happens-before shadow store's total recorded byte
+  /// intervals (pending accesses plus published summaries): past it the
+  /// oldest summaries are dropped and counted in the race overflow
+  /// counter. 0 disables the cap.
+  std::size_t rma_check_max_intervals = 1 << 16;
   /// Ranks per node for the NetworkModel's node map: consecutive ranks in
   /// groups of this size share a node (and its shared-memory windows).
   /// 0 (the default) takes the platform profile's ranks_per_node; > 0
@@ -147,6 +156,10 @@ class SimCore {
   /// The RMA validity checker (checker.hpp). Stateful methods require mu();
   /// counter reads and note_discipline() are lock-free.
   RmaChecker& checker() noexcept { return checker_; }
+
+  /// The happens-before race detector (hb.hpp), active at RmaCheck::race.
+  /// Stateful methods require mu(); counter reads are lock-free.
+  HbChecker& hb() noexcept { return hb_; }
 
   /// The global lock guarding all shared simulator state.
   std::mutex& mu() noexcept { return mu_; }
@@ -366,6 +379,7 @@ class SimCore {
   const PlatformProfile& prof_;
   NetworkModel model_;
   RmaChecker checker_;
+  HbChecker hb_;
 
   std::mutex mu_;
   std::condition_variable cv_;

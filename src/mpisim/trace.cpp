@@ -11,6 +11,7 @@ const char* trace_cat_name(TraceCat cat) noexcept {
     case TraceCat::window: return "window";
     case TraceCat::mutex: return "mutex";
     case TraceCat::fault: return "fault";
+    case TraceCat::race: return "race";
   }
   return "?";
 }

@@ -31,6 +31,8 @@ enum class TraceCat : std::uint8_t {
   mutex,    ///< queueing-mutex protocol steps
   fault,    ///< injected faults and recovery actions (crash, transient
             ///< burst, detector suspicion, shrink)
+  race,     ///< happens-before race detections (hb.hpp): a begin/end pair
+            ///< brackets each report so Chrome traces show the racing op
 };
 
 const char* trace_cat_name(TraceCat cat) noexcept;

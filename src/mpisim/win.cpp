@@ -56,6 +56,7 @@ void purge_dead_locked(SimCore& core, WinImpl& w, int target) {
     const int world = w.comm.group().world_rank(it->first);
     if (core.is_dead_locked(world)) {
       core.checker().epoch_abandoned(w.id, target, it->first);
+      core.hb().epoch_abandoned(w.id, target, world);
       it = ts.open.erase(it);
     } else {
       ++it;
@@ -89,6 +90,8 @@ void grant_locked(SimCore& core, WinImpl& w, int target) {
     ts.open.emplace(origin, ep);
     core.checker().epoch_opened(w.id, target, origin,
                                 type == LockType::exclusive);
+    core.hb().lock_granted(w.id, target, w.comm.group().world_rank(origin),
+                           type == LockType::exclusive);
     ts.waiters.pop_front();
   }
 }
@@ -338,6 +341,7 @@ void Win::free() {
     std::lock_guard lk(core.mu());
     w.freed = true;
     core.checker().window_freed(w.id);
+    core.hb().window_freed(w.id);
   }
   w.comm.barrier();
   impl_.reset();
@@ -429,6 +433,7 @@ void Win::unlock(int target_rank) const {
 
   me.tracer().begin(TraceCat::window, "win.unlock", w.id);
   const bool was_exclusive = it->second.type == LockType::exclusive;
+  core.hb().lock_released(w.id, target_rank, me.rank(), was_exclusive);
   ts.open.erase(it);
   w.locked_target[static_cast<std::size_t>(myrank)] = -1;
 
@@ -495,6 +500,7 @@ void Win::unlock_all() const {
   for (int t = 0; t < w.comm.size(); ++t) {
     TargetState& ts = w.targets[static_cast<std::size_t>(t)];
     core.checker().epoch_closing(w.id, t, myrank);
+    core.hb().lock_released(w.id, t, me.rank(), /*exclusive=*/false);
     ts.open.erase(myrank);
     detail::grant_locked(core, w, t);
   }
@@ -523,6 +529,7 @@ void Win::flush(int target_rank) const {
   // Remote completion orders accesses across the flush: report pending
   // violations and restart the epoch's conflict-tracking unit.
   core.checker().epoch_flushed(w.id, target_rank, myrank);
+  core.hb().epoch_flushed(w.id, target_rank, me.rank());
   me.tracer().begin(TraceCat::window, "win.flush", w.id);
   // Remote completion of everything outstanding: one acknowledgement round
   // trip; afterwards the next operation pays wire latency again.
@@ -552,6 +559,7 @@ void Win::flush_all() const {
     auto it = ts.open.find(myrank);
     if (it != ts.open.end()) {
       core.checker().epoch_flushed(w.id, t, myrank);
+      core.hb().epoch_flushed(w.id, t, me.rank());
       if (it->second.ops_issued > 0) {
         it->second.ops_issued = 0;
         any = true;
@@ -644,6 +652,13 @@ void Win::get_accumulate(const void* origin, void* result, std::size_t count,
                              RmaChecker::OpKind::get_acc, op, lo,
                              lo + static_cast<std::ptrdiff_t>(bytes),
                              detail::trace_scope(me));
+  }
+  if (core.hb().enabled()) {
+    const auto lo = static_cast<std::ptrdiff_t>(target_disp);
+    core.hb().record_op(w.id, target_rank, myrank, me.rank(),
+                        RmaChecker::OpKind::get_acc, op, lo,
+                        lo + static_cast<std::ptrdiff_t>(bytes),
+                        detail::trace_scope(me));
   }
 
   // Accumulate-class atomicity: fetch, then combine, in one critical
@@ -772,6 +787,19 @@ void Win::rma_op(OpKind kind, const void* origin, std::size_t origin_count,
                                scope);
     }
   }
+  if (core.hb().enabled()) {
+    const auto hb_kind = kind == OpKind::put   ? RmaChecker::OpKind::put
+                         : kind == OpKind::get ? RmaChecker::OpKind::get
+                                               : RmaChecker::OpKind::acc;
+    const char* scope = detail::trace_scope(me);
+    for (const Segment& s : tsegs) {
+      const std::ptrdiff_t lo =
+          static_cast<std::ptrdiff_t>(target_disp) + s.offset;
+      core.hb().record_op(w.id, target_rank, myrank, me.rank(), hb_kind, op,
+                          lo, lo + static_cast<std::ptrdiff_t>(s.length),
+                          scope);
+    }
+  }
 
   // ---- Data movement (safe under the global lock) ----
   {
@@ -888,6 +916,14 @@ void Win::local_access_begin(const void* ptr, std::size_t bytes,
        w.locked_target[static_cast<std::size_t>(myrank)] == detail::kLockAll);
   core.checker().local_begin(w.id, s.rank, me.rank(), s.lo, s.hi, write,
                              covered, detail::trace_scope(me));
+  // Happens-before: an exclusive self-epoch orders the access through the
+  // lock slot; a lock_all-covered or bare access is only ordered by
+  // whatever edges the program actually created, so record it.
+  const bool covered_excl =
+      it != ts.open.end() && it->second.type == LockType::exclusive;
+  if (!covered_excl)
+    core.hb().access_begin(w.id, s.rank, myrank, me.rank(), write, s.lo,
+                           s.hi, detail::trace_scope(me));
 }
 
 void Win::local_access_end(const void* ptr) const {
@@ -900,6 +936,7 @@ void Win::local_access_end(const void* ptr) const {
   std::lock_guard lk(core.mu());
   // Reports the access's pending violations: may raise Errc::rma_conflict.
   core.checker().local_end(w.id, s.rank, s.lo);
+  core.hb().access_end(w.id, s.rank, ctx().rank(), s.lo);
 }
 
 void Win::shm_put(const void* origin, std::size_t bytes, int target_rank,
@@ -958,6 +995,13 @@ void Win::shm_op(OpKind kind, Op op, BasicType type, const void* origin,
                              : kind == OpKind::get ? RmaChecker::OpKind::get
                                                    : RmaChecker::OpKind::acc,
                              op, lo, hi, detail::trace_scope(me));
+  // Happens-before: the shm fast path bypasses every epoch, so the access
+  // checks and publishes in one atomic step under the core lock.
+  core.hb().direct_op(w.id, target_rank, myrank, me.rank(),
+                      kind == OpKind::put   ? RmaChecker::OpKind::put
+                      : kind == OpKind::get ? RmaChecker::OpKind::get
+                                            : RmaChecker::OpKind::acc,
+                      op, lo, hi, detail::trace_scope(me));
   auto* obase = static_cast<std::uint8_t*>(const_cast<void*>(origin));
   switch (kind) {
     case OpKind::put:
@@ -996,6 +1040,9 @@ void Win::shm_access_begin(int target_rank, std::size_t target_disp,
       w.id, target_rank, myrank, me.rank(),
       write ? RmaChecker::OpKind::put : RmaChecker::OpKind::get, Op::replace,
       lo, lo + static_cast<std::ptrdiff_t>(bytes), detail::trace_scope(me));
+  core.hb().access_begin(w.id, target_rank, myrank, me.rank(), write, lo,
+                         lo + static_cast<std::ptrdiff_t>(bytes),
+                         detail::trace_scope(me));
 }
 
 void Win::shm_access_end(int target_rank, std::size_t target_disp) const {
@@ -1009,6 +1056,8 @@ void Win::shm_access_end(int target_rank, std::size_t target_disp) const {
   // Reports the access's pending violations: may raise Errc::rma_conflict.
   core.checker().shm_end(w.id, target_rank, myrank,
                          static_cast<std::ptrdiff_t>(target_disp));
+  core.hb().access_end(w.id, target_rank, me.rank(),
+                       static_cast<std::ptrdiff_t>(target_disp));
 }
 
 void* Win::base(int rank) const {

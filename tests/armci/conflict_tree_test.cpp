@@ -226,5 +226,81 @@ TEST(IovOverlapTest, ZeroByteSegmentsNeverOverlap) {
   EXPECT_FALSE(iov_has_overlap(ptrs, 0));
 }
 
+// ---- insert_coalesce / visit (happens-before shadow-store primitives) ----
+
+TEST(ConflictTreeTest, CoalesceAbsorbsAdjacentRanges) {
+  ConflictTree t;
+  t.insert_coalesce(0, 9);
+  t.insert_coalesce(20, 29);
+  // Adjacent on both sides: [10, 19] must fuse all three into [0, 29].
+  t.insert_coalesce(10, 19);
+  EXPECT_EQ(t.size(), 1u);
+  std::uintptr_t lo = 1, hi = 0;
+  ASSERT_TRUE(t.overlapping(15, 15, &lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 29u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(ConflictTreeTest, CoalesceAbsorbsAChainOfNeighbours) {
+  ConflictTree t;
+  // Ten separated singleton ranges; one spanning insert adjacent to the
+  // first must absorb the whole chain once the gaps are bridged.
+  for (std::uintptr_t i = 0; i < 10; ++i)
+    t.insert_coalesce(i * 2, i * 2);  // 0, 2, 4, ..., 18 (gaps at odds)
+  EXPECT_EQ(t.size(), 10u);
+  for (std::uintptr_t i = 0; i < 9; ++i)
+    t.insert_coalesce(i * 2 + 1, i * 2 + 1);  // fill the gaps one by one
+  EXPECT_EQ(t.size(), 1u);
+  std::uintptr_t lo = 1, hi = 0;
+  ASSERT_TRUE(t.overlapping(0, 0, &lo, &hi));
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 18u);
+}
+
+TEST(ConflictTreeTest, CoalesceDoesNotFuseAcrossGaps) {
+  ConflictTree t;
+  t.insert_coalesce(0, 9);
+  t.insert_coalesce(11, 19);  // gap at 10: must stay separate
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.conflicts(10, 10));
+}
+
+TEST(ConflictTreeTest, CoalesceAtAddressSpaceBoundsDoesNotWrap) {
+  ConflictTree t;
+  const std::uintptr_t max = ~static_cast<std::uintptr_t>(0);
+  t.insert_coalesce(0, 0);
+  t.insert_coalesce(max, max);
+  EXPECT_EQ(t.size(), 2u);
+  t.insert_coalesce(2, max - 2);  // adjacent to neither end range
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(ConflictTreeTest, VisitTraversesInAscendingOrder) {
+  ConflictTree t;
+  t.insert_coalesce(40, 49);
+  t.insert_coalesce(0, 9);
+  t.insert_coalesce(20, 29);
+  std::vector<std::pair<std::uintptr_t, std::uintptr_t>> seen;
+  t.visit([&](std::uintptr_t lo, std::uintptr_t hi) {
+    seen.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(seen[0].second, 9u);
+  EXPECT_EQ(seen[1].first, 20u);
+  EXPECT_EQ(seen[1].second, 29u);
+  EXPECT_EQ(seen[2].first, 40u);
+  EXPECT_EQ(seen[2].second, 49u);
+}
+
+TEST(ConflictTreeTest, VisitOnEmptyTreeIsANoOp) {
+  ConflictTree t;
+  int calls = 0;
+  t.visit([&](std::uintptr_t, std::uintptr_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
 }  // namespace
 }  // namespace armci

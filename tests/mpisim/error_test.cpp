@@ -32,6 +32,7 @@ TEST(ErrcNameTest, EveryValueHasAName) {
   EXPECT_STREQ(errc_name(Errc::not_locked), "not_locked");
   EXPECT_STREQ(errc_name(Errc::conflicting_access), "conflicting_access");
   EXPECT_STREQ(errc_name(Errc::rma_conflict), "rma_conflict");
+  EXPECT_STREQ(errc_name(Errc::rma_race), "rma_race");
   EXPECT_STREQ(errc_name(Errc::comm_mismatch), "comm_mismatch");
   EXPECT_STREQ(errc_name(Errc::aborted), "aborted");
   EXPECT_STREQ(errc_name(Errc::wait_timeout), "wait_timeout");
