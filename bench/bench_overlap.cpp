@@ -1,0 +1,119 @@
+// Compute/communication overlap ablation for the cooperative progress
+// engine (Options::progress, nb.hpp progress_tick): compute grain x message
+// size, engine off vs on. Rank 0 issues a batch of nb_gets, charges one
+// slab of DGEMM-class compute through SimClock::advance_compute -- which
+// fires the rank's progress persona every Config::progress_interval_ns of
+// it -- then waits. Engine off, the whole batch drains inside wait() after
+// the compute; engine on, ticks inside the compute issue the batch and
+// complete it at the target, so the round costs ~max(compute, comm) instead
+// of compute + comm. The per-run overlap_efficiency gauge (hidden comm
+// time / total tick comm time) is reported next to the round time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "bench/common.hpp"
+
+namespace {
+
+struct OverlapPoint {
+  double us = 0.0;          // virtual time per round
+  double efficiency = 0.0;  // Stats::overlap_efficiency over the reps
+};
+
+/// One configuration: rank 0 fetches `kDepth` disjoint slots of `bytes`
+/// from rank 1 nonblocking, computes for `grain_ns`, completes. Both ranks
+/// on distinct nodes so every transfer takes the remote path.
+OverlapPoint overlap_sweep(armci::Backend backend, double grain_ns,
+                           std::size_t bytes, bool engine, int reps = 8) {
+  OverlapPoint res;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = mpisim::Platform::infiniband;
+  cfg.ranks_per_node = 1;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    o.metrics = true;
+    o.progress = engine;
+    armci::init(o);
+    constexpr std::size_t kDepth = 8;
+    std::vector<void*> bases = armci::malloc_world(kDepth * bytes);
+    auto* local =
+        static_cast<std::uint8_t*>(armci::malloc_local(kDepth * bytes));
+    std::memset(bases[static_cast<std::size_t>(mpisim::rank())], 3,
+                kDepth * bytes);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      char* rbase = static_cast<char*>(bases[1]);
+      auto round = [&] {
+        armci::Request req;
+        for (std::size_t i = 0; i < kDepth; ++i)
+          req.merge(armci::nb_get(rbase + i * bytes, local + i * bytes,
+                                  bytes, 1));
+        mpisim::clock().advance_compute(grain_ns);
+        armci::wait(req);
+      };
+      round();  // warm-up (registration, allocation effects)
+      armci::reset_stats();
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r) round();
+      res.us = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+      res.efficiency = armci::stats().overlap_efficiency();
+    }
+    armci::barrier();
+    bench::Reporter::instance().capture_rank();
+    armci::free_local(local);
+    armci::free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    armci::finalize();
+  });
+  return res;
+}
+
+void register_all() {
+  for (armci::Backend backend : {armci::Backend::mpi, armci::Backend::mpi3}) {
+    // Grains relative to the 10 us default progress interval: below it
+    // (no tick fits), a handful of ticks, and compute-dominated.
+    for (double grain : {5'000.0, 50'000.0, 500'000.0}) {
+      for (std::size_t bytes : {std::size_t{4096}, std::size_t{65536}}) {
+        for (bool engine : {false, true}) {
+          std::string name = std::string("Overlap/infiniband/") +
+                             bench::backend_name(backend) + "/" +
+                             (engine ? "on" : "off") + "/g" +
+                             std::to_string(static_cast<long long>(grain)) +
+                             "/b" + std::to_string(bytes);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [=](benchmark::State& st) {
+                OverlapPoint p;
+                for (auto _ : st) {
+                  p = overlap_sweep(backend, grain, bytes, engine);
+                  st.SetIterationTime(p.us * 1e-6);
+                }
+                st.counters["efficiency"] = p.efficiency;
+                bench::Reporter::instance().add_point(name + "/us", p.us,
+                                                      "us");
+                bench::Reporter::instance().add_point(name + "/efficiency",
+                                                      p.efficiency, "ratio");
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMicrosecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_overlap");
+  benchmark::Shutdown();
+  return 0;
+}

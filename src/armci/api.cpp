@@ -1,5 +1,8 @@
 #include "src/armci/armci.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -21,6 +24,30 @@ using mpisim::Errc;
 // Lifecycle
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Options::progress, unless MPISIM_PROGRESS overrides it (on|off). The
+/// env hook lets CI rerun the whole suite with the progress engine forced
+/// on with no code changes. An unknown value is almost certainly a typo of
+/// an enabling one, so warn loudly and force off rather than silently run
+/// at the config default (the MPISIM_RMA_CHECK convention).
+bool effective_progress(const Options& opts) {
+  const char* env = std::getenv("MPISIM_PROGRESS");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "on" || v == "1" || v == "true") return true;
+    if (v == "off" || v == "0" || v == "false") return false;
+    std::fprintf(stderr,
+                 "armci: unknown MPISIM_PROGRESS value \"%s\" "
+                 "(expected on|off); progress engine disabled\n",
+                 env);
+    return false;
+  }
+  return opts.progress;
+}
+
+}  // namespace
+
 void init(const Options& opts) {
   mpisim::RankContext& me = mpisim::ctx();
   if (me.user_state != nullptr)
@@ -28,6 +55,7 @@ void init(const Options& opts) {
 
   auto st = std::make_unique<ProcState>(mpisim::nranks());
   st->opts = opts;
+  st->opts.progress = effective_progress(opts);
   st->dt_cache.set_capacity(opts.dt_cache_capacity);
   st->world = PGroup::world();
   switch (opts.backend) {
@@ -43,11 +71,22 @@ void init(const Options& opts) {
   }
   if (opts.metrics) st->metrics.enable();
   if (opts.trace) me.tracer().enable(opts.trace_capacity);
-  me.user_state = st.release();
+  ProcState* stp = st.release();
+  me.user_state = stp;
   me.user_state_cleanup = [&me] {
+    me.clock().clear_progress_hook();
     delete static_cast<ProcState*>(me.user_state);
     me.user_state = nullptr;
   };
+  // Arm the cooperative progress engine: the rank's own clock fires the
+  // persona every progress_interval_ns of *compute* time charged through
+  // advance_compute(), draining deferred nb queues while the application
+  // computes. Pointless without deferral, so gate on it.
+  if (stp->opts.progress && stp->opts.nb_aggregation &&
+      stp->backend->nb_defers()) {
+    me.clock().set_progress_hook([stp] { stp->nb.progress_tick(*stp); },
+                                 me.core().config().progress_interval_ns);
+  }
   mpisim::world().barrier();
 }
 
@@ -57,6 +96,8 @@ namespace {
 /// from peers and is therefore safe after an aborted run.
 void release_local_state() {
   mpisim::RankContext& me = mpisim::ctx();
+  // Disarm the progress hook first: it captures the ProcState deleted below.
+  me.clock().clear_progress_hook();
   // Capture traces before finalize(): the sink dies with the ARMCI instance.
   me.tracer().disable();
   delete static_cast<ProcState*>(me.user_state);
@@ -113,6 +154,15 @@ const Stats& stats() {
   st.stats.rma_races =
       mpisim::ctx().core().hb().counts(mpisim::rank()).total() -
       st.rma_races_baseline;
+  // The overlap gauges live on the rank's clock (advance_compute maintains
+  // them); like the checker counters they accumulate per run, so subtract
+  // the reset_stats() baselines. Clamped at 0: SimClock::reset() between
+  // runs zeros the gauges while the baselines persist in ProcState.
+  const mpisim::SimClock& ck = mpisim::clock();
+  st.stats.overlap_comm_ns =
+      std::max(0.0, ck.progress_comm_ns() - st.overlap_comm_baseline);
+  st.stats.overlap_hidden_ns =
+      std::max(0.0, ck.progress_hidden_ns() - st.overlap_hidden_baseline);
   return st.stats;
 }
 
@@ -124,6 +174,8 @@ void reset_stats() {
       mpisim::ctx().core().checker().counts(mpisim::rank()).total();
   st.rma_races_baseline =
       mpisim::ctx().core().hb().counts(mpisim::rank()).total();
+  st.overlap_comm_baseline = mpisim::clock().progress_comm_ns();
+  st.overlap_hidden_baseline = mpisim::clock().progress_hidden_ns();
   st.stats = Stats{};
   st.metrics.reset();
 }
@@ -636,6 +688,44 @@ void wait_proc(int proc) {
 void wait_all() {
   ProcState& st = state();
   st.nb.flush_all(st);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous progress (Options::progress, nb.hpp progress engine)
+// ---------------------------------------------------------------------------
+
+void progress() {
+  ProcState& st = state();
+  if (!st.opts.progress || !st.opts.nb_aggregation ||
+      !st.backend->nb_defers())
+    return;
+  // An explicit poke is communication the caller chose to stand in for:
+  // charge its virtual time to the overlap gauge as (unhidden) comm so
+  // overlap_efficiency only credits ticks that ran under compute.
+  mpisim::SimClock& ck = mpisim::ctx().clock();
+  const double t0 = ck.now_ns();
+  st.nb.progress_tick(st);
+  ck.note_progress_comm(ck.now_ns() - t0);
+}
+
+bool test(Request& req, Completion level) {
+  ProcState& st = state();
+  progress();  // drive the engine: a poll loop must itself make progress
+  return st.nb.test(st, req, level);
+}
+
+bool test(Request& req) { return test(req, Completion::operation); }
+
+void on_complete(Request& req, Completion level,
+                 std::function<void(std::exception_ptr)> fn) {
+  if (fn == nullptr)
+    mpisim::raise(Errc::invalid_argument, "on_complete callback is null");
+  ProcState& st = state();
+  st.nb.on_complete(st, req, level, std::move(fn));
+}
+
+void on_complete(Request& req, std::function<void(std::exception_ptr)> fn) {
+  on_complete(req, Completion::operation, std::move(fn));
 }
 
 // ---------------------------------------------------------------------------

@@ -28,6 +28,8 @@
 /// translation goes through PGroup::absolute_id (ARMCI_Absolute_id).
 
 #include <cstddef>
+#include <exception>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -178,6 +180,53 @@ void wait_proc(int proc);
 
 /// Complete all outstanding nonblocking ops (ARMCI_WaitAll).
 void wait_all();
+
+// ---------------------------------------------------------------------------
+// Asynchronous progress (Options::progress, nb.hpp progress engine)
+// ---------------------------------------------------------------------------
+//
+// With the cooperative progress engine on, deferred nb_* queues also drain
+// *between* completion points: each rank's "progress persona" runs from
+// virtual-time ticks inside compute the application charges via
+// mpisim::SimClock::advance_compute (every Config::progress_interval_ns),
+// and from explicit progress() pokes. A tick issues queued batches
+// (source completion) and finishes previously issued ones at their targets
+// (operation completion), so communication latency overlaps compute
+// instead of stalling the next wait(); Stats::overlap_efficiency() reports
+// the measured overlap. test()/on_complete() below observe the two
+// completion levels without forcing a flush the way wait() does.
+
+/// Poke the progress engine once: advance every live nonblocking queue by
+/// one stage and dispatch ready completion callbacks. No-op when the
+/// engine is off (Options::progress false, aggregation off, or a
+/// non-deferring backend). Virtual time spent here counts as
+/// *unoverlapped* communication in the overlap gauges -- ticks fired from
+/// advance_compute() are the ones that hide latency.
+void progress();
+
+/// Nonblocking completion probe (ARMCI_Test): drives progress once, then
+/// returns true iff every op \p req covers has reached \p level --
+/// Completion::source (buffers reusable; get destinations NOT yet filled)
+/// or Completion::operation (wait()-level completion). Never flushes. If a
+/// covered queue failed in the background (e.g. its target crashed), the
+/// parked error is rethrown here -- exactly once across
+/// test()/on_complete()/wait() for that queue.
+bool test(Request& req, Completion level);
+
+/// test(req, Completion::operation).
+bool test(Request& req);
+
+/// Invoke \p fn when every op \p req covers reaches \p level: immediately
+/// (before returning) if that is already true, otherwise from a later
+/// progress tick or completion point on this rank -- the callback-driven
+/// alternative to polling test(). The argument is nullptr on success, or
+/// the covered queue's parked background error (consumed exactly once).
+/// Callbacks may issue communication and register further callbacks.
+void on_complete(Request& req, Completion level,
+                 std::function<void(std::exception_ptr)> fn);
+
+/// on_complete at Completion::operation.
+void on_complete(Request& req, std::function<void(std::exception_ptr)> fn);
 
 // ---------------------------------------------------------------------------
 // Completion and synchronization (paper §IV-A, §V-F)

@@ -97,6 +97,26 @@ class CommBackend {
   /// called when nb_defers() is true, hence the no-op default.
   virtual void flush_queue(const Gmr& /*gmr*/, int /*target_rank*/,
                            std::span<const NbOp> /*ops*/) {}
+
+  /// True when flush_queue() can be split into an issue half and a
+  /// completion half so the progress engine can overlap the target-side
+  /// wait with application compute: issue_queue() starts the batch
+  /// (source-complete), complete_target() later finishes everything issued
+  /// (operation-complete). Backends whose flush_queue already completes
+  /// per-op (MPI-2 exclusive epochs) keep the default and complete in one
+  /// step at issue.
+  virtual bool split_completion() const { return false; }
+
+  /// Start one conflict-free batch without waiting for target completion.
+  /// Default: full flush_queue (issue == complete).
+  virtual void issue_queue(const Gmr& gmr, int target_rank,
+                           std::span<const NbOp> ops) {
+    flush_queue(gmr, target_rank, ops);
+  }
+
+  /// Complete at the target everything previously started by issue_queue()
+  /// for <gmr, target_rank>. Only called when split_completion() is true.
+  virtual void complete_target(const Gmr& /*gmr*/, int /*target_rank*/) {}
 };
 
 }  // namespace armci

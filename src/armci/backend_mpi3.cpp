@@ -88,13 +88,32 @@ void Mpi3Backend::issue(OneSided kind, const Gmr& gmr, int grank,
 void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
                               std::span<const NbOp> ops) {
   if (ops.empty()) return;
-  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.nb_flush",
-                ops.size());
   // No per-batch lock under the standing lock_all epoch; the win over the
   // blocking path is deferring the get-side flush so the whole queue
   // pipelines into a single flush (§VIII-B item 3). Put/acc need none:
   // their blocking counterparts defer remote completion to fence too.
-  //
+  bool have_get = false;
+  for (const NbOp& op : ops) have_get = have_get || op.kind == OneSided::get;
+  issue_ops(gmr, target_rank, ops, have_get);
+}
+
+void Mpi3Backend::issue_queue(const Gmr& gmr, int target_rank,
+                              std::span<const NbOp> ops) {
+  if (ops.empty()) return;
+  // Progress-engine issue half: start everything (gets included) and leave
+  // the single completing flush to complete_target(), so the target-side
+  // wait lands under application compute instead of inside this call.
+  issue_ops(gmr, target_rank, ops, false);
+}
+
+void Mpi3Backend::complete_target(const Gmr& gmr, int target_rank) {
+  with_retry(*st_, "mpi3.nb_complete", [&] { gmr.win.flush(target_rank); });
+}
+
+void Mpi3Backend::issue_ops(const Gmr& gmr, int target_rank,
+                            std::span<const NbOp> ops, bool flush_after) {
+  TraceScope ts(mpisim::tracer(), TraceCat::backend, "mpi3.nb_flush",
+                ops.size());
   // Exactly-once issuance under retry: with_retry replays its whole body
   // after a transient fault, but by then a prefix of the batch has already
   // been applied -- and Op::sum accumulates are not idempotent, so a replay
@@ -102,8 +121,6 @@ void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
   // *outside* the retry body: each op consults the injector before it is
   // issued and advances `next` after, so a replay picks up at the first op
   // that has not been applied yet.
-  bool have_get = false;
-  for (const NbOp& op : ops) have_get = have_get || op.kind == OneSided::get;
   std::size_t next = 0;
   mpisim::RankContext& me = mpisim::ctx();
   with_retry(*st_, "mpi3.nb_flush", [&] {
@@ -142,7 +159,7 @@ void Mpi3Backend::flush_queue(const Gmr& gmr, int target_rank,
       }
       next = i + 1;
     }
-    if (have_get) gmr.win.flush(target_rank);
+    if (flush_after) gmr.win.flush(target_rank);
   });
 }
 

@@ -80,7 +80,20 @@ class Mpi3Backend final : public CommBackend {
   void flush_queue(const Gmr& gmr, int target_rank,
                    std::span<const NbOp> ops) override;
 
+  /// Under the standing lock_all epoch a batch splits cleanly: issuing the
+  /// operations is source completion, the single trailing flush is target
+  /// completion -- exactly the halves the progress engine overlaps.
+  bool split_completion() const override { return true; }
+  void issue_queue(const Gmr& gmr, int target_rank,
+                   std::span<const NbOp> ops) override;
+  void complete_target(const Gmr& gmr, int target_rank) override;
+
  private:
+  /// Shared body of flush_queue/issue_queue: issue the batch exactly once
+  /// under retry, optionally ending with the completing flush.
+  void issue_ops(const Gmr& gmr, int target_rank, std::span<const NbOp> ops,
+                 bool flush_after);
+
   /// One transfer against a resolved location under the standing lock_all
   /// epoch, with datatypes describing both sides.
   void issue(OneSided kind, const Gmr& gmr, int grank, std::size_t disp,

@@ -245,6 +245,18 @@ std::string metrics_json() {
   append(out, "\"recovery\":{\"detect_latency_ns\":%.3f},",
          mpisim::ctx().last_detect_latency_ns);
 
+  // Cooperative progress engine (nb.hpp progress_tick): tick/retire
+  // counters and the measured compute/communication overlap -- how much
+  // virtual communication time the engine hid under application compute.
+  append(out,
+         "\"progress\":{\"enabled\":%s,\"ticks\":%llu,\"retires\":%llu,"
+         "\"overlap_comm_ns\":%.3f,\"overlap_hidden_ns\":%.3f,"
+         "\"overlap_efficiency\":%.6f},",
+         st.opts.progress ? "true" : "false",
+         (unsigned long long)s.progress_ticks,
+         (unsigned long long)s.progress_retires, s.overlap_comm_ns,
+         s.overlap_hidden_ns, s.overlap_efficiency());
+
   append(out, "\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu}}",
          tr.enabled() ? "true" : "false",
          (unsigned long long)tr.total_events(),

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <exception>
+#include <mutex>
 
 #include "src/armci/accops.hpp"
 #include "src/armci/backend.hpp"
 #include "src/armci/iov.hpp"
 #include "src/armci/state.hpp"
 #include "src/armci/strided.hpp"
+#include "src/mpisim/hb.hpp"
 #include "src/mpisim/runtime.hpp"
+#include "src/mpisim/trace.hpp"
 #include "src/mpisim/win.hpp"
 
 namespace armci {
@@ -22,6 +25,32 @@ std::uintptr_t lo_of(const void* p) {
 
 std::span<const void* const> as_const_span(const std::vector<void*>& v) {
   return {const_cast<const void* const*>(v.data()), v.size()};
+}
+
+/// Drop a queue's range bookkeeping after its ops reach operation
+/// completion (or park on an error).
+void clear_trees(NbQueue& q) {
+  q.r_reads.clear();
+  q.r_writes.clear();
+  q.r_accs.clear();
+  q.l_reads.clear();
+  q.l_writes.clear();
+  q.has_acc = false;
+}
+
+/// A queue died before its contract records could be published: drop the
+/// persona's pending intervals silently (the mirror of the checker's
+/// epoch_abandoned). Leaving them pending would make every later touch of
+/// the buffers a false race against an operation that no longer exists.
+void abandon_contract(NbQueue& q) {
+  if (q.local_spaces.empty()) return;
+  mpisim::SimCore& core = mpisim::ctx().core();
+  mpisim::HbChecker& hb = core.hb();
+  const int me = mpisim::rank();
+  std::lock_guard lk(core.mu());
+  for (const NbLocalSpace& s : q.local_spaces)
+    hb.epoch_abandoned(s.space, s.target_rank, hb.persona(me));
+  q.local_spaces.clear();
 }
 
 }  // namespace
@@ -51,34 +80,56 @@ bool NbEngine::ticket_complete(const NbTicket& t) const noexcept {
   return it->second.seq_completed >= t.seq;
 }
 
+bool NbEngine::ticket_issued(const NbTicket& t) const noexcept {
+  auto it = queues_.find({t.gmr_id, t.proc});
+  if (it == queues_.end()) return true;
+  const NbQueue& q = it->second;
+  return q.seq_issued >= t.seq || q.seq_completed >= t.seq;
+}
+
 bool NbEngine::idle() const noexcept {
   return std::all_of(queues_.begin(), queues_.end(),
-                     [](const auto& kv) { return kv.second.ops.empty(); });
+                     [](const auto& kv) { return !queue_live(kv.second); });
 }
 
 void NbEngine::flush(ProcState& st, NbQueue& q) {
-  if (q.ops.empty()) return;
+  if (q.parked) {
+    // Error-drain semantics: the persona already completed the queue's
+    // tickets when it parked; the first flush point covering the queue
+    // surfaces the error exactly once.
+    std::exception_ptr e = std::move(q.parked);
+    q.parked = nullptr;
+    std::rethrow_exception(e);
+  }
+  const bool had_pending = q.pending_flush;
+  if (q.ops.empty() && !had_pending) return;
   std::vector<NbOp> batch = std::move(q.ops);
   q.ops.clear();
-  q.r_reads.clear();
-  q.r_writes.clear();
-  q.r_accs.clear();
-  q.l_reads.clear();
-  q.l_writes.clear();
-  q.has_acc = false;
+  clear_trees(q);
+  q.pending_flush = false;
   // Mark complete *before* executing: if the backend surfaces an error
   // (e.g. retry exhaustion) the queue stays consistent and the error
   // reaches the caller of the flush point, matching the blocking paths.
+  q.seq_issued = q.seq_enqueued;
   q.seq_completed = q.seq_enqueued;
-  ++st.stats.flushed_queues;
-  if (batch.size() >= 2) ++st.stats.coalesced_epochs;
-  st.backend->flush_queue(*q.gmr, q.target_rank, batch);
+  try {
+    if (!batch.empty()) {
+      ++st.stats.flushed_queues;
+      if (batch.size() >= 2) ++st.stats.coalesced_epochs;
+      st.backend->flush_queue(*q.gmr, q.target_rank, batch);
+    }
+    if (had_pending) st.backend->complete_target(*q.gmr, q.target_rank);
+  } catch (...) {
+    abandon_contract(q);
+    throw;
+  }
+  retire_queue(st, q);
 }
 
 void NbEngine::flush_group(ProcState& st, std::span<NbQueue* const> group) {
   std::vector<NbQueue*> pending;
   for (NbQueue* q : group)
-    if (q != nullptr && !q->ops.empty()) pending.push_back(q);
+    if (q != nullptr && queue_live(*q)) pending.push_back(q);
   if (pending.empty()) return;
 
   // Drain every queue even if one fails: a crashed owner must not leave
@@ -108,22 +159,25 @@ void NbEngine::flush_group(ProcState& st, std::span<NbQueue* const> group) {
 void NbEngine::flush_all(ProcState& st) {
   std::vector<NbQueue*> group;
   for (auto& [key, q] : queues_)
-    if (!q.ops.empty()) group.push_back(&q);
+    if (queue_live(q)) group.push_back(&q);
   flush_group(st, group);
+  run_callbacks(st);
 }
 
 void NbEngine::flush_proc(ProcState& st, int proc) {
   std::vector<NbQueue*> group;
   for (auto& [key, q] : queues_)
-    if (q.proc == proc && !q.ops.empty()) group.push_back(&q);
+    if (q.proc == proc && queue_live(q)) group.push_back(&q);
   flush_group(st, group);
+  run_callbacks(st);
 }
 
 void NbEngine::flush_gmr(ProcState& st, std::uint64_t gmr_id) {
   std::vector<NbQueue*> group;
   for (auto& [key, q] : queues_)
-    if (key.first == gmr_id && !q.ops.empty()) group.push_back(&q);
+    if (key.first == gmr_id && queue_live(q)) group.push_back(&q);
   flush_group(st, group);
+  run_callbacks(st);
 }
 
 void NbEngine::drop_gmr(ProcState& st, std::uint64_t gmr_id) {
@@ -141,9 +195,10 @@ void NbEngine::flush_for_blocking(ProcState& st, int proc, const void* local,
   const std::uintptr_t lo = lo_of(local);
   const std::uintptr_t hi = lo + (bytes == 0 ? 0 : bytes - 1);
   for (auto& [key, q] : queues_) {
-    if (q.ops.empty()) continue;
+    if (q.ops.empty() && !q.pending_flush && !q.parked) continue;
     // Same-target program order: a blocking op to proc must observe every
-    // queued op to proc as already issued.
+    // queued op to proc as already issued (and a parked error for proc
+    // surface before new communication with it).
     bool hazard = q.proc == proc;
     // Local buffer hazards across targets (a queued get writing the range a
     // blocking op is about to read, or any queued use of a range the
@@ -162,11 +217,16 @@ void NbEngine::complete(ProcState& st, const Request& req) {
     auto it = queues_.find({t.gmr_id, t.proc});
     if (it == queues_.end()) continue;
     NbQueue* q = &it->second;
-    if (q->seq_completed >= t.seq) continue;
+    // A parked queue's tickets read complete, but wait() must still visit
+    // it to surface the parked error. (A pending_flush queue with
+    // seq_completed >= t.seq only has *later* ops in flight: skipping it
+    // keeps wait(req) from completing more than the request covers.)
+    if (q->seq_completed >= t.seq && !q->parked) continue;
     if (std::find(group.begin(), group.end(), q) == group.end())
       group.push_back(q);
   }
   flush_group(st, group);
+  run_callbacks(st);
 }
 
 std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
@@ -203,9 +263,11 @@ std::uint64_t NbEngine::enqueue(ProcState& st, const std::shared_ptr<Gmr>& gmr,
 
   // Local-buffer hazards are checked against *every* queue: two queues
   // flush in unspecified order, so cross-queue buffer reuse must serialize
-  // through a flush.
+  // through a flush. Queues in the issued-awaiting-completion state keep
+  // their trees populated, so a newcomer conflicting with an in-flight
+  // batch forces its completion here too.
   for (auto& [k, q] : queues_) {
-    if (q.ops.empty()) continue;
+    if (q.ops.empty() && !q.pending_flush) continue;
     bool hazard = l_conflicts(q.l_writes) ||
                   (local_write && l_conflicts(q.l_reads));
     // Remote-range hazards only exist within the op's own queue (other
@@ -293,6 +355,8 @@ bool NbEngine::try_defer_contig(ProcState& st, OneSided kind,
                                     std::move(op), bytes, l_lo,
                                     l_lo + bytes - 1);
   RequestAccess::add_ticket(req, loc.gmr->id, proc, seq);
+  record_local_contract(st, queues_.find({loc.gmr->id, proc})->second, kind,
+                        local, bytes);
   return true;
 }
 
@@ -442,6 +506,245 @@ bool NbEngine::try_defer_iov(ProcState& st, OneSided kind,
     RequestAccess::add_ticket(req, gmr_id, proc, seq);
   }
   return true;
+}
+
+// ---- cooperative progress engine ----
+
+void NbEngine::record_local_contract(ProcState& st, NbQueue& q, OneSided kind,
+                                     void* local, std::size_t bytes) {
+  if (!st.opts.progress || bytes == 0) return;
+  mpisim::SimCore& core = mpisim::ctx().core();
+  mpisim::HbChecker& hb = core.hb();
+  if (!hb.enabled()) return;
+  // Only local buffers that themselves live in global space have a shadow
+  // space to record against (a deferred op whose buffer is global can only
+  // be here under no_local_copy; otherwise staging blocked deferral).
+  // Private-heap buffers get no coverage -- same blind spot every
+  // space-indexed record in the detector has. Strided/IOV deferrals are
+  // not covered either: their segment lists would need one interval per
+  // segment, and the contig path is where the engine overlap lives.
+  const GmrLoc lloc = st.table.find(mpisim::rank(), local, bytes);
+  if (!lloc.gmr) return;
+  const std::uint64_t space = lloc.gmr->win.id();
+  const int me = mpisim::rank();
+  // The engine will *write* a deferred get's destination and *read* a
+  // deferred put/acc's source, concurrently with whatever the application
+  // does next.
+  const auto hbkind = kind == OneSided::get ? mpisim::HbChecker::OpKind::put
+                                            : mpisim::HbChecker::OpKind::get;
+  {
+    std::lock_guard lk(core.mu());
+    // Order the persona after the enqueue point, then record the contract
+    // interval under the persona identity: it stays pending until
+    // retirement publishes it, so an application touch in between is an
+    // unordered cross-identity conflict.
+    hb.persona_sync(me);
+    hb.record_local_pending(
+        space, lloc.target_rank, lloc.gmr->group.rank(), hb.persona(me),
+        hbkind, mpisim::Op::sum, static_cast<std::ptrdiff_t>(lloc.offset),
+        static_cast<std::ptrdiff_t>(lloc.offset + bytes),
+        "nb deferred-op contract (progress engine)");
+  }
+  const NbLocalSpace ls{space, lloc.target_rank};
+  const auto same = [&](const NbLocalSpace& s) {
+    return s.space == ls.space && s.target_rank == ls.target_rank;
+  };
+  if (std::none_of(q.local_spaces.begin(), q.local_spaces.end(), same))
+    q.local_spaces.push_back(ls);
+}
+
+void NbEngine::retire_queue(ProcState& st, NbQueue& q) {
+  (void)st;
+  if (q.local_spaces.empty()) return;
+  mpisim::SimCore& core = mpisim::ctx().core();
+  mpisim::HbChecker& hb = core.hb();
+  const int me = mpisim::rank();
+  std::lock_guard lk(core.mu());
+  // Publish the persona's contract intervals (they become summaries
+  // stamped with the persona clock), then hand the owner the retirement
+  // edge: touches after this point are ordered, touches before it were
+  // races. Publication is per <space, target>, so two queues sharing a
+  // local space retire together -- coarser than per-op, never unsound.
+  for (const NbLocalSpace& s : q.local_spaces)
+    hb.epoch_flushed(s.space, s.target_rank, hb.persona(me));
+  hb.persona_retire(me);
+  q.local_spaces.clear();
+}
+
+void NbEngine::progress_tick(ProcState& st) {
+  if (ticking_) return;  // a callback poked progress(); already inside
+  ticking_ = true;
+  struct Unguard {
+    bool* flag;
+    ~Unguard() { *flag = false; }
+  } unguard{&ticking_};
+
+  ++st.stats.progress_ticks;
+  mpisim::Tracer& tr = mpisim::tracer();
+  const bool traced = tr.enabled();
+  if (traced) tr.begin(mpisim::TraceCat::progress, "progress.tick");
+
+  const auto note_retired = [&](const NbQueue& q) {
+    ++st.stats.progress_retires;
+    if (traced) {
+      tr.begin(mpisim::TraceCat::progress, "progress.retire",
+               static_cast<std::uint64_t>(q.proc));
+      tr.end(mpisim::TraceCat::progress, "progress.retire",
+             static_cast<std::uint64_t>(q.proc));
+    }
+  };
+
+  // Snapshot the stage set: backend calls can grow the queue map (std::map
+  // nodes are stable, but newcomers belong to the next tick).
+  std::vector<NbQueue*> live;
+  for (auto& [key, q] : queues_)
+    if (!q.parked && (!q.ops.empty() || q.pending_flush)) live.push_back(&q);
+
+  for (NbQueue* qp : live) {
+    NbQueue& q = *qp;
+    try {
+      if (!q.ops.empty()) {
+        // Issue stage: hand the queued batch to the transport. Source
+        // completion for everything enqueued so far.
+        std::vector<NbOp> batch = std::move(q.ops);
+        q.ops.clear();
+        q.seq_issued = q.seq_enqueued;
+        ++st.stats.flushed_queues;
+        if (batch.size() >= 2) ++st.stats.coalesced_epochs;
+        if (st.backend->split_completion()) {
+          const bool need_target =
+              std::any_of(batch.begin(), batch.end(), [](const NbOp& o) {
+                return o.kind == OneSided::get;
+              });
+          st.backend->issue_queue(*q.gmr, q.target_rank, batch);
+          // put/acc sources are captured at issue; only get destinations
+          // stay covered until target completion.
+          q.l_reads.clear();
+          if (need_target) q.pending_flush = true;
+          if (!q.pending_flush) {
+            // put/acc-only batch under the standing epoch: issue is the
+            // whole completion (matching flush_queue's get-only flush).
+            q.seq_completed = q.seq_enqueued;
+            clear_trees(q);
+            retire_queue(st, q);
+            note_retired(q);
+          }
+        } else {
+          // The backend completes per batch (MPI-2 exclusive epochs):
+          // issue and completion are one stage.
+          q.seq_completed = q.seq_enqueued;
+          clear_trees(q);
+          st.backend->flush_queue(*q.gmr, q.target_rank, batch);
+          retire_queue(st, q);
+          note_retired(q);
+        }
+      } else if (q.pending_flush) {
+        // Completion stage: finish the batch issued on an earlier tick.
+        st.backend->complete_target(*q.gmr, q.target_rank);
+        q.pending_flush = false;
+        q.seq_completed = q.seq_issued;
+        clear_trees(q);
+        retire_queue(st, q);
+        note_retired(q);
+      }
+    } catch (...) {
+      // Park the error instead of throwing out of the persona: one dead
+      // target must not stop progress on healthy queues, and the caller
+      // of advance_compute() is charging compute, not communicating with
+      // this target. Tickets read complete (error-drain, like a failed
+      // flush); the error surfaces exactly once at the next test(),
+      // callback, or flush point covering this queue.
+      q.parked = std::current_exception();
+      q.pending_flush = false;
+      q.seq_issued = q.seq_enqueued;
+      q.seq_completed = q.seq_enqueued;
+      clear_trees(q);
+      abandon_contract(q);
+    }
+  }
+  if (traced) tr.end(mpisim::TraceCat::progress, "progress.tick");
+  // Dispatch outside the stage loop and the trace span; callback
+  // exceptions propagate to the compute site that drove the tick.
+  run_callbacks(st);
+}
+
+bool NbEngine::test(ProcState& st, const Request& req, Completion level) {
+  (void)st;
+  const std::span<const NbTicket> tickets = RequestAccess::tickets(req);
+  for (const NbTicket& t : tickets) {
+    const bool ok =
+        level == Completion::source ? ticket_issued(t) : ticket_complete(t);
+    if (!ok) return false;
+  }
+  // Satisfied -- but a covered queue may have completed *by parking*;
+  // surface that (exactly once) rather than reporting clean completion.
+  if (std::exception_ptr err = take_parked(tickets))
+    std::rethrow_exception(err);
+  return true;
+}
+
+void NbEngine::on_complete(ProcState& st, const Request& req, Completion level,
+                           std::function<void(std::exception_ptr)> fn) {
+  (void)st;
+  CallbackRec rec;
+  const std::span<const NbTicket> tickets = RequestAccess::tickets(req);
+  rec.tickets.assign(tickets.begin(), tickets.end());
+  rec.level = level;
+  rec.fn = std::move(fn);
+  bool done = true;
+  for (const NbTicket& t : rec.tickets) {
+    const bool ok =
+        level == Completion::source ? ticket_issued(t) : ticket_complete(t);
+    if (!ok) {
+      done = false;
+      break;
+    }
+  }
+  if (done) {
+    rec.fn(take_parked(rec.tickets));  // already satisfied: run in place
+    return;
+  }
+  callbacks_.push_back(std::move(rec));
+}
+
+std::exception_ptr NbEngine::take_parked(std::span<const NbTicket> tickets) {
+  for (const NbTicket& t : tickets) {
+    auto it = queues_.find({t.gmr_id, t.proc});
+    if (it == queues_.end()) continue;
+    if (it->second.parked) {
+      std::exception_ptr e = std::move(it->second.parked);
+      it->second.parked = nullptr;
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+void NbEngine::run_callbacks(ProcState& st) {
+  (void)st;
+  if (callbacks_.empty()) return;
+  // Collect the ready records and erase them *before* invoking anything: a
+  // callback may issue nb ops, wait, or register further callbacks, all of
+  // which re-enter this engine.
+  std::vector<CallbackRec> ready;
+  for (auto it = callbacks_.begin(); it != callbacks_.end();) {
+    bool done = true;
+    for (const NbTicket& t : it->tickets) {
+      const bool ok = it->level == Completion::source ? ticket_issued(t)
+                                                      : ticket_complete(t);
+      if (!ok) {
+        done = false;
+        break;
+      }
+    }
+    if (done) {
+      ready.push_back(std::move(*it));
+      it = callbacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (CallbackRec& cb : ready) cb.fn(take_parked(cb.tickets));
 }
 
 }  // namespace armci

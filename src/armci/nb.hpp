@@ -32,6 +32,8 @@
 /// sequence numbers.
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <map>
 #include <span>
 #include <utility>
@@ -61,6 +63,15 @@ struct NbOp {
   mpisim::Datatype rtype = mpisim::byte_type();
 };
 
+/// Local-buffer contract coverage recorded for the race detector under the
+/// rank's progress-persona identity: <space (window id), target rank in
+/// that space> of a deferred op's local buffer that lies inside a global
+/// allocation. Published (= retired) when the covering queue completes.
+struct NbLocalSpace {
+  std::uint64_t space = 0;
+  int target_rank = -1;
+};
+
 /// Deferred ops bound for one (GMR, absolute target) pair, plus the range
 /// bookkeeping that decides when a new op may join the batch.
 struct NbQueue {
@@ -81,7 +92,25 @@ struct NbQueue {
   AccType acc_type = AccType::float64;  ///< element type of queued accs
 
   std::uint64_t seq_enqueued = 0;   ///< ticket of the newest queued op
+  std::uint64_t seq_issued = 0;     ///< every ticket <= this is source-
+                                    ///< complete (handed to the transport)
   std::uint64_t seq_completed = 0;  ///< every ticket <= this has flushed
+
+  /// Progress-engine split completion: true between issue_queue() and the
+  /// matching complete_target() (ops issued, target completion pending).
+  /// Ops may keep arriving meanwhile; the range trees retain issued
+  /// coverage until completion so conflicting newcomers force a flush.
+  bool pending_flush = false;
+
+  /// A persona-driven drain of this queue failed (e.g. Errc::crashed from
+  /// a dead target): the error is parked here and surfaced exactly once at
+  /// the next test()/callback/flush that covers the queue. The queue's
+  /// tickets read complete (error-drain semantics, as after a failed
+  /// flush).
+  std::exception_ptr parked;
+
+  /// Race-detector contract coverage awaiting retirement (see NbLocalSpace).
+  std::vector<NbLocalSpace> local_spaces;
 };
 
 /// Per-process aggregation engine; lives in ProcState. All methods take the
@@ -131,8 +160,39 @@ class NbEngine {
   /// Request::test() helper. Absent queues read as complete.
   bool ticket_complete(const NbTicket& t) const noexcept;
 
+  /// Source-completion counterpart: true once the ticket's op has been
+  /// handed to the transport (issued or completed). Absent queues read as
+  /// complete.
+  bool ticket_issued(const NbTicket& t) const noexcept;
+
   /// True when no op is queued anywhere.
   bool idle() const noexcept;
+
+  // ---- cooperative progress engine ----
+
+  /// One persona tick, fired from the rank's SimClock progress hook (under
+  /// application compute) or an explicit armci::progress() poke. Advances
+  /// every live queue by at most one stage -- issue the queued batch
+  /// (source completion), or complete a previously issued batch at the
+  /// target (operation completion + retirement) -- then dispatches any
+  /// completion callbacks that became ready. A queue whose drain fails
+  /// parks the error (NbQueue::parked) instead of throwing, so one dead
+  /// target never stops progress on healthy queues. Re-entrant calls
+  /// (a callback issuing communication) are no-ops.
+  void progress_tick(ProcState& st);
+
+  /// armci::test(): true once every ticket of \p req is satisfied at
+  /// \p level. Surfaces (and consumes) a parked error from a covered queue
+  /// by rethrowing it -- exactly once across test()/callback/flush.
+  bool test(ProcState& st, const Request& req, Completion level);
+
+  /// armci::on_complete(): invoke \p fn when every ticket of \p req is
+  /// satisfied at \p level -- synchronously if that is already true,
+  /// otherwise from a later progress tick or completion point. A parked
+  /// error from a covered queue is consumed and delivered as the callback
+  /// argument; nullptr on success.
+  void on_complete(ProcState& st, const Request& req, Completion level,
+                   std::function<void(std::exception_ptr)> fn);
 
  private:
   using QueueKey = std::pair<std::uint64_t, int>;  // (gmr id, absolute proc)
@@ -162,7 +222,42 @@ class NbEngine {
   /// drain: every queue is flushed, and the first error is rethrown after.
   void flush_group(ProcState& st, std::span<NbQueue* const> group);
 
+  /// True when \p q still needs a completion point (queued ops, an issued
+  /// batch awaiting target completion, or a parked error to surface).
+  static bool queue_live(const NbQueue& q) noexcept {
+    return !q.ops.empty() || q.pending_flush || q.parked != nullptr;
+  }
+
+  /// Record the race-detector contract interval for a deferred op whose
+  /// local buffer lies inside a global allocation (persona identity; see
+  /// NbLocalSpace). No-op unless the progress engine and race detector are
+  /// both on.
+  void record_local_contract(ProcState& st, NbQueue& q, OneSided kind,
+                             void* local, std::size_t bytes);
+
+  /// Retirement: publish the queue's persona contract records and create
+  /// the persona -> owner happens-before edge.
+  void retire_queue(ProcState& st, NbQueue& q);
+
+  /// Dispatch every registered completion callback whose request is now
+  /// satisfied at its level. Called from progress ticks and completion
+  /// points, never from enqueue paths (no user code re-entry mid-nb_put).
+  void run_callbacks(ProcState& st);
+
+  /// Take (and clear) the first parked error among the queues the tickets
+  /// name; nullptr when none.
+  std::exception_ptr take_parked(std::span<const NbTicket> tickets);
+
+  /// One registered completion callback.
+  struct CallbackRec {
+    std::vector<NbTicket> tickets;
+    Completion level = Completion::operation;
+    std::function<void(std::exception_ptr)> fn;
+  };
+
   std::map<QueueKey, NbQueue> queues_;
+  std::vector<CallbackRec> callbacks_;
+  bool ticking_ = false;  ///< progress_tick re-entrancy guard
 };
 
 /// Runtime-internal accessor for Request's ticket list.

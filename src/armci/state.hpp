@@ -70,6 +70,12 @@ struct ProcState {
   /// cumulative-to-relative conversion for Stats::rma_races).
   std::uint64_t rma_races_baseline = 0;
 
+  /// SimClock overlap-gauge values at the last reset_stats(): the clock's
+  /// progress_comm_ns/progress_hidden_ns accumulate per run, the Stats
+  /// overlap fields are relative to the last reset.
+  double overlap_comm_baseline = 0.0;
+  double overlap_hidden_baseline = 0.0;
+
   /// Per-op latency histograms (see metrics.hpp), on when opts.metrics.
   MetricsRegistry metrics;
 

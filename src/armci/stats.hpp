@@ -94,6 +94,27 @@ struct Stats {
   std::uint64_t flushed_queues = 0;
   std::uint64_t coalesced_epochs = 0;
 
+  // Cooperative progress engine (nb.hpp progress_tick, Options::progress):
+  // persona ticks fired (from SimClock compute intervals and explicit
+  // armci::progress() pokes) and queues retired from a tick rather than a
+  // blocking completion point.
+  std::uint64_t progress_ticks = 0;
+  std::uint64_t progress_retires = 0;
+
+  // Compute/communication overlap measured by the virtual clock
+  // (SimClock::advance_compute): virtual time spent communicating inside
+  // progress ticks, and the share of it that fell under compute the
+  // application had already paid for -- i.e. latency the engine hid.
+  double overlap_comm_ns = 0.0;
+  double overlap_hidden_ns = 0.0;
+
+  /// Fraction of progress-engine communication time hidden under
+  /// application compute (0 when the engine never ran). 1.0 = perfect
+  /// overlap: every communication nanosecond was paid for by compute.
+  double overlap_efficiency() const noexcept {
+    return overlap_comm_ns > 0.0 ? overlap_hidden_ns / overlap_comm_ns : 0.0;
+  }
+
   // Derived-datatype cache (dtype_cache.hpp) in the direct strided/IOV
   // paths: lookups served from the cache vs types built fresh.
   std::uint64_t dt_cache_hits = 0;

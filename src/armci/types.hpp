@@ -100,6 +100,14 @@ struct Options {
   /// Entries kept in the LRU derived-datatype cache used by the direct
   /// strided/IOV paths (dtype_cache.hpp); 0 disables the cache.
   std::size_t dt_cache_capacity = 64;
+  /// Cooperative progress engine (nb.hpp progress_tick): deferred nb
+  /// queues drain from virtual-time ticks (Config::progress_interval_ns of
+  /// compute, charged via SimClock::advance_compute) and explicit
+  /// armci::progress() pokes, instead of only inside wait()/flush points.
+  /// Requires nb_aggregation and a deferring backend to have any effect.
+  /// Overridable at run time by the MPISIM_PROGRESS environment variable
+  /// (on|off; unknown values warn on stderr and fall back to off).
+  bool progress = false;
 };
 
 /// Generalized I/O vector descriptor (armci_giov_t): ptr_array_len segment
@@ -156,6 +164,17 @@ class Request {
  private:
   friend class RequestAccess;
   std::vector<NbTicket> tickets_;  ///< empty: nothing pending (eager path)
+};
+
+/// Completion level of a nonblocking operation, for armci::test() and
+/// armci::on_complete(). `source` is local completion: the operation has
+/// been handed to the transport and its local buffers are reusable (puts:
+/// source captured; gets: NOT yet filled). `operation` is full completion:
+/// target-side effects applied and get destinations filled -- the level
+/// wait() provides.
+enum class Completion {
+  source,     ///< local (source) completion: buffers reusable
+  operation,  ///< full completion at the target
 };
 
 /// Read-modify-write operations (ARMCI_Rmw). The *_long variants operate on

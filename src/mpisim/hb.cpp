@@ -75,13 +75,15 @@ std::size_t HbChecker::Summary::interval_count() const noexcept {
 }
 
 HbChecker::HbChecker(bool enabled, int nranks, std::size_t max_intervals)
+    // Rows nranks..2*nranks-1 are the per-rank progress personas (see the
+    // persona() section in hb.hpp); clock components span both halves.
     : enabled_(enabled),
       nranks_(nranks),
       max_intervals_(max_intervals),
-      clocks_(static_cast<std::size_t>(nranks),
-              HbClock(static_cast<std::size_t>(nranks), 0)),
-      dead_(static_cast<std::size_t>(nranks), 0),
-      per_rank_(static_cast<std::size_t>(nranks)) {}
+      clocks_(static_cast<std::size_t>(2 * nranks),
+              HbClock(static_cast<std::size_t>(2 * nranks), 0)),
+      dead_(static_cast<std::size_t>(2 * nranks), 0),
+      per_rank_(static_cast<std::size_t>(2 * nranks)) {}
 
 void HbChecker::tick(int world_rank) {
   auto& row = clocks_[static_cast<std::size_t>(world_rank)];
@@ -143,16 +145,53 @@ void HbChecker::channel_acquire(std::uint64_t key, int world_dst) {
 
 void HbChecker::note_death(int world_rank) {
   if (!enabled_) return;
-  if (world_rank >= 0 && world_rank < nranks_)
+  if (world_rank >= 0 && world_rank < nranks_) {
     dead_[static_cast<std::size_t>(world_rank)] = 1;
+    // The rank's progress persona dies with it.
+    dead_[static_cast<std::size_t>(persona(world_rank))] = 1;
+  }
 }
 
 void HbChecker::ack_deaths(int world_observer) {
   if (!enabled_) return;
   auto& mine = clocks_[static_cast<std::size_t>(world_observer)];
-  for (int r = 0; r < nranks_; ++r)
+  for (int r = 0; r < 2 * nranks_; ++r)
     if (dead_[static_cast<std::size_t>(r)] != 0)
       join(mine, clocks_[static_cast<std::size_t>(r)]);
+}
+
+void HbChecker::persona_sync(int owner) {
+  if (!enabled_) return;
+  join(clocks_[static_cast<std::size_t>(persona(owner))],
+       clocks_[static_cast<std::size_t>(owner)]);
+}
+
+void HbChecker::persona_retire(int owner) {
+  if (!enabled_) return;
+  join(clocks_[static_cast<std::size_t>(owner)],
+       clocks_[static_cast<std::size_t>(persona(owner))]);
+}
+
+void HbChecker::record_local_pending(std::uint64_t space, int target,
+                                     int origin, int world_origin, OpKind kind,
+                                     Op op, std::ptrdiff_t lo,
+                                     std::ptrdiff_t hi, const char* scope) {
+  if (!enabled_ || muted_ != 0 || lo >= hi) return;
+  Pending a;
+  a.origin = origin;
+  a.world_origin = world_origin;
+  a.kind = kind;
+  a.op = op;
+  a.direct = false;
+  a.lo = static_cast<std::uintptr_t>(lo);
+  a.hi = static_cast<std::uintptr_t>(hi) - 1;
+  a.scope = scope;
+  // Deliberately no check(): the contract record itself races with
+  // nothing at recording time (it mirrors an operation the application
+  // just legally issued); conflicts fire when a later access checks
+  // against it.
+  spaces_[{space, target}].pending.push_back(a);
+  ++intervals_;
 }
 
 // ---------------------------------------------------------------------------
@@ -251,10 +290,16 @@ std::string kind_desc(HbChecker::OpKind kind, Op op, bool direct) {
 
 }  // namespace
 
+std::string HbChecker::rank_desc(int world) const {
+  if (world >= nranks_)
+    return "rank " + std::to_string(world - nranks_) + "'s progress persona";
+  return "rank " + std::to_string(world);
+}
+
 void HbChecker::check(const TargetRec& t, std::uint64_t space, int target,
                       const Pending& a) {
   const std::string what =
-      "rank " + std::to_string(a.world_origin) + "'s " +
+      rank_desc(a.world_origin) + "'s " +
       kind_desc(a.kind, a.op, a.direct) + " " + byte_range(a.lo, a.hi) +
       " in rank " + std::to_string(target) + "'s slice of " +
       space_name(space) + scope_suffix(a.scope);
@@ -278,7 +323,7 @@ void HbChecker::check(const TargetRec& t, std::uint64_t space, int target,
     else
       cls = HbRace::rw;
     report(cls, a.world_origin,
-           what + " races with rank " + std::to_string(p.world_origin) +
+           what + " races with " + rank_desc(p.world_origin) +
                "'s in-flight " + kind_desc(p.kind, p.op, p.direct) + " " +
                byte_range(p.lo, p.hi) + scope_suffix(p.scope) +
                "; missing edge: the prior operation was never completed by "
@@ -326,7 +371,7 @@ void HbChecker::check(const TargetRec& t, std::uint64_t space, int target,
     else
       cls = HbRace::rw;
     std::string msg =
-        what + " races with rank " + std::to_string(s.world_origin) +
+        what + " races with " + rank_desc(s.world_origin) +
         "'s " + prior_kind + " " + byte_range(olo, ohi) + " (epoch #" +
         std::to_string(s.id) + ", published at " + s.how +
         scope_suffix(s.scope) + ")";
@@ -597,13 +642,17 @@ void HbChecker::report(HbRace cls, int world_rank, std::string msg) {
 HbRaceCounts HbChecker::counts(int world_rank) const noexcept {
   HbRaceCounts out;
   if (world_rank < 0 || world_rank >= nranks_) return out;
-  const PerRankCounts& c = per_rank_[static_cast<std::size_t>(world_rank)];
-  out.ww = c.v[0].load(std::memory_order_relaxed);
-  out.rw = c.v[1].load(std::memory_order_relaxed);
-  out.acc_mix = c.v[2].load(std::memory_order_relaxed);
-  out.shm = c.v[3].load(std::memory_order_relaxed);
-  out.dead_origin = c.v[4].load(std::memory_order_relaxed);
-  out.overflow = c.overflow.load(std::memory_order_relaxed);
+  // A rank's progress-persona row folds into the rank's own counters: the
+  // persona acts on the rank's behalf, and callers index by world rank.
+  for (const int row : {world_rank, nranks_ + world_rank}) {
+    const PerRankCounts& c = per_rank_[static_cast<std::size_t>(row)];
+    out.ww += c.v[0].load(std::memory_order_relaxed);
+    out.rw += c.v[1].load(std::memory_order_relaxed);
+    out.acc_mix += c.v[2].load(std::memory_order_relaxed);
+    out.shm += c.v[3].load(std::memory_order_relaxed);
+    out.dead_origin += c.v[4].load(std::memory_order_relaxed);
+    out.overflow += c.overflow.load(std::memory_order_relaxed);
+  }
   return out;
 }
 

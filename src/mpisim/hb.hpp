@@ -152,13 +152,46 @@ class HbChecker {
   /// the channel was never released).
   void channel_acquire(std::uint64_t key, int world_dst);
 
-  /// \p world_rank died: freeze its clock and mark it for dead_origin
-  /// classification.
+  /// \p world_rank died: freeze its clock (and its progress persona's) and
+  /// mark both for dead_origin classification.
   void note_death(int world_rank);
 
   /// Recovery edge (failure_ack / agree / shrink): the observer acquires
-  /// every dead rank's final clock.
+  /// every dead rank's final clock (persona rows included).
   void ack_deaths(int world_observer);
+
+  // ---- progress persona (caller holds SimCore::mu()) ----
+  //
+  // A rank's cooperative progress engine acts on deferred operations'
+  // *local* buffers after the application call has returned. Those
+  // deferred-contract accesses are recorded under a distinct clock
+  // identity -- the rank's "progress persona", clock row nranks + r -- so
+  // an application touch of a busy buffer before the engine retires the
+  // operation is an unordered cross-identity conflict (a real race), while
+  // retirement creates an explicit persona -> owner happens-before edge
+  // that makes later touches clean. Target-side records of persona-issued
+  // operations keep the application identity: the engine runs
+  // cooperatively on the owner's thread and only publishes earlier than
+  // wait() would have.
+
+  /// Clock identity of \p world_rank's progress persona.
+  int persona(int world_rank) const noexcept { return nranks_ + world_rank; }
+
+  /// Order the persona after its owner's current program point (call
+  /// before the persona records on the owner's behalf).
+  void persona_sync(int owner);
+
+  /// The retirement edge: the owner acquires its persona's clock. Call
+  /// after publishing the persona's pending accesses.
+  void persona_retire(int owner);
+
+  /// Record a deferred-operation local-buffer contract interval under the
+  /// persona identity WITHOUT checking it (recording never reports; the
+  /// race fires when a conflicting access checks against it later).
+  void record_local_pending(std::uint64_t space, int target, int origin,
+                            int world_origin, OpKind kind, Op op,
+                            std::ptrdiff_t lo, std::ptrdiff_t hi,
+                            const char* scope);
 
   // ---- epoch lifecycle (caller holds SimCore::mu()) ----
 
@@ -293,6 +326,9 @@ class HbChecker {
   void bound_memory(TargetRec& t, int world_origin);
 
   [[noreturn]] void report(HbRace cls, int world_rank, std::string msg);
+
+  /// "rank N", or "rank N's progress persona" for persona identities.
+  std::string rank_desc(int world) const;
 
   static thread_local int muted_;
 

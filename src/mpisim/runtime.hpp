@@ -88,6 +88,12 @@ struct Config {
   /// live peer is also blocked is detected as a deadlock and raises
   /// Errc::wait_timeout regardless of this setting.
   double wait_deadline_ns = 0.0;
+  /// Virtual-time interval between cooperative progress-engine ticks: a
+  /// rank's progress hook (SimClock::set_progress_hook) fires each time
+  /// this much *compute* time accumulates through advance_compute().
+  /// Communication layers above (armci's nb engine) install the hook when
+  /// their progress engine is enabled.
+  double progress_interval_ns = 10'000.0;
 };
 
 /// Per-rank state. One instance per simulated process, owned by SimCore and

@@ -12,6 +12,7 @@ const char* trace_cat_name(TraceCat cat) noexcept {
     case TraceCat::mutex: return "mutex";
     case TraceCat::fault: return "fault";
     case TraceCat::race: return "race";
+    case TraceCat::progress: return "progress";
   }
   return "?";
 }

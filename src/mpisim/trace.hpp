@@ -33,6 +33,8 @@ enum class TraceCat : std::uint8_t {
             ///< burst, detector suspicion, shrink)
   race,     ///< happens-before race detections (hb.hpp): a begin/end pair
             ///< brackets each report so Chrome traces show the racing op
+  progress, ///< cooperative progress engine: progress.tick spans each
+            ///< persona tick, progress.retire marks queue retirement
 };
 
 const char* trace_cat_name(TraceCat cat) noexcept;

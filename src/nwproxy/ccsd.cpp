@@ -15,10 +15,14 @@ namespace nwproxy {
 namespace {
 
 /// Charge the virtual clock for \p flops of local DGEMM-class compute at
-/// the platform's per-core rate.
+/// the platform's per-core rate. advance_compute marks this as
+/// application compute the progress engine may tick under: with
+/// Options::progress on, deferred prefetches drain (and their latency
+/// hides) inside the contraction instead of stalling the next wait.
 void charge_flops(double flops) {
   const double gflops = mpisim::model().profile().dgemm_gflops;
-  if (gflops > 0.0) mpisim::clock().advance(flops / gflops);  // ns = f/GF
+  if (gflops > 0.0)
+    mpisim::clock().advance_compute(flops / gflops);  // ns = f/GF
 }
 
 /// Decode a linear task id into the upper-triangular tile pair (at <= bt).
@@ -79,7 +83,17 @@ void run_ccsd_task(const CcsdParams& p, const Amplitudes& t2,
   armci::Request pending;
   if (ntiles > 0) pending = issue_tile(0, b_buf);
   for (std::int64_t kt = 0; kt < ntiles; ++kt) {
-    armci::wait(pending);
+    // Callback-driven completion: with the progress engine on, the
+    // prefetch usually finishes from a tick inside the previous
+    // contraction's charge_flops, and the callback has already fired by
+    // the time we get here -- the wait() below is then a no-op fallback
+    // for whatever a tick did not retire (and for engine-off runs).
+    bool tile_ready = false;
+    armci::on_complete(pending, [&tile_ready](std::exception_ptr err) {
+      if (err) std::rethrow_exception(err);
+      tile_ready = true;
+    });
+    if (!tile_ready) armci::wait(pending);
     if (kt + 1 < ntiles) pending = issue_tile(kt + 1, b_next);
 
     const auto [klo, khi] = t2.tile_cols(kt);

@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -187,6 +189,176 @@ INSTANTIATE_TEST_SUITE_P(Backends, ArmciHbRacePositiveTest,
                            }
                            return "?";
                          });
+
+// ---------------------------------------------------------------------------
+// Progress-engine retirement edge (nb.cpp deferred-op contracts)
+// ---------------------------------------------------------------------------
+
+// The CI matrix re-runs this binary under MPISIM_RMA_CHECK=abort/warn,
+// which overrides race_cfg's detector choice; the progress-race tests
+// depend on race semantics specifically, so they skip themselves there.
+#define SKIP_UNLESS_RACE_MODE()                                             \
+  do {                                                                      \
+    const char* rc_ = std::getenv("MPISIM_RMA_CHECK");                      \
+    if (rc_ != nullptr && std::string(rc_) != "race")                       \
+      GTEST_SKIP() << "MPISIM_RMA_CHECK=" << rc_                            \
+                   << " overrides the race detector";                       \
+  } while (0)
+
+// Deferral-capable backends only: the native backend never defers, so the
+// persona never holds a contract there.
+class ArmciProgressRaceTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  Options opts() const {
+    Options o;
+    o.backend = GetParam();
+    o.progress = true;
+    o.no_local_copy = true;  // the self-touch must hit the real data path
+    return o;
+  }
+};
+
+char* gslice(std::vector<void*>& bases, int r) {
+  return static_cast<char*>(bases[static_cast<std::size_t>(r)]);
+}
+
+// Positive: a deferred nb_get's destination inside our own global slice is
+// charged to the progress persona as a pending write. Touching that region
+// before the engine retires the batch races -- the persona is a distinct
+// identity, and nothing orders the app's read after its unretired write.
+TEST_P(ArmciProgressRaceTest, TouchBeforeRetirementRaces) {
+  SKIP_UNLESS_RACE_MODE();
+  mpisim::Config cfg = race_cfg(2);
+  cfg.ranks_per_node = 1;  // rank 1 remote: the nb_get actually defers
+  mpisim::run(cfg, [&] {
+    init(opts());
+    constexpr std::size_t kBytes = 64;
+    std::vector<void*> bases = malloc_world(kBytes);
+    std::memset(gslice(bases, mpisim::rank()), mpisim::rank() + 1, kBytes);
+    barrier();
+    if (mpisim::rank() == 0) {
+      Request req = nb_get(gslice(bases, 1), gslice(bases, 0), kBytes, 1);
+      char priv[kBytes] = {0};
+      try {
+        get(bases[0], priv, kBytes, 0);  // reads the contracted region
+        ADD_FAILURE() << "expected Errc::rma_race";
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), mpisim::Errc::rma_race) << e.what();
+        EXPECT_NE(std::string(e.what()).find("progress persona"),
+                  std::string::npos)
+            << e.what();
+      }
+      EXPECT_GE(stats().rma_races, 1u);
+      // Draining the queue may re-report against the racy read's summary;
+      // tolerate it -- the batch itself must still complete and land.
+      try {
+        wait(req);
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), mpisim::Errc::rma_race) << e.what();
+      }
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+// Negative: the same touch from an operation-level completion callback.
+// The callback runs from the tick AFTER the persona retired the batch
+// (persona_retire joins owner <- persona), so the read is ordered and
+// clean -- and the fetched data is already there to read.
+TEST_P(ArmciProgressRaceTest, CallbackAfterRetirementIsClean) {
+  SKIP_UNLESS_RACE_MODE();
+  mpisim::Config cfg = race_cfg(2);
+  cfg.ranks_per_node = 1;
+  mpisim::run(cfg, [&] {
+    init(opts());
+    constexpr std::size_t kBytes = 64;
+    std::vector<void*> bases = malloc_world(kBytes);
+    std::memset(gslice(bases, mpisim::rank()), mpisim::rank() + 1, kBytes);
+    barrier();
+    if (mpisim::rank() == 0) {
+      Request req = nb_get(gslice(bases, 1), gslice(bases, 0), kBytes, 1);
+      bool fired = false;
+      on_complete(req, Completion::operation,
+                  [&](std::exception_ptr err) {
+                    EXPECT_EQ(err, nullptr);
+                    char priv[kBytes] = {0};
+                    get(bases[0], priv, kBytes, 0);  // post-retirement touch
+                    EXPECT_EQ(priv[0], 2);  // rank 1's fill pattern
+                    EXPECT_EQ(priv[kBytes - 1], 2);
+                    fired = true;
+                  });
+      mpisim::clock().advance_compute(50'000.0);  // issue + complete ticks
+      EXPECT_TRUE(fired);
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(stats().rma_races, 0u);
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArmciProgressRaceTest,
+                         ::testing::Values(Backend::mpi, Backend::mpi3),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Backend::mpi: return "Mpi";
+                             case Backend::native: return "Native";
+                             case Backend::mpi3: return "Mpi3";
+                           }
+                           return "?";
+                         });
+
+// Positive, mpi3 split completion: a SOURCE-level callback fires at the
+// issue tick, while the get is still in flight to the target -- the
+// persona's pending write is unretired, so touching the destination from
+// that callback races. The throw propagates out of advance_compute.
+TEST(ArmciProgressSourceRaceTest, SourceCallbackTouchRacesOnMpi3) {
+  SKIP_UNLESS_RACE_MODE();
+  mpisim::Config cfg = race_cfg(2);
+  cfg.ranks_per_node = 1;
+  mpisim::run(cfg, [&] {
+    Options o;
+    o.backend = Backend::mpi3;
+    o.progress = true;
+    o.no_local_copy = true;
+    init(o);
+    constexpr std::size_t kBytes = 64;
+    std::vector<void*> bases = malloc_world(kBytes);
+    std::memset(gslice(bases, mpisim::rank()), mpisim::rank() + 1, kBytes);
+    barrier();
+    if (mpisim::rank() == 0) {
+      Request req = nb_get(gslice(bases, 1), gslice(bases, 0), kBytes, 1);
+      on_complete(req, Completion::source, [&](std::exception_ptr err) {
+        EXPECT_EQ(err, nullptr);
+        char priv[kBytes] = {0};
+        get(bases[0], priv, kBytes, 0);  // destination still in flight
+        ADD_FAILURE() << "source-level touch of an unretired get "
+                         "destination was not flagged";
+      });
+      try {
+        mpisim::clock().advance_compute(15'000.0);  // one tick: issue
+        ADD_FAILURE() << "expected Errc::rma_race out of the tick";
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), mpisim::Errc::rma_race) << e.what();
+        EXPECT_NE(std::string(e.what()).find("progress persona"),
+                  std::string::npos)
+            << e.what();
+      }
+      EXPECT_GE(stats().rma_races, 1u);
+      try {
+        wait(req);
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), mpisim::Errc::rma_race) << e.what();
+      }
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(mpisim::rank())]);
+    finalize();
+  });
+}
 
 }  // namespace
 }  // namespace armci

@@ -436,6 +436,74 @@ TEST(RecoveryTest, NbFlushDrainsHealthyQueuesPastDeadOwner) {
   expect_recovered(res, kVictim);
 }
 
+TEST(RecoveryTest, ProgressPersonaParksDeadOwnerQueue) {
+  // Progress-engine failure semantics: the persona's tick tries to drain a
+  // queue whose owner died, parks the queue with the Errc::crashed it hit,
+  // and keeps draining healthy queues. The parked error surfaces exactly
+  // once -- from the first test() (round 1) or the completion callback
+  // (round 2) -- after which the tickets read complete and the survivor
+  // continues; no blocking wait()/flush ever runs against the dead owner.
+  constexpr int kVictim = 1;
+  Options opts;
+  opts.progress = true;
+
+  const RecoveryResult res = run_survivable(3, kVictim, opts, [] {
+    const int me = mpisim::rank();
+    std::vector<void*> bases = malloc_world(64);
+    access_begin(bases[static_cast<std::size_t>(me)]);
+    std::memset(bases[static_cast<std::size_t>(me)], 0, 64);
+    access_end(bases[static_cast<std::size_t>(me)]);
+    barrier();
+    if (me == kVictim) {
+      crash_self();
+      return;
+    }
+    await_death(kVictim);
+
+    if (me == 0) {
+      // Round 1: the parked error surfaces from test(), exactly once.
+      const std::int64_t healthy = 7, doomed = 9;
+      Request rq_h = nb_put(&healthy, bases[2], sizeof healthy, 2);
+      Request rq_d = nb_put(&doomed, bases[1], sizeof doomed, 1);
+      // Tick from modeled compute: the healthy queue drains, the victim
+      // queue parks. The error must NOT escape advance_compute itself.
+      mpisim::clock().advance_compute(50'000.0);
+      EXPECT_TRUE(test(rq_h)) << "healthy queue not drained by the tick";
+      try {
+        (void)test(rq_d);
+        ADD_FAILURE() << "parked Errc::crashed never surfaced from test()";
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+      }
+      EXPECT_TRUE(test(rq_d));  // error already delivered: reads complete
+      std::int64_t back = 0;
+      get(bases[2], &back, sizeof back, 2);
+      EXPECT_EQ(back, healthy) << "healthy owner's batch was stranded";
+
+      // Round 2: the parked error is delivered through on_complete.
+      Request rq2 = nb_put(&doomed, bases[1], sizeof doomed, 1);
+      int fired = 0;
+      std::exception_ptr seen;
+      on_complete(rq2, [&](std::exception_ptr err) {
+        ++fired;
+        seen = err;
+      });
+      mpisim::clock().advance_compute(50'000.0);
+      EXPECT_EQ(fired, 1);
+      ASSERT_NE(seen, nullptr) << "callback ran without the parked error";
+      try {
+        std::rethrow_exception(seen);
+      } catch (const mpisim::MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+      }
+      EXPECT_TRUE(test(rq2));  // consumed by the callback: no rethrow
+    }
+    barrier();
+    free(bases[static_cast<std::size_t>(me)]);
+  });
+  expect_recovered(res, kVictim);
+}
+
 TEST(RecoveryTest, PGroupShrinkBuildsLiveGroup) {
   // ARMCI groups over a shrunken communicator: survivors collectively
   // rebuild the world group minus the dead member and can run collectives
