@@ -1,0 +1,177 @@
+// Active-message layer sweep (Ablation A10, DESIGN.md §10): delegate
+// throughput and RPC latency over the src/am layer.
+//
+// Stream: rank 0 pipelines a window of rpc()s at rank 1, which is busy
+// charging a compute slab. With the cooperative progress engine off, the
+// server only serves after its compute finishes, so the client's window
+// stalls and the run costs ~compute + stream; with the engine on, every
+// progress_interval_ns tick inside the compute drains the request queue
+// and the run costs ~max(compute, stream). Swept over backend x payload
+// size x engine on/off.
+//
+// Latency: blocking rpc round-trips with both ranks on one node vs one
+// rank per node -- the request and reply ride the node-aware delivery
+// model (shm_copy_ns vs p2p_ns), so same-node delegation must be cheaper.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+
+#include "bench/common.hpp"
+#include "src/am/am.hpp"
+
+namespace {
+
+/// Client-observed delegate completion rate in kops per virtual second.
+double stream_rate(armci::Backend backend, bool engine, std::size_t bytes,
+                   int ops = 2000) {
+  // Server compute comparable to the client's stream time, so overlap
+  // (engine on) roughly halves the round instead of merely trimming it.
+  const double compute_ns = 4e6;
+  double rate = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = mpisim::Platform::infiniband;
+  cfg.ranks_per_node = 1;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = backend;
+    o.metrics = true;
+    o.progress = engine;
+    armci::init(o);
+    am::init();
+    const int h_echo = am::register_handler(
+        [](int, const void* a, std::size_t n, void* r, std::size_t cap) {
+          const std::size_t out = n < cap ? n : cap;
+          std::memcpy(r, a, out);
+          return out;
+        });
+    std::vector<std::uint8_t> arg(bytes, 7);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      constexpr std::size_t kWindow = 16;
+      const double t0 = mpisim::clock().now_ns();
+      std::deque<am::Handle> window;
+      for (int i = 0; i < ops; ++i) {
+        if (window.size() == kWindow) {
+          window.front().wait();
+          window.pop_front();
+        }
+        window.push_back(am::rpc(1, h_echo, arg.data(), arg.size()));
+      }
+      while (!window.empty()) {
+        window.front().wait();
+        window.pop_front();
+      }
+      const double secs = (mpisim::clock().now_ns() - t0) * 1e-9;
+      rate = static_cast<double>(ops) / secs / 1e3;
+    } else {
+      mpisim::clock().advance_compute(compute_ns);
+      const std::uint64_t target = static_cast<std::uint64_t>(ops);
+      am::poll_wait([&] { return armci::stats().am_served >= target; });
+    }
+    am::barrier();
+    bench::Reporter::instance().capture_rank();
+    am::finalize();
+    armci::finalize();
+  });
+  return rate;
+}
+
+/// Blocking rpc round-trip latency in virtual microseconds.
+double rpc_latency_us(bool co_located, std::size_t bytes = 64,
+                      int reps = 200) {
+  double us = 0.0;
+  mpisim::Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = mpisim::Platform::infiniband;
+  cfg.ranks_per_node = co_located ? 2 : 1;
+  mpisim::run(cfg, [&] {
+    armci::Options o;
+    o.backend = armci::Backend::mpi3;
+    o.metrics = true;
+    armci::init(o);
+    am::init();
+    const int h_echo = am::register_handler(
+        [](int, const void* a, std::size_t n, void* r, std::size_t cap) {
+          const std::size_t out = n < cap ? n : cap;
+          std::memcpy(r, a, out);
+          return out;
+        });
+    std::vector<std::uint8_t> arg(bytes, 9);
+    armci::barrier();
+    if (mpisim::rank() == 0) {
+      am::rpc(1, h_echo, arg.data(), arg.size()).wait();  // warm-up
+      const double t0 = mpisim::clock().now_ns();
+      for (int r = 0; r < reps; ++r)
+        am::rpc(1, h_echo, arg.data(), arg.size()).wait();
+      us = (mpisim::clock().now_ns() - t0) * 1e-3 / reps;
+    } else {
+      const std::uint64_t target = static_cast<std::uint64_t>(reps) + 1;
+      am::poll_wait([&] { return armci::stats().am_served >= target; });
+    }
+    am::barrier();
+    bench::Reporter::instance().capture_rank();
+    am::finalize();
+    armci::finalize();
+  });
+  return us;
+}
+
+void register_all() {
+  for (armci::Backend backend : {armci::Backend::mpi, armci::Backend::mpi3}) {
+    for (std::size_t bytes : {std::size_t{16}, std::size_t{1024}}) {
+      for (bool engine : {false, true}) {
+        std::string name = std::string("Am/stream/") +
+                           bench::backend_name(backend) + "/" +
+                           (engine ? "on" : "off") + "/b" +
+                           std::to_string(bytes);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              double rate = 0.0;
+              for (auto _ : st) {
+                rate = stream_rate(backend, engine, bytes);
+                st.SetIterationTime(rate > 0.0 ? 1.0 / rate : 1.0);
+              }
+              st.counters["kops"] = rate;
+              bench::Reporter::instance().add_point(name + "/kops", rate,
+                                                    "kops/s");
+            })
+            ->UseManualTime()
+            ->Iterations(1);
+      }
+    }
+  }
+  for (bool co : {true, false}) {
+    std::string name =
+        std::string("Am/rpc/") + (co ? "same_node" : "cross_node");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State& st) {
+          double us = 0.0;
+          for (auto _ : st) {
+            us = rpc_latency_us(co);
+            st.SetIterationTime(us * 1e-6);
+          }
+          bench::Reporter::instance().add_point(name + "/us", us, "us");
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("bench_am");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -80,12 +80,18 @@ void init(const Options& opts) {
   };
   // Arm the cooperative progress engine: the rank's own clock fires the
   // persona every progress_interval_ns of *compute* time charged through
-  // advance_compute(), draining deferred nb queues while the application
-  // computes. Pointless without deferral, so gate on it.
-  if (stp->opts.progress && stp->opts.nb_aggregation &&
-      stp->backend->nb_defers()) {
-    me.clock().set_progress_hook([stp] { stp->nb.progress_tick(*stp); },
-                                 me.core().config().progress_interval_ns);
+  // advance_compute(). The nb tick drains deferred queues (pointless
+  // without deferral, so it keeps its own gate); the am hook -- installed
+  // later by am::init(), if at all -- serves inbound active messages.
+  if (stp->opts.progress) {
+    const bool nb_ticks =
+        stp->opts.nb_aggregation && stp->backend->nb_defers();
+    me.clock().set_progress_hook(
+        [stp, nb_ticks] {
+          if (nb_ticks) stp->nb.progress_tick(*stp);
+          if (stp->am_poll) stp->am_poll();
+        },
+        me.core().config().progress_interval_ns);
   }
   mpisim::world().barrier();
 }
@@ -696,15 +702,16 @@ void wait_all() {
 
 void progress() {
   ProcState& st = state();
-  if (!st.opts.progress || !st.opts.nb_aggregation ||
-      !st.backend->nb_defers())
-    return;
+  const bool nb_ticks = st.opts.progress && st.opts.nb_aggregation &&
+                        st.backend->nb_defers();
+  if (!nb_ticks && !st.am_poll) return;
   // An explicit poke is communication the caller chose to stand in for:
   // charge its virtual time to the overlap gauge as (unhidden) comm so
   // overlap_efficiency only credits ticks that ran under compute.
   mpisim::SimClock& ck = mpisim::ctx().clock();
   const double t0 = ck.now_ns();
-  st.nb.progress_tick(st);
+  if (nb_ticks) st.nb.progress_tick(st);
+  if (st.am_poll) st.am_poll();
   ck.note_progress_comm(ck.now_ns() - t0);
 }
 

@@ -167,6 +167,13 @@ std::string metrics_json() {
          (unsigned long long)s.ops_remote, (unsigned long long)s.failovers,
          (unsigned long long)s.replica_writes);
 
+  // Active-message layer (src/am): delegate traffic and terminations.
+  append(out,
+         "\"am\":{\"am_sent\":%llu,\"am_served\":%llu,"
+         "\"am_terminations\":%llu},",
+         (unsigned long long)s.am_sent, (unsigned long long)s.am_served,
+         (unsigned long long)s.am_terminations);
+
   // Per-op-class virtual-time latency summaries.
   out += "\"ops\":{";
   for (int c = 0; c < kOpClassCount; ++c) {

@@ -7,6 +7,7 @@
 /// though they share an OS address space).
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -78,6 +79,15 @@ struct ProcState {
 
   /// Per-op latency histograms (see metrics.hpp), on when opts.metrics.
   MetricsRegistry metrics;
+
+  /// Active-message layer state (src/am), attached by am::init(). Opaque
+  /// here so armci does not depend on the layer above it; lifetime is tied
+  /// to the ARMCI instance so an aborted run tears both down together.
+  std::shared_ptr<void> am_state;
+
+  /// Serve hook installed by am::init(): drains inbound active messages.
+  /// Called from the progress persona and armci::progress() when set.
+  std::function<void()> am_poll;
 
   explicit ProcState(int world_size) : table(world_size) {}
 };

@@ -115,6 +115,13 @@ struct Stats {
     return overlap_comm_ns > 0.0 ? overlap_hidden_ns / overlap_comm_ns : 0.0;
   }
 
+  // Active-message layer (src/am): requests sent (rpc + fire-and-forget
+  // delegates), inbound requests served by this process's progress
+  // persona, and termination-detection waits completed (am::quiesce).
+  std::uint64_t am_sent = 0;
+  std::uint64_t am_served = 0;
+  std::uint64_t am_terminations = 0;
+
   // Derived-datatype cache (dtype_cache.hpp) in the direct strided/IOV
   // paths: lookups served from the cache vs types built fresh.
   std::uint64_t dt_cache_hits = 0;

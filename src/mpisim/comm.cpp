@@ -55,8 +55,9 @@ std::vector<std::uint8_t> system_recv(SimCore& core, int src_world, int tag) {
             "comm.system_recv");
   Message m = mb.pop_match(kSystemChannel, src_world, tag);
   core.hb().recv_join(me.rank(), m.vc);
-  me.clock().advance_to(m.send_ts_ns +
-                        core.model().p2p_ns(m.payload.size()));
+  me.clock().advance_to(m.send_ts_ns + core.model().p2p_ns(m.payload.size(),
+                                                           src_world,
+                                                           me.rank()));
   return std::move(m.payload);
 }
 
@@ -131,9 +132,23 @@ void Comm::send(const void* buf, std::size_t bytes, int dest, int tag) const {
   std::unique_lock lk(core.mu());
   if (c.revoked) throw_revoked("comm.send");
   core.check_target_alive_locked(dest_world, "comm.send");
+  Mailbox& mb = core.mailbox(dest_world);
+  // Eager-flow control: refuse to buffer without bound. A message that a
+  // posted receive consumes never queues and is exempt; the cap applies
+  // only to unexpected-queue growth at the destination.
+  const std::size_t cap = core.config().mailbox_cap_bytes;
+  if (cap > 0 && !mb.has_posted_match(m.comm_id, m.src_comm_rank, m.tag) &&
+      mb.queued_bytes() + m.payload.size() > cap) {
+    raise(Errc::resource_exhausted,
+          "eager send of " + std::to_string(m.payload.size()) +
+              " bytes to world rank " + std::to_string(dest_world) +
+              " would exceed the mailbox cap (" +
+              std::to_string(mb.queued_bytes()) + " of " +
+              std::to_string(cap) + " bytes already queued)");
+  }
   core.note_time_locked(me.clock().now_ns());
   if (core.hb().enabled()) m.vc = core.hb().send_snapshot(me.rank());
-  core.mailbox(dest_world).push(std::move(m));
+  mb.push(std::move(m));
   core.poke();
 }
 
@@ -189,7 +204,11 @@ Status Comm::recv(void* buf, std::size_t capacity, int src, int tag) const {
                                 " bytes into " + std::to_string(capacity) +
                                 "-byte buffer");
   std::memcpy(buf, m.payload.data(), m.payload.size());
-  me.clock().advance_to(m.send_ts_ns + core.model().p2p_ns(m.payload.size()));
+  const Group& sg = c.is_inter ? c.remote_group : c.group;
+  me.clock().advance_to(
+      m.send_ts_ns + core.model().p2p_ns(m.payload.size(),
+                                         sg.world_rank(m.src_comm_rank),
+                                         me.rank()));
 
   Status st;
   st.source = m.src_comm_rank;
@@ -230,38 +249,181 @@ Comm::Request Comm::isend(const void* buf, std::size_t bytes, int dest,
 
 Comm::Request Comm::irecv(void* buf, std::size_t capacity, int src,
                           int tag) const {
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+
   Request r;
   r.impl_ = impl_;
-  r.buf = buf;
-  r.capacity = capacity;
-  r.src = src;
-  r.tag = tag;
-  r.is_recv = true;
-  r.done = false;
+  r.is_recv_ = true;
+  auto rec = std::make_shared<PostedRecv>();
+  rec->comm_id = c.id;
+  rec->src = src;
+  rec->tag = tag;
+  rec->buf = buf;
+  rec->capacity = capacity;
+  r.rec_ = rec;
+
+  std::lock_guard lk(core.mu());
+  if (c.revoked) throw_revoked("comm.irecv");
+  Mailbox& mb = core.mailbox(me.rank());
+  if (mb.has_match(c.id, src, tag))
+    Mailbox::deliver(*rec, mb.pop_match(c.id, src, tag));
+  else
+    mb.post(std::move(rec));
   return r;
 }
 
-void Comm::Request::wait(Status* st) {
-  if (!done) {
-    status = Comm(impl_).recv(buf, capacity, src, tag);
-    done = true;
+namespace {
+
+/// Survivable-mode failure check shared by Request wait()/test(): the
+/// world rank whose death this unmatched receive must surface, or -1.
+/// Caller holds the global lock.
+int pending_death_locked(const SimCore& core, const CommImpl& c,
+                         const PostedRecv& p) {
+  if (!core.survivable()) return -1;
+  if (p.src != kAnySource) {
+    const Group& g = c.is_inter ? c.remote_group : c.group;
+    const int w = g.world_rank(p.src);
+    return core.is_dead_locked(w) ? w : -1;
   }
-  if (st != nullptr) *st = status;
+  if (core.death_epoch_locked() > ctx().acked_death_epoch)
+    return core.latest_dead_locked();
+  return -1;
+}
+
+}  // namespace
+
+/// Finish a matched receive on the poster's thread: happens-before join,
+/// truncation raise, clock advance to the node-aware delivery time, status
+/// publication. Expects the global lock held on entry; returns unlocked.
+void Comm::Request::complete_matched(std::unique_lock<std::mutex>& lk,
+                                     Status* st) {
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+  PostedRecv& p = *rec_;
+  core.hb().recv_join(me.rank(), p.vc);
+  lk.unlock();
+  completed_ = true;
+  if (p.truncated)
+    raise(Errc::truncation, "message of " + std::to_string(p.msg_bytes) +
+                                " bytes into " + std::to_string(p.capacity) +
+                                "-byte buffer");
+  const Group& sg = c.is_inter ? c.remote_group : c.group;
+  me.clock().advance_to(p.send_ts_ns +
+                        core.model().p2p_ns(p.msg_bytes,
+                                            sg.world_rank(p.st.source),
+                                            me.rank()));
+  status_ = p.st;
+  if (st != nullptr) *st = status_;
+}
+
+void Comm::Request::wait(Status* st) {
+  if (!is_recv_) {  // sends are eager and born complete; wait is a no-op
+    if (st != nullptr) *st = status_;
+    return;
+  }
+  if (completed_)
+    raise(Errc::invalid_argument,
+          "Request::wait on an already-completed receive");
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+  me.fault().fault_point(me.clock());
+
+  std::unique_lock lk(core.mu());
+  PostedRecv& p = *rec_;
+  // Failure-aware wait, mirroring Comm::recv(): wake on delivery, but also
+  // on revocation and -- in survivable mode -- on the death of the awaited
+  // sender (specific source) or any unacked death (wildcard source), so a
+  // nonblocking receive's wait() cannot block forever on a dead peer.
+  int dead_src = -1;
+  bool was_revoked = false;
+  core.wait(lk,
+            [&] {
+              if (p.matched) return true;
+              if (c.revoked) {
+                was_revoked = true;
+                return true;
+              }
+              dead_src = pending_death_locked(core, c, p);
+              return dead_src >= 0;
+            },
+            "comm.irecv_wait");
+  if (!p.matched) {
+    // Error completion: deregister the posting so it cannot dangle, then
+    // surface the failure exactly once through this handle.
+    core.mailbox(me.rank()).cancel_posted(rec_);
+    completed_ = true;
+    if (was_revoked) throw_revoked("comm.irecv_wait");
+    core.observe_death_locked(dead_src, "comm.irecv_wait");  // throws
+  }
+  complete_matched(lk, st);
 }
 
 bool Comm::Request::test(Status* st) {
-  if (!done) {
-    Comm c(impl_);
-    if (!c.iprobe(src, tag)) return false;
-    status = c.recv(buf, capacity, src, tag);
-    done = true;
+  if (!is_recv_ || completed_) {
+    if (st != nullptr) *st = status_;
+    return true;
   }
-  if (st != nullptr) *st = status;
+  CommImpl& c = *impl_;
+  SimCore& core = *c.core;
+  RankContext& me = ctx();
+  std::unique_lock lk(core.mu());
+  PostedRecv& p = *rec_;
+  if (!p.matched) {
+    // Nonblocking failure surface: the same conditions wait() wakes on.
+    if (c.revoked) {
+      core.mailbox(me.rank()).cancel_posted(rec_);
+      completed_ = true;
+      throw_revoked("comm.irecv_test");
+    }
+    const int dead_src = pending_death_locked(core, c, p);
+    if (dead_src >= 0) {
+      core.mailbox(me.rank()).cancel_posted(rec_);
+      completed_ = true;
+      core.observe_death_locked(dead_src, "comm.irecv_test");  // throws
+    }
+    return false;
+  }
+  complete_matched(lk, st);
   return true;
 }
 
+bool Comm::Request::ready_locked() const noexcept {
+  return !is_recv_ || completed_ || (rec_ != nullptr && rec_->matched);
+}
+
+Comm::Request::~Request() {
+  if (!is_recv_ || completed_ || rec_ == nullptr || impl_ == nullptr) return;
+  if (!in_simulation()) return;  // simulator already torn down
+  SimCore& core = *impl_->core;
+  RankContext& me = ctx();
+  std::lock_guard lk(core.mu());
+  if (!rec_->matched) {
+    // Never matched: deregister deterministically so the mailbox holds no
+    // dangling posting aimed at a dead stack frame.
+    core.mailbox(me.rank()).cancel_posted(rec_);
+    return;
+  }
+  // Delivered but never completed: consume the message here -- join the
+  // sender's clock and advance past the delivery -- so dropping the handle
+  // cannot erase a communication the buffer already observed. Never throws.
+  CommImpl& c = *impl_;
+  core.hb().recv_join(me.rank(), rec_->vc);
+  const Group& sg = c.is_inter ? c.remote_group : c.group;
+  me.clock().advance_to(rec_->send_ts_ns +
+                        core.model().p2p_ns(rec_->msg_bytes,
+                                            sg.world_rank(rec_->st.source),
+                                            me.rank()));
+}
+
 void Comm::wait_all(std::span<Request> reqs) {
-  for (Request& r : reqs) r.wait();
+  for (Request& r : reqs) {
+    if (r.is_recv_ && r.completed_) continue;  // tolerate test()-completed
+    r.wait();
+  }
 }
 
 // ---------------------------------------------------------------------------

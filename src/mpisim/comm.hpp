@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -119,29 +120,54 @@ class Comm {
 
   // ---- Nonblocking point-to-point ----
 
-  /// Handle for isend()/irecv(). wait() must be called exactly once for a
-  /// receive; sends are eager and complete immediately.
+  /// Handle for isend()/irecv(). A receive is truly *posted*: the matching
+  /// message -- even one arriving later -- is delivered straight into the
+  /// buffer under the simulator lock, and wait()/test() complete it on the
+  /// posting thread (clock advance, happens-before join). Complete each
+  /// receive exactly once, via wait() or a successful test(); a second
+  /// wait() raises Errc::invalid_argument. Destroying a never-completed
+  /// receive deterministically cancels the posting (a message already
+  /// delivered is consumed so its happens-before edge is not lost). Sends
+  /// are eager and born complete; their wait() is an idempotent no-op.
+  /// Move-only: the handle owns the posting. A posted receive wins over a
+  /// concurrently blocked recv() on the same match pattern.
   class Request {
    public:
     Request() = default;
+    ~Request();
+    Request(Request&&) noexcept = default;
+    Request& operator=(Request&&) noexcept = default;
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
 
     /// Block until the operation completes; fills \p st for receives.
+    /// Failure-aware like Comm::recv(): raises Errc::revoked on a revoked
+    /// communicator, and in survivable mode Errc::crashed when the awaited
+    /// specific sender is dead -- or, for wildcard-source receives, once
+    /// per death epoch not yet covered by failure_ack().
     void wait(Status* st = nullptr);
 
     /// True once complete (receives: a matching message has been consumed
-    /// into the buffer). Completing via test() replaces wait().
+    /// into the buffer). A successful test() completes the request in
+    /// place of wait(); afterwards test() keeps returning true. Surfaces
+    /// the same failure errors as wait() without blocking.
     bool test(Status* st = nullptr);
+
+    /// True when wait()/test() will complete without blocking (a message
+    /// has been delivered, the request already completed, or it is a
+    /// send). Caller must hold the simulator lock (SimCore::mu()): this is
+    /// the nonblocking peek multi-event wait predicates need (e.g. the AM
+    /// layer's serve-while-waiting loop).
+    bool ready_locked() const noexcept;
 
    private:
     friend class Comm;
+    void complete_matched(std::unique_lock<std::mutex>& lk, Status* st);
     std::shared_ptr<CommImpl> impl_;
-    void* buf = nullptr;
-    std::size_t capacity = 0;
-    int src = kAnySource;
-    int tag = kAnyTag;
-    bool is_recv = false;
-    bool done = true;
-    Status status;
+    std::shared_ptr<PostedRecv> rec_;
+    bool is_recv_ = false;
+    bool completed_ = false;
+    Status status_;
   };
 
   /// Nonblocking standard-mode send (eager: the payload is copied out and

@@ -20,6 +20,7 @@ const char* errc_name(Errc e) noexcept {
     case Errc::aborted: return "aborted";
     case Errc::wait_timeout: return "wait_timeout";
     case Errc::transient: return "transient";
+    case Errc::resource_exhausted: return "resource_exhausted";
     case Errc::crashed: return "crashed";
     case Errc::revoked: return "revoked";
   }

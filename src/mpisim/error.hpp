@@ -35,6 +35,8 @@ enum class Errc {
   aborted,             ///< another rank failed; collective shutdown
   wait_timeout,        ///< blocking wait hit its deadline or a deadlock
   transient,           ///< injected retryable fault (fault.hpp)
+  resource_exhausted,  ///< eager-send buffering at the destination mailbox
+                       ///< would exceed Config::mailbox_cap_bytes
   crashed,             ///< this rank was killed by the fault plan, or the
                        ///< operation's target rank is dead (survivable mode)
   revoked,             ///< communicator revoked (ULFM-style Comm::revoke)

@@ -8,9 +8,21 @@
 /// global lock (see runtime.hpp), so the mailbox itself is a plain data
 /// structure. Matching follows MPI rules: (communicator, source, tag) with
 /// wildcard source/tag, FIFO per (source, tag) pair.
+///
+/// Receives come in two flavors. A blocking recv() matches against the
+/// unexpected-message queue. A nonblocking irecv() *posts* a receive: the
+/// posting is registered here, and a later push() delivers the payload
+/// straight into the poster's buffer without ever queueing it (the MPI
+/// posted-receive fast path). Posted receives win over concurrently blocked
+/// recv() calls on the same match pattern, and messages consumed by a
+/// posting are invisible to iprobe() -- both consequences of posting being
+/// a real reservation rather than a lazy probe.
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <list>
+#include <memory>
 #include <vector>
 
 namespace mpisim {
@@ -39,27 +51,83 @@ struct Status {
   std::size_t bytes = 0;  ///< matched message size
 };
 
-/// Unexpected-message queue for one destination rank.
+/// Shared state of one posted (nonblocking) receive. Owned jointly by the
+/// poster's Comm::Request and -- until matched or cancelled -- by the
+/// destination mailbox's posted list. All fields are guarded by the
+/// simulator's global lock. Delivery copies the payload into `buf` and
+/// fills the completion fields; the poster's thread finishes the receive
+/// (clock advance, happens-before join, truncation raise) at wait()/test().
+struct PostedRecv {
+  std::uint64_t comm_id = 0;
+  int src = kAnySource;  ///< comm rank or kAnySource
+  int tag = kAnyTag;
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+
+  bool matched = false;    ///< a message has been delivered
+  bool cancelled = false;  ///< deregistered before matching (Request dtor)
+  bool truncated = false;  ///< message exceeded capacity (raised at wait)
+  std::size_t msg_bytes = 0;
+  double send_ts_ns = 0.0;
+  std::vector<std::uint64_t> vc;  ///< sender's clock (joined at completion)
+  Status st;
+};
+
+/// Unexpected-message queue plus posted-receive registry for one
+/// destination rank.
 class Mailbox {
  public:
-  /// Append a message (preserves per-(src,tag) FIFO order).
-  void push(Message msg) { queue_.push_back(std::move(msg)); }
+  /// Deliver a message: the first matching posted receive (post order)
+  /// consumes it directly; otherwise it is appended to the unexpected
+  /// queue (preserving per-(src,tag) FIFO order). Returns true when a
+  /// posted receive consumed it.
+  bool push(Message msg);
 
-  /// True if a message matching (comm, src, tag) is queued. \p src and
-  /// \p tag may be wildcards.
+  /// True if a queued message matches (comm, src, tag). \p src and \p tag
+  /// may be wildcards. Posted receives do not participate: a message they
+  /// consumed was never queued.
   bool has_match(std::uint64_t comm_id, int src, int tag) const;
 
-  /// Remove and return the first matching message. Requires has_match().
+  /// Remove and return the first matching queued message. Requires
+  /// has_match().
   Message pop_match(std::uint64_t comm_id, int src, int tag);
+
+  /// Register a posted receive (irecv with no queued match). The mailbox
+  /// holds a reference until delivery or cancel_posted().
+  void post(std::shared_ptr<PostedRecv> rec);
+
+  /// Deliver \p msg into \p rec immediately (irecv that found a queued
+  /// match; \p rec must not be registered).
+  static void deliver(PostedRecv& rec, Message msg);
+
+  /// True when a currently posted receive would match a message with this
+  /// envelope (the send-side cap check: such a message bypasses queueing).
+  bool has_posted_match(std::uint64_t comm_id, int src_comm_rank,
+                        int tag) const;
+
+  /// Deregister \p rec if it is still posted (Request destructor/error
+  /// paths; idempotent). Marks it cancelled.
+  void cancel_posted(const std::shared_ptr<PostedRecv>& rec);
 
   /// Number of queued messages (diagnostics).
   std::size_t size() const noexcept { return queue_.size(); }
+
+  /// Payload bytes currently buffered in the unexpected queue (the eager
+  /// protocol's copy-out debt; posted-receive deliveries never count).
+  std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+
+  /// High-water mark of queued_bytes() over this mailbox's lifetime.
+  std::size_t high_water_bytes() const noexcept { return high_water_bytes_; }
 
  private:
   bool matches(const Message& m, std::uint64_t comm_id, int src,
                int tag) const;
 
   std::deque<Message> queue_;
+  /// Posted receives in post order (matching scans front to back).
+  std::list<std::shared_ptr<PostedRecv>> posted_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
 };
 
 }  // namespace mpisim

@@ -64,6 +64,15 @@ class NetworkModel {
   /// Two-sided message: one-way latency plus serialization at peak bandwidth.
   double p2p_ns(std::size_t bytes) const;
 
+  /// Node-aware two-sided message cost between world ranks \p src and
+  /// \p dst: co-located ranks pay the shared-memory copy cost (the MPI
+  /// intra-node shm transport), everything else the network path. Used by
+  /// the simulator's message delivery so same-node delegates/replies are
+  /// measurably cheaper than cross-node ones.
+  double p2p_ns(std::size_t bytes, int src, int dst) const {
+    return same_node(src, dst) ? shm_copy_ns(bytes) : p2p_ns(bytes);
+  }
+
   /// Passive-target lock acquisition (request/grant round trip).
   double lock_ns() const;
 

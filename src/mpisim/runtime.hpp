@@ -88,6 +88,14 @@ struct Config {
   /// live peer is also blocked is detected as a deadlock and raises
   /// Errc::wait_timeout regardless of this setting.
   double wait_deadline_ns = 0.0;
+  /// Byte cap on any one destination's queued (unconsumed) eager-send
+  /// payload: a send whose message would push the destination mailbox's
+  /// queued_bytes() past this raises Errc::resource_exhausted at the
+  /// *sender* instead of buffering without bound (a client flooding one
+  /// stalled server rank gets clean backpressure, not OOM). Messages
+  /// consumed directly by a posted receive never queue and are exempt, as
+  /// is the runtime-internal system channel. 0 (the default) is unlimited.
+  std::size_t mailbox_cap_bytes = 0;
   /// Virtual-time interval between cooperative progress-engine ticks: a
   /// rank's progress hook (SimClock::set_progress_hook) fires each time
   /// this much *compute* time accumulates through advance_compute().

@@ -467,5 +467,174 @@ TEST(CommStressTest, ManyCommunicatorsAndMessages) {
   });
 }
 
+TEST(RequestLifecycleTest, DoubleWaitRaisesInvalidArgument) {
+  run(2, Platform::ideal, [] {
+    Comm w = world();
+    if (rank() == 0) {
+      const std::int32_t v = 7;
+      w.send(&v, sizeof v, 1, 3);
+    } else {
+      std::int32_t v = 0;
+      Comm::Request req = w.irecv(&v, sizeof v, 0, 3);
+      req.wait();
+      EXPECT_EQ(v, 7);
+      // A receive completes exactly once; a second wait is a program error
+      // (the old behavior -- blocking for a message that will never come
+      // again -- hid real bugs behind a hang).
+      try {
+        req.wait();
+        ADD_FAILURE() << "second wait() on a completed receive returned";
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::invalid_argument) << e.what();
+      }
+      // test() stays idempotent: complete, no re-raise, status refetch ok.
+      Status st;
+      EXPECT_TRUE(req.test(&st));
+      EXPECT_EQ(st.source, 0);
+    }
+    w.barrier();
+  });
+}
+
+TEST(RequestLifecycleTest, DestructorCancelsUnmatchedPosting) {
+  run(2, Platform::ideal, [] {
+    Comm w = world();
+    if (rank() == 1) {
+      {
+        std::int32_t dropped = 0;
+        Comm::Request req = w.irecv(&dropped, sizeof dropped, 0, 4);
+        (void)req;  // never waited: destructor must cancel the posting
+      }
+      w.barrier();  // sender posts only after the cancel is done
+      // The cancelled posting must not capture (or corrupt) a later
+      // message: a fresh receive gets it, bit-exact.
+      std::int32_t v = 0;
+      const Status st = w.recv(&v, sizeof v, 0, 4);
+      EXPECT_EQ(v, 99);
+      EXPECT_EQ(st.bytes, sizeof v);
+    } else {
+      w.barrier();
+      const std::int32_t v = 99;
+      w.send(&v, sizeof v, 1, 4);
+    }
+    w.barrier();
+  });
+}
+
+TEST(RequestLifecycleTest, TruncatedPostedReceiveRaisesAtWait) {
+  run(2, Platform::ideal, [] {
+    Comm w = world();
+    if (rank() == 0) {
+      const std::int64_t big = 0x0102030405060708;
+      w.send(&big, sizeof big, 1, 6);
+    } else {
+      std::int16_t small = 0;
+      Comm::Request req = w.irecv(&small, sizeof small, 0, 6);
+      try {
+        req.wait();
+        ADD_FAILURE() << "truncated posted receive completed silently";
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::truncation) << e.what();
+      }
+    }
+    w.barrier();
+  });
+}
+
+TEST(RequestLifecycleTest, MoveTransfersOwnership) {
+  run(2, Platform::ideal, [] {
+    Comm w = world();
+    if (rank() == 0) {
+      const std::int32_t v = 11;
+      w.send(&v, sizeof v, 1, 8);
+    } else {
+      std::int32_t v = 0;
+      Comm::Request a = w.irecv(&v, sizeof v, 0, 8);
+      Comm::Request b = std::move(a);  // moved-from request must be inert
+      b.wait();
+      EXPECT_EQ(v, 11);
+    }
+    w.barrier();
+  });
+}
+
+TEST(MailboxCapTest, EagerFloodRaisesResourceExhaustedAtSender) {
+  Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = Platform::ideal;
+  cfg.mailbox_cap_bytes = 4096;
+  int raised = 0;
+  run(cfg, [&] {
+    Comm w = world();
+    if (rank() == 0) {
+      // Flood a rank that is not receiving: the unexpected queue fills to
+      // the cap and the next eager send fails cleanly at the sender
+      // instead of growing without bound.
+      std::vector<char> chunk(1000, 'x');
+      try {
+        for (int i = 0; i < 64; ++i)
+          w.send(chunk.data(), chunk.size(), 1, 2);
+        ADD_FAILURE() << "unbounded eager buffering past the cap";
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::resource_exhausted) << e.what();
+        std::lock_guard lk(ctx().core().mu());
+        ++raised;
+      }
+      const char go = 1;
+      w.send(&go, 1, 1, 3);  // fits: 4 x 1000 queued leaves slack under the cap
+    } else {
+      char go = 0;
+      w.recv(&go, 1, 0, 3);
+      // The receiver can still drain everything that was accepted.
+      std::vector<char> chunk(1000);
+      for (int i = 0; i < 4; ++i) {
+        const Status st = w.recv(chunk.data(), chunk.size(), 0, 2);
+        EXPECT_EQ(st.bytes, 1000u);
+        EXPECT_EQ(chunk[0], 'x');
+      }
+    }
+    w.barrier();
+  });
+  EXPECT_EQ(raised, 1);
+}
+
+TEST(MailboxCapTest, PostedReceiveIsExemptAndHighWaterTracks) {
+  Config cfg;
+  cfg.nranks = 2;
+  cfg.platform = Platform::ideal;
+  cfg.mailbox_cap_bytes = 64;
+  run(cfg, [&] {
+    Comm w = world();
+    if (rank() == 1) {
+      // A posted receive consumes the payload on delivery: the cap never
+      // sees it, however large.
+      std::vector<char> buf(4096);
+      Comm::Request req = w.irecv(buf.data(), buf.size(), 0, 2);
+      w.barrier();
+      Status st;
+      req.wait(&st);
+      EXPECT_EQ(st.bytes, 4096u);
+      w.barrier();
+      // Unexpected bytes do count, and the high-water gauge records them.
+      w.barrier();
+      {
+        std::lock_guard lk(ctx().core().mu());
+        EXPECT_GE(ctx().core().mailbox(rank()).high_water_bytes(), 48u);
+      }
+      std::vector<char> chunk(48);
+      w.recv(chunk.data(), chunk.size(), 0, 4);
+    } else {
+      w.barrier();
+      std::vector<char> big(4096, 'b');
+      w.send(big.data(), big.size(), 1, 2);  // exceeds cap; posted: exempt
+      w.barrier();
+      std::vector<char> chunk(48, 'c');
+      w.send(chunk.data(), chunk.size(), 1, 4);  // 48 <= 64: queued
+      w.barrier();
+    }
+    w.barrier();
+  });
+}
+
 }  // namespace
 }  // namespace mpisim

@@ -135,6 +135,20 @@ TEST(NetModelTest, AllPaperProfilesAreComplete) {
   }
 }
 
+TEST(NetModelTest, NodeAwareP2pUsesShmCopyOnNode) {
+  NetworkModel m(platform_profile(Platform::infiniband),
+                 /*ranks_per_node_override=*/2);
+  const std::size_t bytes = 1 << 16;
+  // Ranks 0 and 1 share a node: the two-sided cost is the shared-memory
+  // copy. Ranks 0 and 2 do not: it is the network p2p cost.
+  EXPECT_EQ(m.p2p_ns(bytes, 0, 1), m.shm_copy_ns(bytes));
+  EXPECT_EQ(m.p2p_ns(bytes, 0, 2), m.p2p_ns(bytes));
+  // Latency-bound small messages are cheaper on-node (no NIC round trip);
+  // at large sizes the ordering is bandwidth-dependent, so assert only the
+  // small-message advantage.
+  EXPECT_LT(m.p2p_ns(64, 0, 1), m.p2p_ns(64, 0, 2));
+}
+
 TEST(NetModelTest, PlatformIdsAreDistinct) {
   EXPECT_STREQ(platform_id(Platform::bluegene_p), "bgp");
   EXPECT_STREQ(platform_id(Platform::infiniband), "ib");

@@ -304,5 +304,70 @@ TEST(SurvivableTest, OffByDefaultCrashStillAbortsTheRun) {
   EXPECT_EQ(aborted, 2);
 }
 
+TEST(SurvivableTest, AnySourceIrecvWaitRaisesOncePerEpochUntilAcked) {
+  const int victim = 2;
+  run(survivable_cfg(3, {{victim, kCrashAt}}), [&] {
+    if (rank() == victim) crash_now();
+    await_death(victim);
+    // Same go-message gating as the blocking-recv regression: rank 1 must
+    // not send until rank 0 has provably taken the unacked-failure branch,
+    // or the already-delivered message would complete the wait normally.
+    if (rank() == 1) {
+      char go = 0;
+      world().recv(&go, 1, 0, 10);
+      const std::int32_t v = 42;
+      world().send(&v, sizeof v, 0, 9);
+    }
+    if (rank() == 0) {
+      // A wildcard *posted* receive must surface the unacknowledged death
+      // through wait() -- same Errc as the blocking form, instead of
+      // blocking forever on a sender that can never arrive.
+      std::int32_t v = 0;
+      {
+        Comm::Request req = world().irecv(&v, sizeof v, kAnySource, 9);
+        try {
+          req.wait();
+          ADD_FAILURE() << "wildcard irecv wait ignored an unacked failure";
+        } catch (const MpiError& e) {
+          EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+        }
+      }
+      // ... and complete normally against live senders once acknowledged.
+      world().failure_ack();
+      const char go = 1;
+      world().send(&go, 1, 1, 10);
+      Comm::Request req = world().irecv(&v, sizeof v, kAnySource, 9);
+      Status st;
+      req.wait(&st);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 1);
+    }
+    world().barrier();
+  });
+}
+
+TEST(SurvivableTest, SpecificSourceIrecvWaitOnDeadPeerRaisesCrashed) {
+  const int victim = 1;
+  run(survivable_cfg(3, {{victim, kCrashAt}}), [&] {
+    if (rank() == victim) crash_now();
+    await_death(victim);
+    if (rank() == 0) {
+      // A receive posted at a now-dead specific source can never be
+      // matched; wait() must surface the death instead of hanging.
+      char c = 0;
+      Comm::Request req = world().irecv(&c, 1, victim, 5);
+      try {
+        req.wait();
+        ADD_FAILURE() << "irecv wait on a dead sender completed";
+      } catch (const MpiError& e) {
+        EXPECT_EQ(e.code(), Errc::crashed) << e.what();
+      }
+      // test() after the surfaced failure reads complete, not a re-raise.
+      EXPECT_TRUE(req.test());
+    }
+    world().barrier();
+  });
+}
+
 }  // namespace
 }  // namespace mpisim
